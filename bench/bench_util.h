@@ -1,0 +1,62 @@
+// Shared setup for the reproduction benches: builds the enterprise
+// warehouse, the SODA engine, and the baseline systems.
+
+#ifndef SODA_BENCH_BENCH_UTIL_H_
+#define SODA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "baselines/baseline.h"
+#include "core/soda.h"
+#include "datasets/enterprise.h"
+#include "eval/harness.h"
+#include "eval/workload.h"
+#include "pattern/library.h"
+
+namespace soda {
+namespace bench {
+
+struct Fixture {
+  std::unique_ptr<EnterpriseWarehouse> warehouse;
+  std::unique_ptr<Soda> soda;
+  ClassificationIndex metadata_only_classification;
+  BaselineContext baseline_context;
+  std::vector<std::unique_ptr<KeywordSearchSystem>> baselines;
+};
+
+inline std::unique_ptr<Fixture> BuildFixture(bool execute_snippets = false) {
+  auto fixture = std::make_unique<Fixture>();
+  auto built = BuildEnterpriseWarehouse();
+  if (!built.ok()) {
+    std::fprintf(stderr, "failed to build warehouse: %s\n",
+                 built.status().ToString().c_str());
+    std::exit(1);
+  }
+  fixture->warehouse = std::move(built).value();
+  SodaConfig config;
+  config.execute_snippets = execute_snippets;
+  fixture->soda = std::make_unique<Soda>(
+      &fixture->warehouse->db, &fixture->warehouse->graph,
+      CreditSuissePatternLibrary(), config);
+
+  fixture->metadata_only_classification.Build(fixture->warehouse->graph,
+                                              /*base_data=*/nullptr);
+  BaselineContext& context = fixture->baseline_context;
+  context.db = &fixture->warehouse->db;
+  context.inverted_index = &fixture->soda->inverted_index();
+  context.foreign_keys = fixture->soda->join_graph().all_edges();
+  context.classification = &fixture->soda->classification();
+  context.metadata_only_classification =
+      &fixture->metadata_only_classification;
+  context.graph_for_resolution = &fixture->warehouse->graph;
+  context.schema_columns = kPaperPhysicalColumns;
+  fixture->baselines = MakeBaselines(&context);
+  return fixture;
+}
+
+}  // namespace bench
+}  // namespace soda
+
+#endif  // SODA_BENCH_BENCH_UTIL_H_

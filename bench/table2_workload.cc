@@ -1,0 +1,19 @@
+// Regenerates paper Table 2: the experiment queries, their type tags and
+// gold-standard descriptions, as adapted to the synthetic warehouse.
+
+#include <cstdio>
+
+#include "eval/workload.h"
+
+int main() {
+  std::printf("Table 2: Experiment queries.\n\n");
+  std::printf("%-5s %-45s %-6s\n", "Q", "Keyword query", "Types");
+  std::printf("%.100s\n", std::string(100, '-').c_str());
+  for (const soda::BenchmarkQuery& query : soda::EnterpriseWorkload()) {
+    std::printf("%-5s %-45s %-6s\n", query.id.c_str(),
+                query.keywords.c_str(), query.types.c_str());
+    std::printf("      comment: %s\n", query.comment.c_str());
+    std::printf("      gold:    %s\n\n", query.gold_description.c_str());
+  }
+  return 0;
+}

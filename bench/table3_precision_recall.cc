@@ -1,0 +1,46 @@
+// Regenerates paper Table 3: precision and recall of the best SQL
+// statement SODA produces per benchmark query, plus the number of results
+// with P,R > 0 and P,R = 0. Paper reference values are printed alongside.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  auto fixture = soda::bench::BuildFixture();
+  auto evaluations = soda::EvaluateWorkload(*fixture->soda,
+                                            soda::EnterpriseWorkload());
+  if (!evaluations.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 evaluations.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "Table 3: Precision and recall for experiment queries including\n"
+      "inverted index for base data. (measured | paper)\n\n");
+  std::printf("%-6s %13s %13s %14s %14s\n", "Q", "Best Precision",
+              "Best Recall", "#Results P,R>0", "#Results P,R=0");
+  const auto& workload = soda::EnterpriseWorkload();
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const soda::BenchmarkQuery& query = workload[i];
+    const soda::QueryEvaluation& evaluation = (*evaluations)[i];
+    std::printf("%-6s %5.2f | %4.2f  %5.2f | %4.2f  %6d | %3d   %6d | %3d\n",
+                query.id.c_str(), evaluation.best.precision,
+                query.paper_precision, evaluation.best.recall,
+                query.paper_recall, evaluation.results_nonzero,
+                query.paper_results_nonzero, evaluation.results_zero,
+                query.paper_results_zero);
+  }
+  std::printf(
+      "\nShape notes:\n"
+      "  Q2.1/Q2.2: recall 0.2 — bi-temporal historization: the history\n"
+      "             join is not reflected in the schema graph.\n"
+      "  Q5.0:      precision collapse — bridge table between inheritance\n"
+      "             siblings (assoc_empl_td).\n"
+      "  Q7.0:      2x superset — only the order-currency restriction is\n"
+      "             generated, not the settlement restriction.\n"
+      "  Q9.0:      all results zero — COUNT(*) over the party-address\n"
+      "             bridge double-counts persons.\n");
+  return 0;
+}

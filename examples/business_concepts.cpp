@@ -1,0 +1,69 @@
+// Business concepts: metadata-defined filters and aggregations
+// (paper Sections 1.2 and 4.4).
+//
+// Business users think in terms like "wealthy customers" and "trading
+// volume". Neither is a table or a column — both are definitions stored
+// in the domain ontology: a predicate (salary >= 1'000'000) and an
+// aggregation (sum of transaction amounts). This example shows SODA
+// expanding them, then combines them with top-N ranking:
+//
+//     Show me all my wealthy customers who live in Zurich.
+//     Who are my top ten customers in terms of revenue?
+
+#include <cstdio>
+
+#include "core/soda.h"
+#include "datasets/minibank.h"
+#include "pattern/library.h"
+
+namespace {
+
+void Run(const soda::Soda& engine, const char* query, size_t show = 1) {
+  std::printf("==============================================\n");
+  std::printf("SODA> %s\n\n", query);
+  auto output = engine.Search(query);
+  if (!output.ok()) {
+    std::printf("  error: %s\n", output.status().ToString().c_str());
+    return;
+  }
+  for (size_t i = 0; i < output->results.size() && i < show; ++i) {
+    const soda::SodaResult& result = output->results[i];
+    std::printf("score %.2f — %s\n%s\n\n", result.score,
+                result.explanation.c_str(), result.sql.c_str());
+    if (result.executed) {
+      std::printf("%s\n", result.snippet.ToAsciiTable(10).c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto bank = soda::BuildMiniBank();
+  if (!bank.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 bank.status().ToString().c_str());
+    return 1;
+  }
+  soda::Soda engine(&(*bank)->db, &(*bank)->graph,
+                    soda::CreditSuissePatternLibrary(), soda::SodaConfig{});
+
+  // The metadata filter "wealthy customers" expands to a salary predicate
+  // defined by domain experts — the user never writes the threshold.
+  Run(engine, "wealthy customers");
+
+  // Combined with a base-data filter: wealthy customers in Zürich.
+  Run(engine, "wealthy customers Zürich");
+
+  // The metadata aggregation "trading volume" expands to
+  // sum(fi_transactions.amount) (Section 4.4.2).
+  Run(engine, "trading volume group by (transaction date)");
+
+  // Paper Query 3: explicit aggregation syntax.
+  Run(engine, "sum (amount) group by (transaction date)");
+
+  // Paper Query 4: count transactions per company, ranked.
+  Run(engine, "count (transactions) group by (company name)");
+
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: build the paper's mini-bank running example, ask the three
+// queries from Section 2 of the paper, and print the generated SQL with
+// result snippets — the Google-like search experience over a warehouse.
+//
+//   (1) Find all financial instruments of customers in Zürich.
+//   (2) What is the total trading volume over the last months?
+//   (3) What is the address of Sara Guttinger?
+
+#include <cstdio>
+
+#include "core/soda.h"
+#include "datasets/minibank.h"
+#include "pattern/library.h"
+
+int main() {
+  // 1. Build a warehouse: schema model -> metadata graph + base tables.
+  auto bank = soda::BuildMiniBank();
+  if (!bank.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 bank.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Construct the search engine over the catalog and metadata graph.
+  //    This builds the inverted index over the base data, the
+  //    classification index over all metadata labels, and harvests the
+  //    join graph through the Credit Suisse pattern library.
+  soda::Soda engine(&(*bank)->db, &(*bank)->graph,
+                    soda::CreditSuissePatternLibrary(), soda::SodaConfig{});
+
+  const char* kQueries[] = {
+      "customers Zürich financial instruments",
+      "trading volume transaction date between date(2010-01-01) date(2011-12-31)",
+      "addresses Sara Guttinger",
+  };
+
+  for (const char* query : kQueries) {
+    std::printf("==============================================\n");
+    std::printf("SODA> %s\n", query);
+    auto output = engine.Search(query);
+    if (!output.ok()) {
+      std::printf("  error: %s\n", output.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  complexity %zu, %zu candidate statement(s)\n\n",
+                output->complexity, output->results.size());
+    // Show the top-ranked candidate with its snippet, like the first
+    // entry of a result page.
+    if (output->results.empty()) continue;
+    const soda::SodaResult& best = output->results[0];
+    std::printf("score %.2f — entry points: %s\n%s\n\n", best.score,
+                best.explanation.c_str(), best.sql.c_str());
+    if (best.executed) {
+      std::printf("%s\n", best.snippet.ToAsciiTable(10).c_str());
+    } else {
+      std::printf("(execution failed: %s)\n",
+                  best.execution_status.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "baselines/baseline.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace soda {
+
+const char* QueryTypeName(QueryType type) {
+  switch (type) {
+    case QueryType::kBaseData:
+      return "Base data";
+    case QueryType::kSchema:
+      return "Schema";
+    case QueryType::kInheritance:
+      return "Inheritance";
+    case QueryType::kDomainOntology:
+      return "Domain ontology";
+    case QueryType::kPredicates:
+      return "Predicates";
+    case QueryType::kAggregates:
+      return "Aggregates";
+  }
+  return "?";
+}
+
+const char* SupportLevelSymbol(SupportLevel level) {
+  switch (level) {
+    case SupportLevel::kYes:
+      return "X";
+    case SupportLevel::kPartial:
+      return "(X)";
+    case SupportLevel::kNoInPractice:
+      return "(NO)";
+    case SupportLevel::kNo:
+      return "NO";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string Key(const std::string& table) { return FoldForMatch(table); }
+
+std::map<std::string, std::vector<JoinEdge>> BuildAdjacency(
+    const std::vector<JoinEdge>& foreign_keys) {
+  std::map<std::string, std::vector<JoinEdge>> adjacency;
+  for (const JoinEdge& edge : foreign_keys) {
+    adjacency[Key(edge.from.table)].push_back(edge);
+    adjacency[Key(edge.to.table)].push_back(edge);
+  }
+  return adjacency;
+}
+
+}  // namespace
+
+bool ConnectByForeignKeys(const std::vector<JoinEdge>& foreign_keys,
+                          const std::vector<std::string>& tables,
+                          bool directed,
+                          std::vector<JoinEdge>* joins,
+                          std::vector<std::string>* all_tables) {
+  auto adjacency = BuildAdjacency(foreign_keys);
+  auto push_table = [&](const std::string& table) {
+    for (const auto& existing : *all_tables) {
+      if (EqualsFolded(existing, table)) return;
+    }
+    all_tables->push_back(table);
+  };
+  auto push_join = [&](const JoinEdge& edge) {
+    for (const auto& existing : *joins) {
+      if ((existing.from == edge.from && existing.to == edge.to) ||
+          (existing.from == edge.to && existing.to == edge.from)) {
+        return;
+      }
+    }
+    joins->push_back(edge);
+  };
+  for (const auto& table : tables) push_table(table);
+
+  for (size_t i = 0; i + 1 < tables.size(); ++i) {
+    // BFS from tables[i] to tables[i+1].
+    const std::string source = Key(tables[i]);
+    const std::string target = Key(tables[i + 1]);
+    if (source == target) continue;
+    std::map<std::string, std::pair<std::string, JoinEdge>> parent;
+    std::set<std::string> visited{source};
+    std::deque<std::string> queue{source};
+    bool found = false;
+    while (!queue.empty() && !found) {
+      std::string current = queue.front();
+      queue.pop_front();
+      auto it = adjacency.find(current);
+      if (it == adjacency.end()) continue;
+      for (const JoinEdge& edge : it->second) {
+        std::string next;
+        if (Key(edge.from.table) == current) {
+          next = Key(edge.to.table);  // fk -> pk, always allowed
+        } else if (!directed) {
+          next = Key(edge.from.table);
+        } else {
+          continue;  // directed mode: never traverse pk -> fk
+        }
+        if (visited.count(next) > 0) continue;
+        visited.insert(next);
+        parent[next] = {current, edge};
+        if (next == target) {
+          found = true;
+          break;
+        }
+        queue.push_back(next);
+      }
+    }
+    if (!found) return false;
+    std::string cursor = target;
+    while (parent.count(cursor) > 0) {
+      const auto& [prev, edge] = parent.at(cursor);
+      push_join(edge);
+      push_table(edge.from.table);
+      push_table(edge.to.table);
+      cursor = prev;
+    }
+  }
+  return true;
+}
+
+bool ForeignKeyComponentHasCycle(const std::vector<JoinEdge>& foreign_keys,
+                                 const std::string& table) {
+  auto adjacency = BuildAdjacency(foreign_keys);
+  // Undirected cycle detection by BFS with parent-edge tracking. Parallel
+  // edges between two tables (e.g. two foreign keys onto the same target)
+  // count as a cycle, as does revisiting a visited node.
+  std::string source = Key(table);
+  if (adjacency.count(source) == 0) return false;
+  std::set<std::string> visited{source};
+  // Track the edge used to enter each node, to skip the immediate parent.
+  std::deque<std::pair<std::string, const JoinEdge*>> queue;
+  queue.emplace_back(source, nullptr);
+  while (!queue.empty()) {
+    auto [current, via] = queue.front();
+    queue.pop_front();
+    auto it = adjacency.find(current);
+    if (it == adjacency.end()) continue;
+    for (const JoinEdge& edge : it->second) {
+      if (via != nullptr && &edge == via) continue;
+      std::string next = Key(edge.from.table) == current
+                             ? Key(edge.to.table)
+                             : Key(edge.from.table);
+      if (next == current) return true;  // self-loop
+      if (via != nullptr) {
+        // Same unordered pair as the entering edge but a different edge
+        // object: parallel edge -> cycle.
+        std::string via_other = Key(via->from.table) == current
+                                    ? Key(via->to.table)
+                                    : Key(via->from.table);
+        if (next == via_other &&
+            !(edge.from == via->from && edge.to == via->to)) {
+          return true;
+        }
+        if (next == via_other) continue;  // the edge we came through
+      }
+      if (visited.count(next) > 0) return true;
+      visited.insert(next);
+      queue.emplace_back(next, &edge);
+    }
+  }
+  return false;
+}
+
+}  // namespace soda

@@ -1,0 +1,119 @@
+// Baseline keyword-search systems for the qualitative comparison of paper
+// Table 5 (Section 6.2).
+//
+// The paper compares SODA against DBExplorer, DISCOVER, BANKS, SQAK and
+// Keymantic. None of those systems is available as source, so each is
+// re-implemented here over the same substrate (storage, inverted index,
+// key/foreign-key relationships, schema labels), deliberately constrained
+// to the capability envelope its publication describes:
+//
+//   DBExplorer  — inverted symbol table on base data, join trees over
+//                 key/foreign-key relationships, breaks on schema cycles.
+//   DISCOVER    — candidate networks over base-data hits, same cycle
+//                 limitation.
+//   BANKS       — base data + schema names, Steiner-tree style connection
+//                 (cycles are fine: it is a graph algorithm).
+//   SQAK        — aggregate queries only (SELECT-PROJECT-JOIN-GROUP-BY
+//                 pattern); respects foreign-key direction.
+//   Keymantic   — metadata only (Hidden-Web setting: no inverted index);
+//                 synonym matching; column selection degrades on schemas
+//                 with thousands of columns.
+
+#ifndef SODA_BASELINES_BASELINE_H_
+#define SODA_BASELINES_BASELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/classification.h"
+#include "core/join_graph.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+#include "text/inverted_index.h"
+
+namespace soda {
+
+/// The six query types of paper Table 5.
+enum class QueryType {
+  kBaseData = 0,
+  kSchema,
+  kInheritance,
+  kDomainOntology,
+  kPredicates,
+  kAggregates,
+};
+
+const char* QueryTypeName(QueryType type);
+
+/// Support level, rendered as "X", "(X)", "(NO)", "NO". "(X)" means
+/// supported with caveats; "(NO)" means possible in principle but failing
+/// in practice (Keymantic's column assignment on wide schemas).
+enum class SupportLevel { kYes, kPartial, kNoInPractice, kNo };
+
+const char* SupportLevelSymbol(SupportLevel level);
+
+/// What a baseline produced for one query.
+struct BaselineAnswer {
+  bool answered = false;         // produced at least one statement
+  std::string failure_reason;    // why not (capability gap, cycle, ...)
+  std::vector<SelectStatement> statements;
+};
+
+/// Shared substrate handed to every baseline.
+struct BaselineContext {
+  const Database* db = nullptr;
+  const InvertedIndex* inverted_index = nullptr;
+  /// All key/foreign-key relationships of the physical schema.
+  std::vector<JoinEdge> foreign_keys;
+  /// Schema labels + base data (as SODA sees them).
+  const ClassificationIndex* classification = nullptr;
+  /// Schema labels only (no base data) — the Keymantic setting.
+  const ClassificationIndex* metadata_only_classification = nullptr;
+  /// Graph used to resolve schema terms to physical columns (SQAK and
+  /// Keymantic match schema names; resolution is a plain name lookup).
+  const MetadataGraph* graph_for_resolution = nullptr;
+  /// Total physical column count (Keymantic's scale problem).
+  size_t schema_columns = 0;
+};
+
+class KeywordSearchSystem {
+ public:
+  virtual ~KeywordSearchSystem() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The capability the system's publication claims for this query type
+  /// (the paper's Table 5 row).
+  virtual SupportLevel DeclaredSupport(QueryType type) const = 0;
+
+  /// Attempts to translate the keyword query.
+  virtual Result<BaselineAnswer> Translate(const std::string& query) const = 0;
+};
+
+/// Instantiates all five baselines over a shared context. The context must
+/// outlive the returned systems.
+std::vector<std::unique_ptr<KeywordSearchSystem>> MakeBaselines(
+    const BaselineContext* context);
+
+// ---- shared helpers (used by the individual baseline implementations) -----
+
+/// Foreign-key adjacency restricted BFS: connects `tables` pairwise,
+/// returning the join edges and any intermediate tables. When
+/// `directed` is true, edges are only followed from foreign key to primary
+/// key (the SQAK discipline). Returns false when some pair cannot connect.
+bool ConnectByForeignKeys(const std::vector<JoinEdge>& foreign_keys,
+                          const std::vector<std::string>& tables,
+                          bool directed,
+                          std::vector<JoinEdge>* joins,
+                          std::vector<std::string>* all_tables);
+
+/// True when the foreign-key graph component containing `table` has a
+/// cycle (the DBExplorer/DISCOVER limitation).
+bool ForeignKeyComponentHasCycle(const std::vector<JoinEdge>& foreign_keys,
+                                 const std::string& table);
+
+}  // namespace soda
+
+#endif  // SODA_BASELINES_BASELINE_H_

@@ -1,0 +1,96 @@
+#include "common/date.h"
+
+#include <array>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace soda {
+
+namespace {
+
+// Howard Hinnant's civil-calendar algorithms (public domain).
+constexpr int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+struct Civil {
+  int year;
+  unsigned month;
+  unsigned day;
+};
+
+constexpr Civil CivilFromDays(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  return Civil{static_cast<int>(y + (m <= 2)), m, d};
+}
+
+bool IsDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+constexpr std::array<int, 13> kDaysInMonth = {0,  31, 28, 31, 30, 31, 30,
+                                              31, 31, 30, 31, 30, 31};
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+}  // namespace
+
+Date Date::FromYmd(int year, int month, int day) {
+  return Date(static_cast<int32_t>(
+      DaysFromCivil(year, static_cast<unsigned>(month),
+                    static_cast<unsigned>(day))));
+}
+
+Result<Date> Date::Parse(std::string_view text) {
+  auto parts = Split(text, '-', /*keep_empty=*/true);
+  if (parts.size() != 3 || parts[0].size() != 4 || parts[1].size() != 2 ||
+      parts[2].size() != 2 || !IsDigits(parts[0]) || !IsDigits(parts[1]) ||
+      !IsDigits(parts[2])) {
+    return Status::ParseError("expected YYYY-MM-DD, got '" +
+                              std::string(text) + "'");
+  }
+  int y = std::stoi(parts[0]);
+  int m = std::stoi(parts[1]);
+  int d = std::stoi(parts[2]);
+  if (m < 1 || m > 12) {
+    return Status::ParseError("month out of range in '" + std::string(text) +
+                              "'");
+  }
+  int max_day = kDaysInMonth[m] + (m == 2 && IsLeap(y) ? 1 : 0);
+  if (d < 1 || d > max_day) {
+    return Status::ParseError("day out of range in '" + std::string(text) +
+                              "'");
+  }
+  return Date::FromYmd(y, m, d);
+}
+
+int Date::year() const { return CivilFromDays(days_).year; }
+int Date::month() const { return static_cast<int>(CivilFromDays(days_).month); }
+int Date::day() const { return static_cast<int>(CivilFromDays(days_).day); }
+
+std::string Date::ToString() const {
+  Civil c = CivilFromDays(days_);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", c.year, c.month, c.day);
+  return buf;
+}
+
+}  // namespace soda

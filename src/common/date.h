@@ -1,0 +1,52 @@
+// Proleptic-Gregorian calendar dates, stored as days since 1970-01-01.
+//
+// SODA's query language has a first-class date(YYYY-MM-DD) operator and the
+// warehouse uses bi-temporal historization (valid-from/valid-to columns), so
+// dates need total ordering, arithmetic and exact round-trip formatting.
+
+#ifndef SODA_COMMON_DATE_H_
+#define SODA_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace soda {
+
+/// A calendar date with day precision. Value type, totally ordered.
+class Date {
+ public:
+  /// Days since the Unix epoch (1970-01-01 == 0). May be negative.
+  constexpr Date() : days_(0) {}
+  constexpr explicit Date(int32_t days_since_epoch)
+      : days_(days_since_epoch) {}
+
+  /// Builds a date from calendar components (civil calendar, no validation
+  /// of impossible dates beyond normalization; use Parse for strictness).
+  static Date FromYmd(int year, int month, int day);
+
+  /// Parses strict "YYYY-MM-DD".
+  static Result<Date> Parse(std::string_view text);
+
+  int32_t days_since_epoch() const { return days_; }
+
+  int year() const;
+  int month() const;
+  int day() const;
+
+  /// Formats as "YYYY-MM-DD".
+  std::string ToString() const;
+
+  Date AddDays(int32_t n) const { return Date(days_ + n); }
+
+  auto operator<=>(const Date&) const = default;
+
+ private:
+  int32_t days_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_COMMON_DATE_H_

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation for dataset synthesis.
+//
+// All synthetic data in this repository (the mini-bank base data and the
+// enterprise warehouse) must be bit-identical across runs so that the
+// benchmark tables are reproducible. SplitMix64 is small, fast and has
+// well-understood statistical behaviour — more than enough for workload
+// generation.
+
+#ifndef SODA_COMMON_RNG_H_
+#define SODA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soda {
+
+/// SplitMix64 generator with convenience helpers for data synthesis.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Below(items.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_COMMON_RNG_H_

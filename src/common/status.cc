@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace soda {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kTypeError:
+      return "type_error";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace soda

@@ -1,0 +1,131 @@
+#include "core/classification.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "graph/vocab.h"
+#include "text/tokenizer.h"
+
+namespace soda {
+
+namespace {
+
+// Folded token phrase used as index key ("Financial  Instruments" ->
+// "financial instruments").
+std::string PhraseKey(const std::string& text) {
+  return Join(Tokenize(text), " ");
+}
+
+}  // namespace
+
+void ClassificationIndex::Build(const MetadataGraph& graph,
+                                const InvertedIndex* base_data) {
+  metadata_.clear();
+  base_data_ = base_data;
+
+  // Index every text label attached to a node under the label predicates
+  // business users may type.
+  static const char* kLabelPredicates[] = {
+      vocab::kLabel,      vocab::kEntityname, vocab::kAttributename,
+      vocab::kTablename,  vocab::kColumnname,
+  };
+  for (NodeId n = 0; n < static_cast<NodeId>(graph.num_nodes()); ++n) {
+    MetadataLayer layer = graph.layer(n);
+    if (layer == MetadataLayer::kOther) continue;  // type nodes etc.
+    for (const TextEdge& edge : graph.TextEdges(n)) {
+      const std::string& predicate = graph.PredicateUri(edge.predicate);
+      bool indexable = false;
+      for (const char* p : kLabelPredicates) {
+        if (predicate == p) {
+          indexable = true;
+          break;
+        }
+      }
+      if (!indexable) continue;
+      std::string key = PhraseKey(edge.text);
+      if (key.empty()) continue;
+      auto& bucket = metadata_[key];
+      // The same node may carry several labels that fold to one key
+      // (e.g. columnname "birth_dt" and label "birth dt").
+      bool duplicate = false;
+      for (const auto& existing : bucket) {
+        if (existing.node == n) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      EntryPoint ep;
+      ep.kind = EntryPoint::Kind::kMetadataNode;
+      ep.node = n;
+      ep.layer = layer;
+      ep.label = edge.text;
+      bucket.push_back(std::move(ep));
+    }
+  }
+}
+
+std::vector<EntryPoint> ClassificationIndex::Lookup(
+    const std::string& phrase) const {
+  std::vector<EntryPoint> result;
+  std::string key = PhraseKey(phrase);
+  if (key.empty()) return result;
+
+  auto it = metadata_.find(key);
+  if (it != metadata_.end()) {
+    result = it->second;
+  }
+  if (base_data_ != nullptr) {
+    for (const ValuePosting& posting : base_data_->LookupPhrase(key)) {
+      EntryPoint ep;
+      ep.kind = EntryPoint::Kind::kBaseData;
+      ep.layer = MetadataLayer::kBaseData;
+      ep.table = posting.table;
+      ep.column = posting.column;
+      ep.value = posting.value;
+      ep.row_count = posting.row_count;
+      ep.label = posting.value;
+      result.push_back(std::move(ep));
+    }
+  }
+  return result;
+}
+
+bool ClassificationIndex::Matches(const std::string& phrase) const {
+  std::string key = PhraseKey(phrase);
+  if (key.empty()) return false;
+  if (metadata_.count(key) > 0) return true;
+  if (base_data_ != nullptr && !base_data_->LookupPhrase(key).empty()) {
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ClassificationIndex::SegmentKeywords(
+    const std::vector<std::string>& words,
+    std::vector<std::string>* ignored) const {
+  std::vector<std::string> phrases;
+  size_t i = 0;
+  while (i < words.size()) {
+    // Longest combination first: try words[i..j] for the largest j.
+    bool matched = false;
+    for (size_t len = words.size() - i; len >= 1; --len) {
+      std::vector<std::string> combo(words.begin() + i,
+                                     words.begin() + i + len);
+      std::string phrase = Join(combo, " ");
+      if (Matches(phrase)) {
+        phrases.push_back(phrase);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      if (ignored != nullptr) ignored->push_back(words[i]);
+      ++i;
+    }
+  }
+  return phrases;
+}
+
+}  // namespace soda

@@ -1,0 +1,58 @@
+// The classification index: a unified lookup over all metadata labels and
+// the base-data inverted index (paper Step 1 - Lookup and Figure 5).
+//
+// "A lookup of a single keyword provides us with all the nodes in the
+//  metadata graph where this keyword is found."
+//
+// Every node label of the metadata graph (entity names, attribute names,
+// table/column names, ontology concepts, DBpedia terms, metadata filters
+// and aggregations) is indexed under its folded token phrase. Base-data
+// phrases are resolved through the inverted index.
+
+#ifndef SODA_CORE_CLASSIFICATION_H_
+#define SODA_CORE_CLASSIFICATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/entry_point.h"
+#include "graph/metadata_graph.h"
+#include "text/inverted_index.h"
+
+namespace soda {
+
+class ClassificationIndex {
+ public:
+  /// Builds the index over every labeled node of `graph`. `base_data` may
+  /// be nullptr when no inverted index is available (metadata-only mode,
+  /// used by the Keymantic baseline comparison).
+  void Build(const MetadataGraph& graph, const InvertedIndex* base_data);
+
+  /// Returns all entry points matching the phrase exactly (folded tokens).
+  /// Metadata matches come first, base-data matches after.
+  std::vector<EntryPoint> Lookup(const std::string& phrase) const;
+
+  /// True when the phrase matches at least one entry point.
+  bool Matches(const std::string& phrase) const;
+
+  /// Longest-word-combination segmentation (paper Section 4.2.2,
+  /// "Keywords"): greedily matches the longest prefix of `words` that the
+  /// index knows, then continues with the rest. Unmatched single words are
+  /// returned in `ignored` ("'and' might be unknown and we therefore
+  /// ignore it").
+  std::vector<std::string> SegmentKeywords(
+      const std::vector<std::string>& words,
+      std::vector<std::string>* ignored) const;
+
+  size_t num_metadata_phrases() const { return metadata_.size(); }
+
+ private:
+  // folded phrase -> metadata entry points
+  std::unordered_map<std::string, std::vector<EntryPoint>> metadata_;
+  const InvertedIndex* base_data_ = nullptr;
+};
+
+}  // namespace soda
+
+#endif  // SODA_CORE_CLASSIFICATION_H_

@@ -1,0 +1,56 @@
+// Tuning knobs of the SODA pipeline.
+
+#ifndef SODA_CORE_CONFIG_H_
+#define SODA_CORE_CONFIG_H_
+
+#include <cstddef>
+
+namespace soda {
+
+struct SodaConfig {
+  /// Step 2 - Rank and top N: how many interpretations survive ranking.
+  size_t top_n = 10;
+
+  /// Result snippets execute with this row limit (the paper shows up to
+  /// twenty tuples per candidate query).
+  size_t snippet_rows = 20;
+
+  /// Cap on the combinatorial product of the lookup step. The complexity
+  /// counter still reports the untruncated product.
+  size_t max_interpretations = 1000;
+
+  /// Maximum depth of the metadata-graph traversal in Step 3 - Tables.
+  size_t max_traversal_depth = 8;
+
+  /// Ranking weights by entry-point location (paper Step 2: "a keyword
+  /// which was found in DBpedia gets a lower score than a keyword which
+  /// was found in the domain ontology").
+  double weight_domain_ontology = 1.0;
+  double weight_conceptual = 0.85;
+  double weight_logical = 0.80;
+  double weight_physical = 0.75;
+  double weight_base_data = 0.70;
+  double weight_dbpedia = 0.40;
+
+  /// Step 3: add bridge-table joins between entry-point tables
+  /// (Section 4.2.1, "Bridge Tables in Large Schemas").
+  bool use_bridge_tables = true;
+
+  /// Step 3: keep only join conditions on a direct path between entry
+  /// points (Figure 9). Disabling this is the ablation that includes every
+  /// join edge attached to a collected table.
+  bool direct_path_only = true;
+
+  /// Execute the generated statements to produce result snippets.
+  bool execute_snippets = true;
+
+  /// Drop result candidates whose tables cannot be connected by any join
+  /// path (they would execute as cross products). The paper keeps them —
+  /// they surface as the 0-precision rows of Table 3 — so this defaults
+  /// to false.
+  bool drop_disconnected = false;
+};
+
+}  // namespace soda
+
+#endif  // SODA_CORE_CONFIG_H_

@@ -1,0 +1,43 @@
+// Entry points: where a keyword was found (paper Step 1 - Lookup).
+
+#ifndef SODA_CORE_ENTRY_POINT_H_
+#define SODA_CORE_ENTRY_POINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/metadata_graph.h"
+
+namespace soda {
+
+/// One location in the metadata graph or the base data where a keyword
+/// phrase was found.
+struct EntryPoint {
+  enum class Kind {
+    kMetadataNode,  // a node of the metadata graph
+    kBaseData,      // a (table, column, value) hit of the inverted index
+  };
+
+  Kind kind = Kind::kMetadataNode;
+
+  // kMetadataNode:
+  NodeId node = kInvalidNode;
+  MetadataLayer layer = MetadataLayer::kOther;
+
+  // kBaseData (layer is kBaseData then):
+  std::string table;
+  std::string column;
+  std::string value;       // the exact stored value, original spelling
+  int64_t row_count = 0;
+
+  /// The label/value that matched, for display.
+  std::string label;
+
+  std::string ToString() const {
+    return label + " @ " + std::string(MetadataLayerName(layer));
+  }
+};
+
+}  // namespace soda
+
+#endif  // SODA_CORE_ENTRY_POINT_H_

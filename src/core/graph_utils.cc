@@ -1,0 +1,43 @@
+#include "core/graph_utils.h"
+
+#include "graph/vocab.h"
+
+namespace soda {
+
+std::optional<std::string> TableNameOf(const MetadataGraph& graph,
+                                       NodeId table_node) {
+  if (table_node == kInvalidNode) return std::nullopt;
+  return graph.FirstText(table_node, vocab::kTablename);
+}
+
+std::optional<PhysicalColumnRef> ColumnRefOf(const MetadataGraph& graph,
+                                             NodeId column_node) {
+  if (column_node == kInvalidNode) return std::nullopt;
+  auto column_name = graph.FirstText(column_node, vocab::kColumnname);
+  if (!column_name.has_value()) return std::nullopt;
+  auto owners = graph.Sources(column_node, vocab::kColumn);
+  if (owners.empty()) return std::nullopt;
+  auto table_name = TableNameOf(graph, owners[0]);
+  if (!table_name.has_value()) return std::nullopt;
+  return PhysicalColumnRef{*table_name, *column_name};
+}
+
+std::optional<PhysicalColumnRef> ResolvePhysicalColumn(
+    const MetadataGraph& graph, NodeId node) {
+  if (node == kInvalidNode) return std::nullopt;
+  // Physical column?
+  auto direct = ColumnRefOf(graph, node);
+  if (direct.has_value()) return direct;
+  // Logical attribute -> realized_by.
+  NodeId realized = graph.FirstTarget(node, vocab::kRealizedBy);
+  if (realized != kInvalidNode) return ColumnRefOf(graph, realized);
+  // Conceptual attribute -> implemented_by (logical attr) -> realized_by.
+  NodeId logical = graph.FirstTarget(node, vocab::kImplementedBy);
+  if (logical != kInvalidNode) {
+    NodeId column = graph.FirstTarget(logical, vocab::kRealizedBy);
+    if (column != kInvalidNode) return ColumnRefOf(graph, column);
+  }
+  return std::nullopt;
+}
+
+}  // namespace soda

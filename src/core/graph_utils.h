@@ -1,0 +1,41 @@
+// Small helpers for navigating compiled warehouse graphs.
+
+#ifndef SODA_CORE_GRAPH_UTILS_H_
+#define SODA_CORE_GRAPH_UTILS_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/metadata_graph.h"
+
+namespace soda {
+
+/// A physical column identified by names.
+struct PhysicalColumnRef {
+  std::string table;
+  std::string column;
+
+  std::string ToString() const { return table + "." + column; }
+  bool operator==(const PhysicalColumnRef&) const = default;
+};
+
+/// The table name of a physical-table node (its `tablename` label).
+std::optional<std::string> TableNameOf(const MetadataGraph& graph,
+                                       NodeId table_node);
+
+/// The (table, column) of a physical-column node, following the incoming
+/// `column` edge to the owning table.
+std::optional<PhysicalColumnRef> ColumnRefOf(const MetadataGraph& graph,
+                                             NodeId column_node);
+
+/// Resolves a metadata node to the physical column that realizes it:
+///   physical column        -> itself
+///   logical attribute      -> realized_by target
+///   conceptual attribute   -> implemented_by -> realized_by
+/// Returns nullopt for entities, tables, concepts, etc.
+std::optional<PhysicalColumnRef> ResolvePhysicalColumn(
+    const MetadataGraph& graph, NodeId node);
+
+}  // namespace soda
+
+#endif  // SODA_CORE_GRAPH_UTILS_H_

@@ -1,0 +1,75 @@
+// SODA's input patterns (paper Sections 4.2.2 and 4.3).
+//
+// The query language is keywords extended with a small operator set:
+//
+//   <search keywords> [ [AND|OR] <search keywords> |
+//                       <comparison operator> <search keyword> ]
+//   <search keywords> [ ... | <comparison operator> date(YYYY-MM-DD) ]
+//   <aggregation operator> (<aggregation attribute>) [<search keywords>]
+//       [group by (<attribute1, ..., attributeN>)]
+//
+// plus `top N` and `between date(..) date(..)`. The parser turns the raw
+// string into a sequence of typed elements; keyword groups are classified
+// later by the lookup step.
+
+#ifndef SODA_CORE_INPUT_QUERY_H_
+#define SODA_CORE_INPUT_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace soda {
+
+/// One parsed element of the input query.
+struct InputElement {
+  enum class Kind {
+    kKeywords,     // a run of plain search keywords
+    kComparison,   // > >= = <= < like
+    kDate,         // date(YYYY-MM-DD)
+    kNumber,       // numeric literal
+    kAggregation,  // sum(x), count(), avg(x), ...
+    kGroupBy,      // group by (a, b)
+    kTopN,         // top N
+    kConnector,    // and / or
+    kBetween,      // between — expects two literals after it
+  };
+
+  Kind kind = Kind::kKeywords;
+
+  std::vector<std::string> words;   // kKeywords
+  CompareOp op = CompareOp::kEq;    // kComparison
+  Date date;                        // kDate
+  double number = 0.0;              // kNumber
+  bool number_is_integer = false;   // kNumber
+  int64_t integer = 0;              // kNumber / kTopN
+  AggFunc agg = AggFunc::kCount;    // kAggregation
+  std::string agg_argument;         // kAggregation; empty for count()
+  std::vector<std::string> group_by_phrases;  // kGroupBy
+  bool connector_is_and = true;     // kConnector
+
+  std::string ToString() const;
+};
+
+/// The parsed input query.
+struct InputQuery {
+  std::string raw;
+  std::vector<InputElement> elements;
+
+  bool HasAggregation() const;
+  bool HasGroupBy() const;
+  std::string ToString() const;
+};
+
+/// Parses the SODA input language. Never fails on unknown words (they are
+/// keywords by definition); fails only on malformed operator syntax such as
+/// an unterminated parenthesis or a bad date.
+Result<InputQuery> ParseInputQuery(const std::string& text);
+
+}  // namespace soda
+
+#endif  // SODA_CORE_INPUT_QUERY_H_

@@ -1,0 +1,180 @@
+#include "core/join_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/strings.h"
+#include "graph/vocab.h"
+
+namespace soda {
+
+const std::vector<JoinEdge> JoinGraph::kEmpty;
+
+namespace {
+
+// Folded table name for adjacency keys (SQL identifiers compare
+// case-insensitively).
+std::string Key(const std::string& table) { return FoldForMatch(table); }
+
+}  // namespace
+
+void JoinGraph::AddEdge(JoinEdge edge) {
+  // Deduplicate (both orientations describe the same condition).
+  for (const JoinEdge& existing : edges_) {
+    if ((existing.from == edge.from && existing.to == edge.to) ||
+        (existing.from == edge.to && existing.to == edge.from)) {
+      return;
+    }
+  }
+  edges_.push_back(edge);
+  adjacency_[Key(edge.from.table)].push_back(edge);
+  adjacency_[Key(edge.to.table)].push_back(edge);
+}
+
+Status JoinGraph::Build(const PatternMatcher& matcher) {
+  const MetadataGraph& graph = *matcher.graph();
+
+  // Direct foreign_key edges: pattern "foreign_key" binds x (fk column)
+  // and y (pk column).
+  SODA_ASSIGN_OR_RETURN(
+      std::vector<MatchBinding> fk_matches,
+      matcher.MatchAll(patterns::kForeignKey, /*max_matches=*/100000));
+  for (const MatchBinding& m : fk_matches) {
+    auto from = ColumnRefOf(graph, m.node("x"));
+    auto to = ColumnRefOf(graph, m.node("y"));
+    if (!from.has_value() || !to.has_value()) continue;
+    JoinEdge edge{*from, *to, /*ignored=*/false};
+    auto annotation = graph.FirstText(m.node("x"), vocab::kAnnotation);
+    edge.ignored = annotation.has_value() &&
+                   *annotation == vocab::kIgnoreRelationship;
+    AddEdge(std::move(edge));
+  }
+
+  // Explicit join-relationship nodes: x join node, f fk column, p pk col.
+  SODA_ASSIGN_OR_RETURN(
+      std::vector<MatchBinding> join_matches,
+      matcher.MatchAll(patterns::kJoinRelationship, /*max_matches=*/100000));
+  for (const MatchBinding& m : join_matches) {
+    auto from = ColumnRefOf(graph, m.node("f"));
+    auto to = ColumnRefOf(graph, m.node("p"));
+    if (!from.has_value() || !to.has_value()) continue;
+    JoinEdge edge{*from, *to, /*ignored=*/false};
+    auto annotation = graph.FirstText(m.node("x"), vocab::kAnnotation);
+    edge.ignored = annotation.has_value() &&
+                   *annotation == vocab::kIgnoreRelationship;
+    AddEdge(std::move(edge));
+  }
+
+  // Bridge tables, in both foreign-key representations.
+  auto harvest_bridges = [&](const char* pattern, const char* c1,
+                             const char* p1, const char* c2,
+                             const char* p2) -> Status {
+    SODA_ASSIGN_OR_RETURN(std::vector<MatchBinding> matches,
+                          matcher.MatchAll(pattern, /*max_matches=*/100000));
+    for (const MatchBinding& m : matches) {
+      auto bridge_name = TableNameOf(graph, m.node("x"));
+      auto from1 = ColumnRefOf(graph, m.node(c1));
+      auto to1 = ColumnRefOf(graph, m.node(p1));
+      auto from2 = ColumnRefOf(graph, m.node(c2));
+      auto to2 = ColumnRefOf(graph, m.node(p2));
+      if (!bridge_name || !from1 || !to1 || !from2 || !to2) continue;
+      // Each unordered {left,right} pair appears twice (c1/c2 swapped);
+      // keep one orientation deterministically.
+      if (to1->ToString() > to2->ToString()) continue;
+      BridgeInfo info;
+      info.bridge_table = *bridge_name;
+      info.left = JoinEdge{*from1, *to1, false};
+      info.right = JoinEdge{*from2, *to2, false};
+      bool duplicate = false;
+      for (const BridgeInfo& existing : bridges_) {
+        if (existing.bridge_table == info.bridge_table &&
+            existing.left == info.left && existing.right == info.right) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) bridges_.push_back(std::move(info));
+    }
+    return Status::OK();
+  };
+  SODA_RETURN_NOT_OK(harvest_bridges(patterns::kBridgeTable, "c1", "p1",
+                                     "c2", "p2"));
+  SODA_RETURN_NOT_OK(harvest_bridges(patterns::kBridgeTableJoin, "c1", "p1",
+                                     "c2", "p2"));
+  return Status::OK();
+}
+
+const std::vector<JoinEdge>& JoinGraph::EdgesOf(
+    const std::string& table) const {
+  auto it = adjacency_.find(Key(table));
+  return it == adjacency_.end() ? kEmpty : it->second;
+}
+
+bool JoinGraph::DirectPath(const std::vector<std::string>& from_set,
+                           const std::vector<std::string>& to_set,
+                           std::vector<JoinEdge>* path_edges,
+                           std::vector<std::string>* path_tables) const {
+  std::set<std::string> targets;
+  for (const auto& t : to_set) targets.insert(Key(t));
+
+  // Multi-source BFS from from_set.
+  struct Visit {
+    std::string table;      // folded
+    std::string display;    // original casing for output
+  };
+  std::map<std::string, std::pair<std::string, JoinEdge>> parent;  // child->(parent, edge)
+  std::set<std::string> visited;
+  std::deque<Visit> queue;
+  for (const auto& t : from_set) {
+    std::string k = Key(t);
+    if (visited.insert(k).second) queue.push_back(Visit{k, t});
+    if (targets.count(k) > 0) {
+      // Overlapping sets: already connected, nothing to add.
+      if (path_tables != nullptr) path_tables->push_back(t);
+      return true;
+    }
+  }
+
+  std::string reached;
+  while (!queue.empty() && reached.empty()) {
+    Visit current = queue.front();
+    queue.pop_front();
+    auto it = adjacency_.find(current.table);
+    if (it == adjacency_.end()) continue;
+    for (const JoinEdge& edge : it->second) {
+      if (edge.ignored) continue;
+      // The neighbor is whichever side is not the current table.
+      const PhysicalColumnRef& other =
+          Key(edge.from.table) == current.table ? edge.to : edge.from;
+      std::string other_key = Key(other.table);
+      if (visited.count(other_key) > 0) continue;
+      visited.insert(other_key);
+      parent[other_key] = {current.table, edge};
+      if (targets.count(other_key) > 0) {
+        reached = other_key;
+        break;
+      }
+      queue.push_back(Visit{other_key, other.table});
+    }
+  }
+  if (reached.empty()) return false;
+
+  // Walk back to a source.
+  std::string cursor = reached;
+  while (parent.count(cursor) > 0) {
+    const auto& [prev, edge] = parent.at(cursor);
+    if (path_edges != nullptr) path_edges->push_back(edge);
+    if (path_tables != nullptr) {
+      path_tables->push_back(edge.from.table);
+      path_tables->push_back(edge.to.table);
+    }
+    cursor = prev;
+  }
+  if (path_edges != nullptr) {
+    std::reverse(path_edges->begin(), path_edges->end());
+  }
+  return true;
+}
+
+}  // namespace soda

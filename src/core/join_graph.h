@@ -1,0 +1,77 @@
+// Table-level join graph derived from the metadata-graph patterns.
+//
+// SODA's Step 3 discovers joins by matching the Foreign-Key /
+// Join-Relationship patterns while traversing the metadata graph and then
+// keeps "these which are on a direct path between the entry points"
+// (Figure 9). Because the metadata graph is immutable during a search
+// session, the discovered join conditions are the same for every query; we
+// materialize them once into a table-level graph and run the per-query
+// direct-path computation on it. Bridge tables (two outgoing foreign keys,
+// Section 4.2.1) are detected with the bridge patterns.
+
+#ifndef SODA_CORE_JOIN_GRAPH_H_
+#define SODA_CORE_JOIN_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/graph_utils.h"
+#include "pattern/matcher.h"
+
+namespace soda {
+
+/// One usable join condition between two physical tables.
+struct JoinEdge {
+  PhysicalColumnRef from;  // foreign-key side
+  PhysicalColumnRef to;    // primary-key side
+  bool ignored = false;    // annotated ignore_relationship (war stories)
+
+  std::string ToString() const {
+    return from.ToString() + " = " + to.ToString();
+  }
+  bool operator==(const JoinEdge&) const = default;
+};
+
+/// A bridge table with the two foreign keys that make it one.
+struct BridgeInfo {
+  std::string bridge_table;
+  JoinEdge left;   // bridge -> first entity
+  JoinEdge right;  // bridge -> second entity
+};
+
+class JoinGraph {
+ public:
+  /// Harvests all join conditions and bridge tables from the graph using
+  /// the Foreign-Key, Join-Relationship and Bridge-Table patterns.
+  Status Build(const PatternMatcher& matcher);
+
+  /// All join edges touching `table`.
+  const std::vector<JoinEdge>& EdgesOf(const std::string& table) const;
+
+  /// Shortest join path (fewest joins) between any table in `from_set` and
+  /// any table in `to_set`. Ignored edges are not used. Returns the edges
+  /// of the path and appends tables on the path (including endpoints) to
+  /// `path_tables`. Empty result + false when no path exists.
+  bool DirectPath(const std::vector<std::string>& from_set,
+                  const std::vector<std::string>& to_set,
+                  std::vector<JoinEdge>* path_edges,
+                  std::vector<std::string>* path_tables) const;
+
+  const std::vector<BridgeInfo>& bridges() const { return bridges_; }
+  const std::vector<JoinEdge>& all_edges() const { return edges_; }
+  size_t num_edges() const { return edges_.size(); }
+
+ private:
+  void AddEdge(JoinEdge edge);
+
+  std::vector<JoinEdge> edges_;
+  std::map<std::string, std::vector<JoinEdge>> adjacency_;  // folded name
+  std::vector<BridgeInfo> bridges_;
+  static const std::vector<JoinEdge> kEmpty;
+};
+
+}  // namespace soda
+
+#endif  // SODA_CORE_JOIN_GRAPH_H_

@@ -1,0 +1,132 @@
+// SODA — Search over DAta warehouse.
+//
+// The public entry point of the library. A Soda instance binds together a
+// storage catalog (the base data), the extended metadata graph, the graph
+// pattern library, the inverted index, and the pipeline configuration, and
+// answers keyword + operator queries with a ranked list of executable SQL
+// statements plus result snippets (paper Figure 4):
+//
+//   query: keywords + operators + values
+//     -> lookup: find entry points
+//     -> rank and top N: select best N results
+//     -> tables: determine tables and joins
+//     -> filters: collect filters
+//     -> SQL: generate SQL
+//   result: scored SQL statements
+//
+// Typical use:
+//
+//   soda::Database db;
+//   soda::MetadataGraph graph;
+//   model.Compile(&graph, &db);          // WarehouseModel
+//   ... populate base data ...
+//   soda::Soda soda(&db, &graph, soda::CreditSuissePatternLibrary(), {});
+//   auto output = soda.Search("customers Zürich financial instruments");
+//   for (const auto& result : output->results) {
+//     std::cout << result.sql << "\n" << result.snippet.ToAsciiTable();
+//   }
+
+#ifndef SODA_CORE_SODA_H_
+#define SODA_CORE_SODA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classification.h"
+#include "core/config.h"
+#include "core/filters_step.h"
+#include "core/input_query.h"
+#include "core/join_graph.h"
+#include "core/lookup.h"
+#include "core/sql_generator.h"
+#include "core/tables_step.h"
+#include "pattern/library.h"
+#include "pattern/matcher.h"
+#include "sql/executor.h"
+#include "sql/result_set.h"
+#include "text/inverted_index.h"
+
+namespace soda {
+
+/// One ranked candidate: an executable SQL statement with provenance.
+struct SodaResult {
+  SelectStatement statement;
+  std::string sql;          // rendered statement
+  double score = 0.0;       // ranking score of the interpretation
+  std::string explanation;  // entry points, e.g. "customers @ domain ontology"
+  bool fully_connected = true;
+  /// Result snippet (up to config.snippet_rows rows) when execution is on.
+  ResultSet snippet;
+  bool executed = false;
+  Status execution_status;
+};
+
+/// Per-step wall-clock timings in milliseconds (paper Section 5.2.2
+/// splits end-to-end time into lookup, rank, tables, SQL and grouping).
+struct StepTimings {
+  double lookup_ms = 0.0;
+  double rank_ms = 0.0;
+  double tables_ms = 0.0;
+  double filters_ms = 0.0;
+  double sql_ms = 0.0;
+  double execute_ms = 0.0;
+
+  double soda_total_ms() const {
+    return lookup_ms + rank_ms + tables_ms + filters_ms + sql_ms;
+  }
+};
+
+/// Everything a search produced.
+struct SearchOutput {
+  InputQuery parsed;
+  size_t complexity = 1;  // lookup combinatorics (paper Table 4)
+  std::vector<std::string> ignored_words;
+  std::vector<SodaResult> results;
+  StepTimings timings;
+};
+
+class Soda {
+ public:
+  /// Builds the search engine over an existing catalog + metadata graph.
+  /// The inverted index over `db` and the classification index are built
+  /// here (the paper reports index construction separately from query
+  /// processing). `db` and `graph` must outlive the Soda instance.
+  Soda(const Database* db, const MetadataGraph* graph,
+       PatternLibrary patterns, SodaConfig config);
+
+  /// Runs the five-step pipeline on a query string.
+  Result<SearchOutput> Search(const std::string& query) const;
+
+  /// Exposed internals for benches, tests and the example applications.
+  const ClassificationIndex& classification() const {
+    return classification_;
+  }
+  const InvertedIndex& inverted_index() const { return inverted_index_; }
+  const JoinGraph& join_graph() const { return join_graph_; }
+  const PatternMatcher& matcher() const { return *matcher_; }
+  const TablesStep& tables_step() const { return *tables_step_; }
+  const SodaConfig& config() const { return config_; }
+  const Database* database() const { return db_; }
+  const MetadataGraph* graph() const { return graph_; }
+
+ private:
+  const Database* db_;
+  const MetadataGraph* graph_;
+  PatternLibrary patterns_;
+  SodaConfig config_;
+
+  InvertedIndex inverted_index_;
+  ClassificationIndex classification_;
+  std::unique_ptr<PatternMatcher> matcher_;
+  JoinGraph join_graph_;
+  std::unique_ptr<LookupStep> lookup_step_;
+  std::unique_ptr<TablesStep> tables_step_;
+  std::unique_ptr<FiltersStep> filters_step_;
+  std::unique_ptr<SqlGenerator> generator_;
+  std::unique_ptr<Executor> executor_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_CORE_SODA_H_

@@ -1,0 +1,741 @@
+#include "datasets/enterprise.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace soda {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Core schema: the entities the 13 benchmark queries touch.
+// ---------------------------------------------------------------------------
+
+void AddCoreSchema(WarehouseModel* model) {
+  // ---- conceptual layer ---------------------------------------------------
+  model->AddConceptualEntity(
+      {"Party", {{"birth_date", ValueType::kDate},
+                 {"salary", ValueType::kInt64}}, ""});
+  model->AddConceptualEntity({"Name", {{"family_name"}}, ""});
+  model->AddConceptualEntity(
+      {"Address", {{"street"}, {"city"}, {"country"}}, ""});
+  model->AddConceptualEntity(
+      {"Agreement", {{"agreement_name"}, {"agreement_type"}}, ""});
+  model->AddConceptualEntity(
+      {"Order", {{"order_date", ValueType::kDate},
+                 {"period", ValueType::kDate}}, ""});
+  model->AddConceptualEntity(
+      {"Investment_Product", {{"product_name"}, {"product_type"}}, ""});
+  model->AddConceptualEntity(
+      {"Currency", {{"currency_code"}, {"currency_name"}}, ""});
+  model->AddConceptualEntity(
+      {"Investment", {{"investments", ValueType::kDouble}, {"currency"}},
+       ""});
+  model->AddConceptualEntity({"Employment", {{"role"}}, ""});
+
+  model->AddConceptualRelationship({"party_holds_agreement", "Party",
+                                    "Agreement", false});
+  model->AddConceptualRelationship({"party_places_order", "Party", "Order",
+                                    false});
+  model->AddConceptualRelationship({"order_of_product", "Order",
+                                    "Investment_Product", false});
+  model->AddConceptualRelationship({"order_in_currency", "Order", "Currency",
+                                    false});
+  model->AddConceptualRelationship({"party_has_address", "Party", "Address",
+                                    true});
+  model->AddConceptualRelationship({"party_has_name", "Party", "Name",
+                                    false});
+  model->AddConceptualRelationship({"position_of_party", "Party",
+                                    "Investment", false});
+  model->AddConceptualRelationship({"party_employment", "Party",
+                                    "Employment", true});
+
+  // ---- logical layer -------------------------------------------------------
+  model->AddLogicalEntity({"Party", {{"party_type"}}, "Party"});
+  model->AddLogicalEntity({"Individual",
+                           {{"given_name"},
+                            {"birth_date", ValueType::kDate},
+                            {"salary", ValueType::kInt64}},
+                           "Party"});
+  model->AddLogicalEntity({"Organization", {{"org_name"}}, "Party"});
+  model->AddLogicalEntity({"Individual_Name",
+                           {{"given_name"},
+                            {"family_name"},
+                            {"valid_from", ValueType::kDate},
+                            {"valid_to", ValueType::kDate}},
+                           "Name"});
+  model->AddLogicalEntity({"Organization_Name",
+                           {{"org_name"},
+                            {"valid_from", ValueType::kDate},
+                            {"valid_to", ValueType::kDate}},
+                           "Name"});
+  model->AddLogicalEntity({"Employment", {{"role"}}, "Employment"});
+  model->AddLogicalEntity(
+      {"Address", {{"street"}, {"city"}, {"country"}}, "Address"});
+  model->AddLogicalEntity(
+      {"Agreement", {{"agreement_name"}, {"agreement_type"}}, "Agreement"});
+  model->AddLogicalEntity({"Order",
+                           {{"order_date", ValueType::kDate},
+                            {"order_type"}},
+                           "Order"});
+  model->AddLogicalEntity({"Trade_Order",
+                           {{"period", ValueType::kDate},
+                            {"order_currency"},
+                            {"settlement_currency"}},
+                           "Order"});
+  model->AddLogicalEntity({"Payment_Order",
+                           {{"payment_amount", ValueType::kDouble},
+                            {"payment_currency"}},
+                           "Order"});
+  model->AddLogicalEntity(
+      {"Investment_Product", {{"product_name"}, {"product_type"}},
+       "Investment_Product"});
+  model->AddLogicalEntity(
+      {"Currency", {{"currency_code"}, {"currency_name"}}, "Currency"});
+  model->AddLogicalEntity({"Investment_Position",
+                           {{"investments", ValueType::kDouble},
+                            {"currency"}},
+                           "Investment"});
+  model->AddLogicalEntity({"Party_Address", {{"address_type"}}, ""});
+
+  model->AddLogicalRelationship({"individual_employment", "Individual",
+                                 "Employment", false});
+  model->AddLogicalRelationship({"employment_org", "Employment",
+                                 "Organization", false});
+  model->AddLogicalRelationship({"individual_names", "Individual",
+                                 "Individual_Name", false});
+  model->AddLogicalRelationship({"org_names", "Organization",
+                                 "Organization_Name", false});
+  model->AddLogicalRelationship({"party_addresses", "Party", "Address",
+                                 true});
+  model->AddLogicalRelationship({"agreement_holder", "Agreement", "Party",
+                                 false});
+  model->AddLogicalRelationship({"order_placer", "Order", "Party", false});
+  model->AddLogicalRelationship({"trade_product", "Trade_Order",
+                                 "Investment_Product", false});
+  model->AddLogicalRelationship({"trade_currency", "Trade_Order", "Currency",
+                                 false});
+  model->AddLogicalRelationship({"position_currency", "Investment_Position",
+                                 "Currency", false});
+
+  // ---- physical layer (abbreviated names, Section 6.2) ---------------------
+  model->AddTable({"party_td",
+                   "Party",
+                   {{"id", ValueType::kInt64, ""},
+                    {"party_type", ValueType::kString, "Party.party_type"}}});
+  model->AddTable(
+      {"indvl_td",
+       "Individual",
+       {{"id", ValueType::kInt64, ""},
+        {"given_nm", ValueType::kString, "Individual.given_name"},
+        {"birth_dt", ValueType::kDate, "Individual.birth_date"},
+        {"salary_amt", ValueType::kInt64, "Individual.salary"},
+        {"curr_name_id", ValueType::kInt64, ""}}});
+  model->AddTable({"org_td",
+                   "Organization",
+                   {{"id", ValueType::kInt64, ""},
+                    {"org_nm", ValueType::kString, "Organization.org_name"},
+                    {"curr_name_id", ValueType::kInt64, ""},
+                    {"main_addr_id", ValueType::kInt64, ""}}});
+  // The history tables keep full column names — they were added in a later
+  // modeling generation ("different conventions ... in each generation").
+  model->AddTable(
+      {"indvl_nm_hist_td",
+       "Individual_Name",
+       {{"name_id", ValueType::kInt64, ""},
+        {"indvl_id", ValueType::kInt64, ""},
+        {"given_name", ValueType::kString, "Individual_Name.given_name"},
+        {"family_name", ValueType::kString, "Individual_Name.family_name"},
+        {"valid_from", ValueType::kDate, "Individual_Name.valid_from"},
+        {"valid_to", ValueType::kDate, "Individual_Name.valid_to"}}});
+  model->AddTable(
+      {"org_nm_hist_td",
+       "Organization_Name",
+       {{"name_id", ValueType::kInt64, ""},
+        {"org_id", ValueType::kInt64, ""},
+        {"org_name", ValueType::kString, "Organization_Name.org_name"},
+        {"valid_from", ValueType::kDate, "Organization_Name.valid_from"},
+        {"valid_to", ValueType::kDate, "Organization_Name.valid_to"}}});
+  model->AddTable({"assoc_empl_td",
+                   "Employment",
+                   {{"indvl_id", ValueType::kInt64, ""},
+                    {"org_id", ValueType::kInt64, ""},
+                    {"role_cd", ValueType::kString, "Employment.role"}}});
+  model->AddTable({"addr_td",
+                   "Address",
+                   {{"id", ValueType::kInt64, ""},
+                    {"street", ValueType::kString, "Address.street"},
+                    {"city", ValueType::kString, "Address.city"},
+                    {"cntry", ValueType::kString, "Address.country"}}});
+  model->AddTable(
+      {"party_addr_td",
+       "Party_Address",
+       {{"party_id", ValueType::kInt64, ""},
+        {"addr_id", ValueType::kInt64, ""},
+        {"addr_type", ValueType::kString, "Party_Address.address_type"}}});
+  model->AddTable(
+      {"agrmnt_td",
+       "Agreement",
+       {{"id", ValueType::kInt64, ""},
+        {"party_id", ValueType::kInt64, ""},
+        {"agrmnt_nm", ValueType::kString, "Agreement.agreement_name"},
+        {"agrmnt_type", ValueType::kString, "Agreement.agreement_type"}}});
+  model->AddTable({"ordr_td",
+                   "Order",
+                   {{"id", ValueType::kInt64, ""},
+                    {"party_id", ValueType::kInt64, ""},
+                    {"ordr_dt", ValueType::kDate, "Order.order_date"},
+                    {"ordr_type", ValueType::kString, "Order.order_type"}}});
+  model->AddTable(
+      {"trd_ordr_td",
+       "Trade_Order",
+       {{"id", ValueType::kInt64, ""},
+        {"prod_id", ValueType::kInt64, ""},
+        {"crncy_cd", ValueType::kString, "Trade_Order.order_currency"},
+        {"settle_crncy_cd", ValueType::kString,
+         "Trade_Order.settlement_currency"},
+        {"period_dt", ValueType::kDate, "Trade_Order.period"}}});
+  model->AddTable(
+      {"pmt_ordr_td",
+       "Payment_Order",
+       {{"id", ValueType::kInt64, ""},
+        {"pmt_amt", ValueType::kDouble, "Payment_Order.payment_amount"},
+        {"crncy_cd", ValueType::kString, "Payment_Order.payment_currency"}}});
+  model->AddTable(
+      {"invst_prod_td",
+       "Investment_Product",
+       {{"id", ValueType::kInt64, ""},
+        {"prod_nm", ValueType::kString, "Investment_Product.product_name"},
+        {"prod_type", ValueType::kString,
+         "Investment_Product.product_type"}}});
+  model->AddTable({"crncy_td",
+                   "Currency",
+                   {{"cd", ValueType::kString, "Currency.currency_code"},
+                    {"crncy_nm", ValueType::kString,
+                     "Currency.currency_name"}}});
+  model->AddTable(
+      {"invst_pos_td",
+       "Investment_Position",
+       {{"id", ValueType::kInt64, ""},
+        {"party_id", ValueType::kInt64, ""},
+        {"invst_amt", ValueType::kDouble, "Investment_Position.investments"},
+        {"crncy_cd", ValueType::kString, "Investment_Position.currency"}}});
+
+  // ---- foreign keys in the schema graph ------------------------------------
+  // NOT modeled (data only, see header): indvl_nm_hist_td.indvl_id ->
+  // indvl_td.id, org_nm_hist_td.org_id -> org_td.id (bi-temporal history
+  // joins), org_td.id -> party_td.id (lost in a migration — paper 5.3.1:
+  // "some of the primary/foreign key relationships are not always
+  // implemented").
+  model->AddForeignKey({"indvl_td", "id", "party_td", "id"});
+  model->AddForeignKey(
+      {"indvl_td", "curr_name_id", "indvl_nm_hist_td", "name_id"});
+  model->AddForeignKey(
+      {"org_td", "curr_name_id", "org_nm_hist_td", "name_id"});
+  model->AddForeignKey({"org_td", "main_addr_id", "addr_td", "id"});
+  model->AddForeignKey({"assoc_empl_td", "indvl_id", "indvl_td", "id"});
+  model->AddForeignKey({"assoc_empl_td", "org_id", "org_td", "id"});
+  model->AddForeignKey({"party_addr_td", "party_id", "party_td", "id"});
+  model->AddForeignKey({"party_addr_td", "addr_id", "addr_td", "id"});
+  model->AddForeignKey({"agrmnt_td", "party_id", "party_td", "id"});
+  model->AddForeignKey({"ordr_td", "party_id", "party_td", "id"});
+  model->AddForeignKey({"trd_ordr_td", "id", "ordr_td", "id"});
+  model->AddForeignKey({"pmt_ordr_td", "id", "ordr_td", "id"});
+  model->AddForeignKey({"trd_ordr_td", "prod_id", "invst_prod_td", "id"});
+  model->AddForeignKey({"trd_ordr_td", "crncy_cd", "crncy_td", "cd"});
+  model->AddForeignKey({"trd_ordr_td", "settle_crncy_cd", "crncy_td", "cd"});
+  model->AddForeignKey({"pmt_ordr_td", "crncy_cd", "crncy_td", "cd"});
+  model->AddForeignKey({"invst_pos_td", "party_id", "party_td", "id"});
+  model->AddForeignKey({"invst_pos_td", "crncy_cd", "crncy_td", "cd"});
+
+  // ---- inheritance (multi-level, mutually exclusive) -----------------------
+  model->AddInheritance({"party_td", {"indvl_td", "org_td"}});
+  model->AddInheritance({"ordr_td", {"trd_ordr_td", "pmt_ordr_td"}});
+
+  // ---- domain ontology ------------------------------------------------------
+  model->AddOntologyConcept({"customers", "", {"logical:Party"}});
+  model->AddOntologyConcept(
+      {"private customers", "customers", {"logical:Individual"}});
+  model->AddOntologyConcept(
+      {"corporate customers", "customers", {"logical:Organization"}});
+  model->AddOntologyConcept({"names",
+                             "",
+                             {"logical:Individual_Name",
+                              "logical:Organization_Name"}});
+  model->AddMetadataFilter(
+      {"wealthy customers", "indvl_td", "salary_amt", ">=", "1000000"});
+  model->AddMetadataAggregation(
+      {"trading volume", "sum", "invst_pos_td", "invst_amt"});
+
+  // ---- DBpedia --------------------------------------------------------------
+  model->AddDbpediaSynonym({"customers", {"logical:Party"}});
+  model->AddDbpediaSynonym({"client", {"logical:Party"}});
+  model->AddDbpediaSynonym({"names", {"logical:Organization_Name"}});
+  model->AddDbpediaSynonym({"birth date", {"logical:Individual"}});
+  model->AddDbpediaSynonym({"company", {"logical:Organization"}});
+}
+
+// ---------------------------------------------------------------------------
+// Filler schema: brings the schema graph to the paper Table 1 cardinalities.
+// Filler clusters are internally joined but never connected to the core, so
+// they cannot pollute join paths of the benchmark queries — they exercise
+// lookup/traversal scale only.
+// ---------------------------------------------------------------------------
+
+// Distributes `total` items over `count` buckets as evenly as possible.
+size_t BucketSize(size_t total, size_t count, size_t index) {
+  size_t base = total / count;
+  return base + (index < total % count ? 1 : 0);
+}
+
+void AddFillerSchema(WarehouseModel* model) {
+  SchemaStats core = model->Stats();
+
+  const size_t filler_conceptual =
+      kPaperConceptualEntities - core.conceptual_entities;
+  const size_t filler_conceptual_attrs =
+      kPaperConceptualAttributes - core.conceptual_attributes;
+  const size_t filler_logical = kPaperLogicalEntities - core.logical_entities;
+  const size_t filler_logical_attrs =
+      kPaperLogicalAttributes - core.logical_attributes;
+  const size_t filler_tables = kPaperPhysicalTables - core.physical_tables;
+  const size_t filler_columns = kPaperPhysicalColumns - core.physical_columns;
+
+  // Conceptual fillers.
+  std::vector<std::string> conceptual_names;
+  for (size_t i = 0; i < filler_conceptual; ++i) {
+    EntitySpec entity;
+    entity.name = StrFormat("Domain%03zu_Entity", i);
+    size_t attrs = BucketSize(filler_conceptual_attrs, filler_conceptual, i);
+    for (size_t a = 0; a < attrs; ++a) {
+      entity.attributes.push_back(
+          {StrFormat("dm%03zu_attr%02zu", i, a), ValueType::kString});
+    }
+    conceptual_names.push_back(entity.name);
+    model->AddConceptualEntity(std::move(entity));
+  }
+  // Conceptual relationships among fillers.
+  Rng rel_rng(0xC0DE0001);
+  for (size_t r = core.conceptual_relationships;
+       r < kPaperConceptualRelationships; ++r) {
+    const std::string& a = conceptual_names[rel_rng.Below(
+        conceptual_names.size())];
+    const std::string& b = conceptual_names[rel_rng.Below(
+        conceptual_names.size())];
+    model->AddConceptualRelationship(
+        {StrFormat("filler_crel_%03zu", r), a, b, rel_rng.Chance(0.2)});
+  }
+
+  // Logical fillers: the first `filler_conceptual` implement the
+  // conceptual fillers 1:1; the rest are purely technical entities.
+  std::vector<std::string> logical_names;
+  for (size_t i = 0; i < filler_logical; ++i) {
+    EntitySpec entity;
+    entity.name = StrFormat("Tech%03zu_Entity", i);
+    entity.implements =
+        i < conceptual_names.size() ? conceptual_names[i] : "";
+    size_t attrs = BucketSize(filler_logical_attrs, filler_logical, i);
+    for (size_t a = 0; a < attrs; ++a) {
+      entity.attributes.push_back(
+          {StrFormat("te%03zu_attr%02zu", i, a), ValueType::kString});
+    }
+    logical_names.push_back(entity.name);
+    model->AddLogicalEntity(std::move(entity));
+  }
+  for (size_t r = core.logical_relationships;
+       r < kPaperLogicalRelationships; ++r) {
+    const std::string& a = logical_names[rel_rng.Below(logical_names.size())];
+    const std::string& b = logical_names[rel_rng.Below(logical_names.size())];
+    model->AddLogicalRelationship(
+        {StrFormat("filler_lrel_%03zu", r), a, b, rel_rng.Chance(0.2)});
+  }
+
+  // Physical fillers: one table per logical filler, then partition tables
+  // (the "_p2" convention — performance tricks of the DBAs).
+  std::vector<std::string> table_names;
+  for (size_t i = 0; i < filler_tables; ++i) {
+    TableSpec table;
+    bool partition = i >= logical_names.size();
+    if (partition) {
+      size_t base = i - logical_names.size();
+      table.name = StrFormat("tec%03zu_td_p2", base);
+      table.implements = logical_names[base];
+    } else {
+      table.name = StrFormat("tec%03zu_td", i);
+      table.implements = logical_names[i];
+    }
+    size_t columns = BucketSize(filler_columns, filler_tables, i);
+    if (columns == 0) columns = 1;
+    for (size_t c = 0; c < columns; ++c) {
+      // First column is the cluster join key; typed int.
+      table.columns.push_back(
+          {StrFormat("fc%zu", c),
+           c == 0 ? ValueType::kInt64 : ValueType::kString, ""});
+    }
+    table_names.push_back(table.name);
+    model->AddTable(std::move(table));
+  }
+  // Join the fillers in clusters of ten — realistic local connectivity
+  // that never reaches the core tables.
+  for (size_t i = 1; i < table_names.size(); ++i) {
+    if (i % 10 == 0) continue;  // cluster boundary
+    model->AddForeignKey(
+        {table_names[i], "fc0", table_names[i - 1], "fc0"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Base data.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> kGivenNames = {
+    "Anna",  "Bruno", "Carla", "Daniel", "Elena", "Felix", "Gina",
+    "Hans",  "Irene", "Jonas", "Karin",  "Luca",  "Maria", "Nico",
+    "Olga",  "Peter", "Rosa",  "Stefan", "Tanja", "Urs"};
+
+const std::vector<std::string> kFamilyNames = {
+    "Meier",     "Müller", "Schmid",  "Keller", "Weber",   "Huber",
+    "Schneider", "Frei",   "Baumann", "Fischer", "Brunner", "Gerber",
+    "Widmer",    "Moser",  "Graf",    "Wyss",    "Roth",    "Bieri"};
+
+const std::vector<std::string> kOrgPrefixes = {
+    "Alpine", "Helvetia", "Global", "Nordic",  "Pacific", "Atlas",
+    "Meridian", "Summit", "Cascade", "Pioneer", "Sterling", "Vantage"};
+
+const std::vector<std::string> kOrgSuffixes = {
+    "Capital",  "Holding", "Partners", "Trust",   "Bank",
+    "Insurance", "Trading", "Advisory", "Securities", "Asset Management"};
+
+const std::vector<std::string> kCities = {
+    "Zürich", "Geneva", "Basel", "Bern", "Lugano", "Frankfurt", "Paris",
+    "London", "Milan",  "Vienna"};
+
+const std::vector<std::string> kStreets = {
+    "Bahnhofstrasse", "Seestrasse", "Hauptstrasse", "Dorfstrasse",
+    "Kirchgasse",     "Lindenweg",  "Marktgasse",   "Industriestrasse"};
+
+const std::vector<std::string> kForeignCountries = {
+    "Germany", "France", "United Kingdom", "Italy", "Austria"};
+
+const std::vector<std::string> kAgreementKinds = {
+    "Custody",  "Lending", "Brokerage", "Margin", "Advisory",
+    "Clearing", "Netting", "Framework"};
+
+const std::vector<std::string> kProductKinds = {
+    "Equity Basket", "Bond Ladder",  "Index Tracker", "Dividend Note",
+    "Momentum Fund", "Value Basket", "Balanced Portfolio"};
+
+const std::vector<std::string> kRoles = {"employee", "director", "advisor",
+                                         "contractor"};
+
+// Currency table: (code, name). "YEN" is the code the traders use (the
+// benchmark keyword); the long name differs.
+const std::vector<std::pair<std::string, std::string>> kCurrencies = {
+    {"CHF", "Swiss Franc"},   {"USD", "US Dollar"},
+    {"EUR", "Euro"},          {"YEN", "Japanese Yen"},
+    {"GBP", "Pound Sterling"}, {"SEK", "Swedish Krona"},
+    {"NOK", "Norwegian Krone"}, {"AUD", "Australian Dollar"}};
+
+Status PopulateBaseData(EnterpriseWarehouse* warehouse) {
+  Database& db = warehouse->db;
+  Rng rng(0x50DA0C51);
+
+  Table* party = db.FindTable("party_td");
+  Table* indvl = db.FindTable("indvl_td");
+  Table* org = db.FindTable("org_td");
+  Table* indvl_nm = db.FindTable("indvl_nm_hist_td");
+  Table* org_nm = db.FindTable("org_nm_hist_td");
+  Table* assoc = db.FindTable("assoc_empl_td");
+  Table* addr = db.FindTable("addr_td");
+  Table* party_addr = db.FindTable("party_addr_td");
+  Table* agrmnt = db.FindTable("agrmnt_td");
+  Table* ordr = db.FindTable("ordr_td");
+  Table* trd = db.FindTable("trd_ordr_td");
+  Table* pmt = db.FindTable("pmt_ordr_td");
+  Table* prod = db.FindTable("invst_prod_td");
+  Table* crncy = db.FindTable("crncy_td");
+  Table* pos = db.FindTable("invst_pos_td");
+
+  // ---- individuals + five-version name history -----------------------------
+  int64_t name_id = 0;
+  for (int i = 1; i <= kEntIndividuals; ++i) {
+    bool is_sara = i == 7;
+    std::string given =
+        is_sara ? "Sara" : kGivenNames[rng.Below(kGivenNames.size())];
+    std::string family =
+        is_sara ? "Guttinger" : kFamilyNames[rng.Below(kFamilyNames.size())];
+    Date birth = Date::FromYmd(static_cast<int>(rng.Range(1950, 1995)),
+                               static_cast<int>(rng.Range(1, 12)),
+                               static_cast<int>(rng.Range(1, 28)));
+    SODA_RETURN_NOT_OK(
+        party->Append({Value::Int(i), Value::Str("individual")}));
+    // Name history: versions v1..v5; only the last (current) version is
+    // referenced by curr_name_id. The given name of historic versions of
+    // Sara is the older spelling "Sarah"; family names change over time
+    // for everyone (marriages, corrections).
+    for (int v = 1; v <= kEntNameVersions; ++v) {
+      ++name_id;
+      bool current = v == kEntNameVersions;
+      std::string version_given = given;
+      if (is_sara && !current) version_given = "Sarah";
+      std::string version_family =
+          current ? family
+                  : family + StrFormat("-%c",
+                                       static_cast<char>('A' + v - 1));
+      Date valid_from = Date::FromYmd(1990 + v * 4, 6, 1);
+      Date valid_to =
+          current ? Date::FromYmd(9999, 12, 31) : Date::FromYmd(1994 + v * 4, 5, 31);
+      SODA_RETURN_NOT_OK(indvl_nm->Append(
+          {Value::Int(name_id), Value::Int(i), Value::Str(version_given),
+           Value::Str(version_family), Value::DateV(valid_from),
+           Value::DateV(valid_to)}));
+    }
+    SODA_RETURN_NOT_OK(indvl->Append({Value::Int(i), Value::Str(given),
+                                      Value::DateV(birth),
+                                      Value::Int(rng.Range(40, 3000) * 1000),
+                                      Value::Int(name_id)}));
+  }
+
+  // ---- organizations + three-version name history --------------------------
+  // Organization ids start after the individuals.
+  int64_t org_name_id = name_id;
+  for (int o = 0; o < kEntOrganizations; ++o) {
+    int64_t id = kEntIndividuals + 1 + o;
+    std::string name;
+    if (o == 0) {
+      name = "Credit Suisse";
+    } else {
+      name = kOrgPrefixes[static_cast<size_t>(o) % kOrgPrefixes.size()] +
+             " " +
+             kOrgSuffixes[(static_cast<size_t>(o) / kOrgPrefixes.size()) %
+                          kOrgSuffixes.size()] +
+             StrFormat(" %d", o);
+    }
+    SODA_RETURN_NOT_OK(
+        party->Append({Value::Int(id), Value::Str("organization")}));
+    for (int v = 1; v <= kEntOrgNameVersions; ++v) {
+      ++org_name_id;
+      bool current = v == kEntOrgNameVersions;
+      std::string version_name = name;
+      if (o == 0) {
+        // The paper-famous history: Credit Suisse First Boston ->
+        // Credit Suisse Group -> Credit Suisse.
+        version_name = v == 1 ? "Credit Suisse First Boston"
+                              : (v == 2 ? "Credit Suisse Group"
+                                        : "Credit Suisse");
+      } else if (!current) {
+        version_name = name + (v == 1 ? " AG" : " International");
+      }
+      SODA_RETURN_NOT_OK(org_nm->Append(
+          {Value::Int(org_name_id), Value::Int(id), Value::Str(version_name),
+           Value::DateV(Date::FromYmd(1980 + v * 10, 1, 1)),
+           Value::DateV(current ? Date::FromYmd(9999, 12, 31)
+                                : Date::FromYmd(1990 + v * 10, 12, 31))}));
+    }
+    // Organization HQ address (ids after the individual addresses).
+    int64_t addr_id =
+        kEntIndividuals * kEntAddressesPerIndividual + 1 + o;
+    SODA_RETURN_NOT_OK(org->Append({Value::Int(id), Value::Str(name),
+                                    Value::Int(org_name_id),
+                                    Value::Int(addr_id)}));
+  }
+
+  // ---- addresses -------------------------------------------------------------
+  // Individuals: two addresses each (residence + mailing), same country.
+  // The first kEntSwissIndividuals live in Switzerland.
+  int64_t addr_id = 0;
+  for (int i = 1; i <= kEntIndividuals; ++i) {
+    bool swiss = i <= kEntSwissIndividuals;
+    std::string country =
+        swiss ? "Switzerland"
+              : kForeignCountries[rng.Below(kForeignCountries.size())];
+    for (int a = 0; a < kEntAddressesPerIndividual; ++a) {
+      ++addr_id;
+      std::string city = swiss ? kCities[rng.Below(5)]  // Swiss cities
+                               : kCities[5 + rng.Below(kCities.size() - 5)];
+      SODA_RETURN_NOT_OK(addr->Append(
+          {Value::Int(addr_id),
+           Value::Str(kStreets[rng.Below(kStreets.size())] + " " +
+                      std::to_string(rng.Range(1, 99))),
+           Value::Str(city), Value::Str(country)}));
+      SODA_RETURN_NOT_OK(party_addr->Append(
+          {Value::Int(i), Value::Int(addr_id),
+           Value::Str(a == 0 ? "residence" : "mailing")}));
+    }
+  }
+  // Organization addresses (referenced by org_td.main_addr_id).
+  for (int o = 0; o < kEntOrganizations; ++o) {
+    ++addr_id;
+    std::string street =
+        o == 0 ? "Credit Suisse Tower 1"
+               : (o == 1 ? "Credit Suisse Plaza 2"
+                         : kStreets[rng.Below(kStreets.size())] + " " +
+                               std::to_string(rng.Range(1, 99)));
+    SODA_RETURN_NOT_OK(addr->Append(
+        {Value::Int(addr_id), Value::Str(street),
+         Value::Str(kCities[rng.Below(kCities.size())]),
+         Value::Str(rng.Chance(0.5) ? "Switzerland" : "United Kingdom")}));
+  }
+
+  // ---- employments (the Figure 10 sibling bridge) ---------------------------
+  // The first kEntEmployedIndividuals individuals each hold
+  // kEntEmployersPerIndividual distinct employments.
+  for (int i = 1; i <= kEntEmployedIndividuals; ++i) {
+    for (int k = 0; k < kEntEmployersPerIndividual; ++k) {
+      int64_t org_id =
+          kEntIndividuals + 1 + ((i * kEntEmployersPerIndividual + k) %
+                                 kEntOrganizations);
+      SODA_RETURN_NOT_OK(assoc->Append(
+          {Value::Int(i), Value::Int(org_id),
+           Value::Str(kRoles[rng.Below(kRoles.size())])}));
+    }
+  }
+
+  // ---- agreements -------------------------------------------------------------
+  // Planted names first (benchmark values), generated ones after. The
+  // generated pool never contains the planted tokens.
+  std::vector<std::string> planted_agreements = {
+      "Credit Suisse Master Agreement",  // Q3.2 (the only CS agreement)
+      "Gold Hedging Agreement",          // Q4.0 gold standard
+      "Sara Trust Agreement",            // Q2.* noise home
+      "YEN Swap Agreement",              // Q7.0 noise home
+      "Switzerland Custody Agreement",   // Q9.0 noise home
+      "Lehman XYZ Settlement Agreement", // Q8.0 noise home
+  };
+  for (int g = 1; g <= kEntAgreements; ++g) {
+    std::string name;
+    if (g <= static_cast<int>(planted_agreements.size())) {
+      name = planted_agreements[static_cast<size_t>(g - 1)];
+    } else {
+      // Generated names avoid the token "Agreement" so that the keyword
+      // "agreement" resolves through the schema layers, not through
+      // hundreds of base-data values (which would blow up the lookup
+      // complexity far beyond paper Table 4).
+      name = kOrgPrefixes[rng.Below(kOrgPrefixes.size())] + " " +
+             kAgreementKinds[rng.Below(kAgreementKinds.size())] +
+             StrFormat(" Mandate %d", g);
+    }
+    SODA_RETURN_NOT_OK(agrmnt->Append(
+        {Value::Int(g),
+         Value::Int(rng.Range(1, kEntIndividuals + kEntOrganizations)),
+         Value::Str(name),
+         Value::Str(kAgreementKinds[rng.Below(kAgreementKinds.size())])}));
+  }
+
+  // ---- investment products ----------------------------------------------------
+  std::vector<std::string> planted_products = {
+      "Lehman XYZ",                     // Q8.0
+      "Credit Suisse Equity Fund",      // Q3.* complexity plants
+      "Credit Suisse Bond Fund",
+      "Credit Suisse Alpha Note",
+      "Credit Suisse Real Estate Fund",
+      "Credit Suisse Momentum Note",
+      "Sara Lee shares",                // Q2.* noise home
+      "Gold Certificate",               // Q4.0 noise home
+      "Gold Futures Note",
+      "YEN Money Market Fund",          // Q7.0 noise home
+      "Switzerland Equity Fund",        // Q9.0 noise home
+  };
+  for (int p = 1; p <= kEntProducts; ++p) {
+    std::string name;
+    if (p <= static_cast<int>(planted_products.size())) {
+      name = planted_products[static_cast<size_t>(p - 1)];
+    } else {
+      name = kOrgPrefixes[rng.Below(kOrgPrefixes.size())] + " " +
+             kProductKinds[rng.Below(kProductKinds.size())] +
+             StrFormat(" %d", p);
+    }
+    SODA_RETURN_NOT_OK(prod->Append(
+        {Value::Int(p), Value::Str(name),
+         Value::Str(rng.Chance(0.5) ? "fund" : "structured note")}));
+  }
+
+  // ---- currencies ---------------------------------------------------------------
+  for (const auto& [code, cname] : kCurrencies) {
+    SODA_RETURN_NOT_OK(crncy->Append({Value::Str(code), Value::Str(cname)}));
+  }
+
+  // ---- orders ---------------------------------------------------------------------
+  // Trade orders: ids 1..kEntTradeOrders; payment orders after.
+  //   ids 1..kEntYenOrders                     : order currency YEN
+  //   ids 1..kEntYenSettledYenOrders           : settlement also YEN (gold Q7)
+  //   ids kEntYenOrders+1 .. +kEntOtherSettled : settlement YEN, currency not
+  auto other_currency = [&](Rng* r) {
+    static const std::vector<std::string> kOthers = {"CHF", "USD", "EUR",
+                                                     "GBP"};
+    return kOthers[r->Below(kOthers.size())];
+  };
+  for (int o = 1; o <= kEntOrders; ++o) {
+    bool trade = o <= kEntTradeOrders;
+    SODA_RETURN_NOT_OK(ordr->Append(
+        {Value::Int(o),
+         Value::Int(rng.Range(1, kEntIndividuals + kEntOrganizations)),
+         Value::DateV(Date::FromYmd(static_cast<int>(rng.Range(2010, 2012)),
+                                    static_cast<int>(rng.Range(1, 12)),
+                                    static_cast<int>(rng.Range(1, 28)))),
+         Value::Str(trade ? "trade order" : "payment order")}));
+    if (trade) {
+      std::string currency =
+          o <= kEntYenOrders ? "YEN" : other_currency(&rng);
+      std::string settlement;
+      if (o <= kEntYenSettledYenOrders) {
+        settlement = "YEN";
+      } else if (o > kEntYenOrders &&
+                 o <= kEntYenOrders + kEntOtherSettledYenOrders) {
+        settlement = "YEN";
+      } else {
+        settlement = other_currency(&rng);
+      }
+      int64_t product_id =
+          o > kEntTradeOrders - kEntLehmanTrades
+              ? 1  // "Lehman XYZ"
+              : rng.Range(2, kEntProducts);
+      SODA_RETURN_NOT_OK(trd->Append(
+          {Value::Int(o), Value::Int(product_id), Value::Str(currency),
+           Value::Str(settlement),
+           Value::DateV(Date::FromYmd(
+               static_cast<int>(rng.Range(2010, 2012)),
+               static_cast<int>(rng.Range(1, 12)),
+               static_cast<int>(rng.Range(1, 28))))}));
+    } else {
+      SODA_RETURN_NOT_OK(pmt->Append(
+          {Value::Int(o),
+           Value::Real(static_cast<double>(rng.Range(100, 500000))),
+           Value::Str(kCurrencies[rng.Below(kCurrencies.size())].first)}));
+    }
+  }
+
+  // ---- investment positions -----------------------------------------------------
+  for (int p = 1; p <= kEntPositions; ++p) {
+    SODA_RETURN_NOT_OK(pos->Append(
+        {Value::Int(p),
+         Value::Int(rng.Range(1, kEntIndividuals + kEntOrganizations)),
+         Value::Real(static_cast<double>(rng.Range(1000, 2000000))),
+         Value::Str(kCurrencies[rng.Below(kCurrencies.size())].first)}));
+  }
+
+  return Status::OK();
+}
+
+}  // namespace
+
+WarehouseModel EnterpriseModel() {
+  WarehouseModel model;
+  AddCoreSchema(&model);
+  AddFillerSchema(&model);
+  return model;
+}
+
+Result<std::unique_ptr<EnterpriseWarehouse>> BuildEnterpriseWarehouse() {
+  auto warehouse = std::make_unique<EnterpriseWarehouse>();
+  warehouse->model = EnterpriseModel();
+  SODA_RETURN_NOT_OK(
+      warehouse->model.Compile(&warehouse->graph, &warehouse->db));
+  SODA_RETURN_NOT_OK(PopulateBaseData(warehouse.get()));
+  return warehouse;
+}
+
+}  // namespace soda

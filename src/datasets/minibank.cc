@@ -1,0 +1,352 @@
+#include "datasets/minibank.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace soda {
+
+namespace {
+
+const std::vector<std::string> kFirstNames = {
+    "Anna",  "Bruno",  "Carla", "Daniel", "Elena",  "Felix",  "Gina",
+    "Hans",  "Irene",  "Jonas", "Karin",  "Luca",   "Maria",  "Nico",
+    "Olga",  "Peter",  "Rosa",  "Stefan", "Tanja",  "Urs",    "Vera",
+    "Walter"};
+
+const std::vector<std::string> kLastNames = {
+    "Meier",   "Müller",  "Schmid",  "Keller",  "Weber",    "Huber",
+    "Schneider", "Frei",  "Baumann", "Fischer", "Brunner",  "Gerber",
+    "Widmer",  "Zimmermann", "Moser", "Graf",   "Wyss",     "Roth"};
+
+const std::vector<std::string> kCities = {"Zürich", "Geneva", "Basel",
+                                          "Bern", "Lugano", "Lausanne"};
+
+// Note: no organization name contains the token "Zurich" — the Figure 5
+// classification example requires the keyword "Zürich" to be found exactly
+// once in the base data (addresses.city).
+const std::vector<std::string> kOrganizations = {
+    "Credit Suisse",        "IBM",                 "UBS",
+    "Novartis",             "Roche",               "Swiss Re",
+    "Nestlé",               "Helvetia Insurance",  "Swisscom",
+    "ABB",                  "Holcim",              "Givaudan",
+    "Sika",                 "Lonza",               "Geberit",
+    "Sonova",               "Logitech",            "Kuehne Nagel",
+    "Alpine Capital",       "Helvetia Holding"};
+
+const std::vector<std::string> kStreets = {
+    "Bahnhofstrasse", "Seestrasse",   "Hauptstrasse", "Dorfstrasse",
+    "Kirchgasse",     "Lindenweg",    "Birkenweg",    "Rosenweg"};
+
+const std::vector<std::string> kInstrumentNames = {
+    "IBM shares",           "Novartis shares",      "Roche shares",
+    "UBS shares",           "Nestlé shares",        "ABB shares",
+    "Global Tech Fund",     "Alpine Equity Fund",   "Swiss Bond Fund",
+    "Emerging Markets Fund", "Green Energy Fund",   "Alpine Hedge Fund",
+    "Quant Macro Hedge Fund", "Gold Certificate",   "Silver Certificate",
+    "Oil Futures Certificate", "Real Estate Fund",  "Dividend Fund",
+    "Small Cap Fund",       "Infrastructure Fund",  "Biotech Fund",
+    "Pharma Basket Certificate", "Currency Hedge Fund", "Credit Fund",
+    "Momentum Fund",        "Value Fund",           "Growth Fund",
+    "Balanced Fund",        "Income Fund",          "Commodity Fund"};
+
+const std::vector<std::string> kInstrumentTypes = {"share", "fund",
+                                                   "hedge fund",
+                                                   "certificate"};
+
+const std::vector<std::string> kCurrencies = {"CHF", "USD", "EUR", "YEN",
+                                              "GBP"};
+
+}  // namespace
+
+WarehouseModel MiniBankModel() {
+  WarehouseModel model;
+
+  // ---- conceptual schema (Figure 1) --------------------------------------
+  model.AddConceptualEntity(
+      {"Parties", {{"name"}, {"address"}}, ""});
+  model.AddConceptualEntity(
+      {"Transactions",
+       {{"amount", ValueType::kDouble}, {"transaction_date", ValueType::kDate}},
+       ""});
+  model.AddConceptualEntity(
+      {"Financial_Instruments", {{"name"}, {"instrument_type"}}, ""});
+  model.AddConceptualRelationship(
+      {"party_trades", "Parties", "Transactions", /*many_to_many=*/false});
+  model.AddConceptualRelationship({"trade_of_instrument", "Transactions",
+                                   "Financial_Instruments", false});
+  model.AddConceptualRelationship({"instrument_structure",
+                                   "Financial_Instruments",
+                                   "Financial_Instruments", true});
+
+  // ---- logical schema (Figure 2) ------------------------------------------
+  model.AddLogicalEntity({"Parties", {{"name"}}, "Parties"});
+  model.AddLogicalEntity({"Individuals",
+                          {{"first_name"},
+                           {"last_name"},
+                           {"salary", ValueType::kInt64},
+                           {"birthday", ValueType::kDate}},
+                          "Parties"});
+  model.AddLogicalEntity(
+      {"Organizations", {{"company_name"}}, "Parties"});
+  model.AddLogicalEntity(
+      {"Addresses", {{"street"}, {"city"}, {"country"}}, ""});
+  model.AddLogicalEntity({"Transactions", {}, "Transactions"});
+  model.AddLogicalEntity(
+      {"Financial_Instrument_Transactions",
+       {{"amount", ValueType::kDouble},
+        {"transaction_date", ValueType::kDate}},
+       "Transactions"});
+  model.AddLogicalEntity({"Money_Transactions",
+                          {{"amount", ValueType::kDouble},
+                           {"currency"},
+                           {"transaction_date", ValueType::kDate}},
+                          "Transactions"});
+  model.AddLogicalEntity({"Financial_Instruments",
+                          {{"name"}, {"instrument_type"}},
+                          "Financial_Instruments"});
+  model.AddLogicalEntity({"Securities", {{"name"}, {"isin"}}, ""});
+  model.AddLogicalRelationship(
+      {"individual_address", "Individuals", "Addresses", false});
+  model.AddLogicalRelationship(
+      {"fi_composition", "Financial_Instruments", "Securities", true});
+
+  // ---- physical schema -----------------------------------------------------
+  // The parties supertype table holds only the key and a discriminator —
+  // person names live in the individuals table (paper Query 1 filters
+  // individuals.firstName / individuals.lastName).
+  model.AddTable({"parties",
+                  "Parties",
+                  {{"id", ValueType::kInt64, ""},
+                   {"party_type", ValueType::kString, ""}}});
+  model.AddTable(
+      {"individuals",
+       "Individuals",
+       {{"id", ValueType::kInt64, ""},
+        {"firstName", ValueType::kString, "Individuals.first_name"},
+        {"lastName", ValueType::kString, "Individuals.last_name"},
+        {"salary", ValueType::kInt64, "Individuals.salary"},
+        {"birthday", ValueType::kDate, "Individuals.birthday"}}});
+  model.AddTable(
+      {"organizations",
+       "Organizations",
+       {{"id", ValueType::kInt64, ""},
+        {"companyname", ValueType::kString, "Organizations.company_name"}}});
+  model.AddTable({"addresses",
+                  "Addresses",
+                  {{"id", ValueType::kInt64, ""},
+                   {"party_id", ValueType::kInt64, ""},
+                   {"street", ValueType::kString, "Addresses.street"},
+                   {"city", ValueType::kString, "Addresses.city"},
+                   {"country", ValueType::kString, "Addresses.country"}}});
+  model.AddTable({"transactions",
+                  "Transactions",
+                  {{"id", ValueType::kInt64, ""},
+                   {"fromParty", ValueType::kInt64, ""},
+                   {"toParty", ValueType::kInt64, ""}}});
+  model.AddTable(
+      {"fi_transactions",
+       "Financial_Instrument_Transactions",
+       {{"id", ValueType::kInt64, ""},
+        {"fi_id", ValueType::kInt64, ""},
+        {"amount", ValueType::kDouble,
+         "Financial_Instrument_Transactions.amount"},
+        {"transactiondate", ValueType::kDate,
+         "Financial_Instrument_Transactions.transaction_date"}}});
+  model.AddTable(
+      {"money_transactions",
+       "Money_Transactions",
+       {{"id", ValueType::kInt64, ""},
+        {"amount", ValueType::kDouble, "Money_Transactions.amount"},
+        {"currency", ValueType::kString, "Money_Transactions.currency"},
+        {"transactiondate", ValueType::kDate,
+         "Money_Transactions.transaction_date"}}});
+  // Abbreviated physical name (see header comment).
+  model.AddTable(
+      {"fin_instruments",
+       "Financial_Instruments",
+       {{"id", ValueType::kInt64, ""},
+        {"name", ValueType::kString, "Financial_Instruments.name"},
+        {"instr_type", ValueType::kString,
+         "Financial_Instruments.instrument_type"}}});
+  // The securities table also backs the Financial_Instruments entity
+  // split (structured instruments decompose into securities), which is
+  // how the tables step reaches all three tables from the logical entity
+  // (paper Figure 6 lists seven tables for the classification example).
+  model.AddTable({"securities",
+                  "Securities",
+                  {{"id", ValueType::kInt64, ""},
+                   {"name", ValueType::kString, "Securities.name"},
+                   {"isin", ValueType::kString, "Securities.isin"}},
+                  {"Financial_Instruments"}});
+  model.AddTable({"fi_contains_sec",
+                  "Financial_Instruments",
+                  {{"fi_id", ValueType::kInt64, ""},
+                   {"sec_id", ValueType::kInt64, ""}}});
+
+  // ---- foreign keys (explicit join-relationship nodes) --------------------
+  model.AddForeignKey({"individuals", "id", "parties", "id"});
+  model.AddForeignKey({"organizations", "id", "parties", "id"});
+  model.AddForeignKey({"addresses", "party_id", "individuals", "id"});
+  model.AddForeignKey({"transactions", "fromParty", "parties", "id"});
+  model.AddForeignKey({"transactions", "toParty", "parties", "id"});
+  model.AddForeignKey({"fi_transactions", "id", "transactions", "id"});
+  model.AddForeignKey({"money_transactions", "id", "transactions", "id"});
+  model.AddForeignKey({"fi_transactions", "fi_id", "fin_instruments", "id"});
+  model.AddForeignKey({"fi_contains_sec", "fi_id", "fin_instruments", "id"});
+  model.AddForeignKey({"fi_contains_sec", "sec_id", "securities", "id"});
+
+  // ---- inheritance ---------------------------------------------------------
+  model.AddInheritance({"parties", {"individuals", "organizations"}});
+  model.AddInheritance(
+      {"transactions", {"fi_transactions", "money_transactions"}});
+
+  // ---- domain ontology -----------------------------------------------------
+  model.AddOntologyConcept({"Customers", "", {"logical:Parties"}});
+  model.AddOntologyConcept(
+      {"Private Customers", "Customers", {"logical:Individuals"}});
+  model.AddOntologyConcept(
+      {"Corporate Customers", "Customers", {"logical:Organizations"}});
+  model.AddMetadataFilter(
+      {"wealthy customers", "individuals", "salary", ">=", "1000000"});
+  model.AddMetadataAggregation(
+      {"trading volume", "sum", "fi_transactions", "amount"});
+
+  // ---- DBpedia synonyms (Section 2.2: entries with direct connections to
+  // the integrated schema; for "Parties": customer, client, political
+  // organization, ...) --------------------------------------------------------
+  model.AddDbpediaSynonym({"customer", {"logical:Parties"}});
+  model.AddDbpediaSynonym({"client", {"logical:Parties"}});
+  model.AddDbpediaSynonym({"political organization",
+                           {"logical:Organizations"}});
+  model.AddDbpediaSynonym({"company", {"logical:Organizations"}});
+  model.AddDbpediaSynonym({"person", {"logical:Individuals"}});
+  model.AddDbpediaSynonym({"share", {"logical:Financial_Instruments"}});
+  model.AddDbpediaSynonym({"product", {"logical:Financial_Instruments"}});
+
+  return model;
+}
+
+Result<std::unique_ptr<MiniBank>> BuildMiniBank() {
+  auto bank = std::make_unique<MiniBank>();
+  bank->model = MiniBankModel();
+  SODA_RETURN_NOT_OK(bank->model.Compile(&bank->graph, &bank->db));
+
+  Rng rng(0x50DA2012);
+
+  Table* parties = bank->db.FindTable("parties");
+  Table* individuals = bank->db.FindTable("individuals");
+  Table* organizations = bank->db.FindTable("organizations");
+  Table* addresses = bank->db.FindTable("addresses");
+  Table* transactions = bank->db.FindTable("transactions");
+  Table* fi_transactions = bank->db.FindTable("fi_transactions");
+  Table* money_transactions = bank->db.FindTable("money_transactions");
+  Table* instruments = bank->db.FindTable("fin_instruments");
+  Table* securities = bank->db.FindTable("securities");
+  Table* fi_contains_sec = bank->db.FindTable("fi_contains_sec");
+
+  constexpr int kNumIndividuals = 50;
+  constexpr int kNumOrganizations = 20;
+
+  // Individuals; party ids 1..50. Exactly one Sara Guttinger (id 7).
+  for (int i = 1; i <= kNumIndividuals; ++i) {
+    std::string first = kFirstNames[rng.Below(kFirstNames.size())];
+    std::string last = kLastNames[rng.Below(kLastNames.size())];
+    if (i == 7) {
+      first = "Sara";
+      last = "Guttinger";
+    }
+    int64_t salary = rng.Range(30, 2000) * 1000;
+    Date birthday = Date::FromYmd(static_cast<int>(rng.Range(1950, 1995)),
+                                  static_cast<int>(rng.Range(1, 12)),
+                                  static_cast<int>(rng.Range(1, 28)));
+    SODA_RETURN_NOT_OK(
+        parties->Append({Value::Int(i), Value::Str("individual")}));
+    SODA_RETURN_NOT_OK(individuals->Append({Value::Int(i), Value::Str(first),
+                                            Value::Str(last),
+                                            Value::Int(salary),
+                                            Value::DateV(birthday)}));
+    std::string city = kCities[rng.Below(kCities.size())];
+    if (city == "Zürich") ++bank->zurich_individuals;
+    SODA_RETURN_NOT_OK(addresses->Append(
+        {Value::Int(i), Value::Int(i),
+         Value::Str(kStreets[rng.Below(kStreets.size())] + " " +
+                    std::to_string(rng.Range(1, 99))),
+         Value::Str(city), Value::Str("Switzerland")}));
+  }
+
+  // Organizations; party ids 51..70.
+  for (int i = 0; i < kNumOrganizations; ++i) {
+    int64_t id = kNumIndividuals + 1 + i;
+    const std::string& name = kOrganizations[static_cast<size_t>(i)];
+    SODA_RETURN_NOT_OK(
+        parties->Append({Value::Int(id), Value::Str("organization")}));
+    SODA_RETURN_NOT_OK(
+        organizations->Append({Value::Int(id), Value::Str(name)}));
+  }
+
+  // Financial instruments and securities.
+  for (size_t i = 0; i < kInstrumentNames.size(); ++i) {
+    const std::string& name = kInstrumentNames[i];
+    std::string type = "share";
+    if (name.find("Hedge") != std::string::npos) {
+      type = "hedge fund";
+    } else if (name.find("Fund") != std::string::npos) {
+      type = "fund";
+    } else if (name.find("Certificate") != std::string::npos) {
+      type = "certificate";
+    }
+    SODA_RETURN_NOT_OK(instruments->Append(
+        {Value::Int(static_cast<int64_t>(i + 1)), Value::Str(name),
+         Value::Str(type)}));
+  }
+  for (int i = 1; i <= 25; ++i) {
+    SODA_RETURN_NOT_OK(securities->Append(
+        {Value::Int(i), Value::Str("Security " + std::to_string(i)),
+         Value::Str(StrFormat("CH%010d", i * 37))}));
+  }
+  // Funds (ids 7..13 etc. — every non-share) contain securities.
+  for (size_t i = 0; i < kInstrumentNames.size(); ++i) {
+    if (kInstrumentNames[i].find("shares") != std::string::npos) continue;
+    int64_t fi_id = static_cast<int64_t>(i + 1);
+    size_t count = 2 + rng.Below(3);
+    for (size_t k = 0; k < count; ++k) {
+      SODA_RETURN_NOT_OK(fi_contains_sec->Append(
+          {Value::Int(fi_id),
+           Value::Int(static_cast<int64_t>(1 + rng.Below(25)))}));
+    }
+  }
+
+  // Transactions: 300 financial-instrument trades + 200 money transfers.
+  constexpr int kNumFiTransactions = 300;
+  constexpr int kNumMoneyTransactions = 200;
+  for (int i = 1; i <= kNumFiTransactions + kNumMoneyTransactions; ++i) {
+    int64_t from = rng.Range(1, kNumIndividuals + kNumOrganizations);
+    int64_t to = rng.Range(1, kNumIndividuals + kNumOrganizations);
+    SODA_RETURN_NOT_OK(transactions->Append(
+        {Value::Int(i), Value::Int(from), Value::Int(to)}));
+    Date when = Date::FromYmd(static_cast<int>(rng.Range(2009, 2011)),
+                              static_cast<int>(rng.Range(1, 12)),
+                              static_cast<int>(rng.Range(1, 28)));
+    if (i <= kNumFiTransactions) {
+      SODA_RETURN_NOT_OK(fi_transactions->Append(
+          {Value::Int(i),
+           Value::Int(static_cast<int64_t>(
+               1 + rng.Below(kInstrumentNames.size()))),
+           Value::Real(static_cast<double>(rng.Range(100, 100000))),
+           Value::DateV(when)}));
+    } else {
+      SODA_RETURN_NOT_OK(money_transactions->Append(
+          {Value::Int(i),
+           Value::Real(static_cast<double>(rng.Range(10, 50000))),
+           Value::Str(kCurrencies[rng.Below(kCurrencies.size())]),
+           Value::DateV(when)}));
+    }
+  }
+
+  return bank;
+}
+
+}  // namespace soda

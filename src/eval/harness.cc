@@ -1,0 +1,76 @@
+#include "eval/harness.h"
+
+#include <chrono>
+
+namespace soda {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+}  // namespace
+
+Result<QueryEvaluation> EvaluateQuery(const Soda& soda,
+                                      const BenchmarkQuery& query) {
+  QueryEvaluation evaluation;
+  evaluation.id = query.id;
+
+  // Gold standard: union of the gold statements' tuple sets.
+  Executor executor(soda.database());
+  std::set<std::string> gold;
+  for (const std::string& sql : query.gold_sql) {
+    SODA_ASSIGN_OR_RETURN(ResultSet rs, executor.ExecuteSql(sql));
+    for (auto& tuple : AllTuples(rs)) gold.insert(tuple);
+  }
+
+  // SODA translation.
+  SODA_ASSIGN_OR_RETURN(SearchOutput output, soda.Search(query.keywords));
+  evaluation.complexity = output.complexity;
+  evaluation.num_results = output.results.size();
+  evaluation.soda_ms = output.timings.soda_total_ms();
+
+  // Execute every produced statement in full and score it.
+  auto t0 = std::chrono::steady_clock::now();
+  bool have_best = false;
+  for (const SodaResult& result : output.results) {
+    Result<ResultSet> rs = executor.Execute(result.statement);
+    PrScore score;
+    if (rs.ok()) {
+      std::set<std::string> tuples = ExtractTuples(*rs, query.extractors);
+      score = ComputePr(tuples, gold);
+    }
+    evaluation.per_result.push_back(score);
+    if (score.precision > 0.0 && score.recall > 0.0) {
+      ++evaluation.results_nonzero;
+    } else {
+      ++evaluation.results_zero;
+    }
+    bool better =
+        !have_best || score.f1() > evaluation.best.f1() ||
+        (score.f1() == evaluation.best.f1() &&
+         score.precision > evaluation.best.precision);
+    if (better) {
+      evaluation.best = score;
+      evaluation.best_sql = result.sql;
+      have_best = true;
+    }
+  }
+  evaluation.execute_ms = MsSince(t0);
+  return evaluation;
+}
+
+Result<std::vector<QueryEvaluation>> EvaluateWorkload(
+    const Soda& soda, const std::vector<BenchmarkQuery>& workload) {
+  std::vector<QueryEvaluation> evaluations;
+  for (const BenchmarkQuery& query : workload) {
+    SODA_ASSIGN_OR_RETURN(QueryEvaluation evaluation,
+                          EvaluateQuery(soda, query));
+    evaluations.push_back(std::move(evaluation));
+  }
+  return evaluations;
+}
+
+}  // namespace soda

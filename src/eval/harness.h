@@ -1,0 +1,42 @@
+// Evaluation harness: runs a benchmark query through SODA, executes the
+// generated statements and the gold standard, and scores precision/recall
+// (paper Tables 3 and 4).
+
+#ifndef SODA_EVAL_HARNESS_H_
+#define SODA_EVAL_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/soda.h"
+#include "eval/precision_recall.h"
+#include "eval/workload.h"
+
+namespace soda {
+
+/// The evaluation of one benchmark query.
+struct QueryEvaluation {
+  std::string id;
+  size_t complexity = 0;    // lookup combinatorics
+  size_t num_results = 0;   // distinct SQL statements produced
+  PrScore best;             // best result (max F1, then precision)
+  std::string best_sql;     // the statement that scored best
+  int results_nonzero = 0;  // results with P,R > 0
+  int results_zero = 0;     // results with P,R = 0
+  double soda_ms = 0.0;     // translation time (steps 1-5)
+  double execute_ms = 0.0;  // executing all generated statements
+  std::vector<PrScore> per_result;
+};
+
+/// Runs one query end to end. The Soda instance should be configured with
+/// execute_snippets=false so translation time is measured separately.
+Result<QueryEvaluation> EvaluateQuery(const Soda& soda,
+                                      const BenchmarkQuery& query);
+
+/// Runs the whole workload.
+Result<std::vector<QueryEvaluation>> EvaluateWorkload(
+    const Soda& soda, const std::vector<BenchmarkQuery>& workload);
+
+}  // namespace soda
+
+#endif  // SODA_EVAL_HARNESS_H_

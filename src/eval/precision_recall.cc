@@ -1,0 +1,87 @@
+#include "eval/precision_recall.h"
+
+#include "common/strings.h"
+
+namespace soda {
+
+namespace {
+
+// Finds the index of the output column matching `spec` (alternatives
+// separated by '|'), or -1.
+int FindColumn(const std::vector<std::string>& columns,
+               const std::string& spec) {
+  for (const auto& alternative : Split(spec, '|')) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      const std::string& column = columns[c];
+      if (EqualsFolded(column, alternative)) return static_cast<int>(c);
+      // Suffix match at a '.' boundary: "family_name" vs
+      // "indvl_nm_hist_td.family_name".
+      if (column.size() > alternative.size() + 1) {
+        size_t offset = column.size() - alternative.size();
+        if (column[offset - 1] == '.' &&
+            EqualsFolded(column.substr(offset), alternative)) {
+          return static_cast<int>(c);
+        }
+      }
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::set<std::string> ExtractTuples(
+    const ResultSet& rs, const std::vector<TupleExtractor>& extractors) {
+  std::set<std::string> tuples;
+  for (const TupleExtractor& extractor : extractors) {
+    std::vector<int> indexes;
+    bool all_found = true;
+    for (const std::string& spec : extractor) {
+      int index = FindColumn(rs.column_names, spec);
+      if (index < 0) {
+        all_found = false;
+        break;
+      }
+      indexes.push_back(index);
+    }
+    if (!all_found) continue;
+    for (const auto& row : rs.rows) {
+      std::string key;
+      for (int index : indexes) {
+        key += row[static_cast<size_t>(index)].ToSqlLiteral();
+        key += '\x1f';
+      }
+      tuples.insert(std::move(key));
+    }
+  }
+  return tuples;
+}
+
+std::set<std::string> AllTuples(const ResultSet& rs) {
+  std::set<std::string> tuples;
+  for (const auto& row : rs.rows) {
+    tuples.insert(ResultSet::RowKey(row));
+  }
+  return tuples;
+}
+
+PrScore ComputePr(const std::set<std::string>& result_tuples,
+                  const std::set<std::string>& gold_tuples) {
+  PrScore score;
+  score.result_tuples = result_tuples.size();
+  score.gold_tuples = gold_tuples.size();
+  for (const auto& tuple : result_tuples) {
+    if (gold_tuples.count(tuple) > 0) ++score.overlap;
+  }
+  if (score.result_tuples > 0) {
+    score.precision = static_cast<double>(score.overlap) /
+                      static_cast<double>(score.result_tuples);
+  }
+  if (score.gold_tuples > 0) {
+    score.recall = static_cast<double>(score.overlap) /
+                   static_cast<double>(score.gold_tuples);
+  }
+  return score;
+}
+
+}  // namespace soda

@@ -1,0 +1,61 @@
+// Tuple-set precision/recall (paper Section 5.2.1).
+//
+// "To compute precision, we compared the result tuples of a produced SQL
+//  statement of SODA with the result tuples of the Gold Standard query."
+//
+// Results are compared as sets of distinct projected tuples. Gold results
+// project their comparison columns directly in the gold SQL; SODA results
+// are projected by *tuple extractors*: lists of column names (with
+// `a|b` alternatives) that are suffix-matched against the result's output
+// columns. Every extractor that matches contributes its tuples; an
+// extractor that cannot match contributes nothing (a result lacking the
+// comparison columns scores zero, like the paper's 0-precision rows).
+
+#ifndef SODA_EVAL_PRECISION_RECALL_H_
+#define SODA_EVAL_PRECISION_RECALL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sql/result_set.h"
+
+namespace soda {
+
+/// Precision/recall of one result against one gold tuple set.
+struct PrScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  size_t result_tuples = 0;
+  size_t gold_tuples = 0;
+  size_t overlap = 0;
+
+  double f1() const {
+    return (precision + recall) == 0.0
+               ? 0.0
+               : 2.0 * precision * recall / (precision + recall);
+  }
+};
+
+/// One extractor: a list of column specs, each spec being alternatives
+/// separated by '|' ("indvl_td.id|indvl_id").
+using TupleExtractor = std::vector<std::string>;
+
+/// Extracts the distinct tuple set from `rs` using `extractors`.
+/// A column spec matches an output column when it equals the column name
+/// or is a suffix of it after a '.' boundary (spec "family_name" matches
+/// "indvl_nm_hist_td.family_name" but not "x.a_family_name").
+std::set<std::string> ExtractTuples(
+    const ResultSet& rs, const std::vector<TupleExtractor>& extractors);
+
+/// The whole result as tuples (all columns) — used for gold statements,
+/// which project exactly the comparison columns.
+std::set<std::string> AllTuples(const ResultSet& rs);
+
+/// Set-based precision/recall.
+PrScore ComputePr(const std::set<std::string>& result_tuples,
+                  const std::set<std::string>& gold_tuples);
+
+}  // namespace soda
+
+#endif  // SODA_EVAL_PRECISION_RECALL_H_

@@ -1,0 +1,213 @@
+#include "eval/workload.h"
+
+namespace soda {
+
+const std::vector<BenchmarkQuery>& EnterpriseWorkload() {
+  static const std::vector<BenchmarkQuery>* kWorkload = [] {
+    auto* workload = new std::vector<BenchmarkQuery>();
+
+    // ---- Q1.0 ---------------------------------------------------------------
+    workload->push_back(BenchmarkQuery{
+        "1.0",
+        "private customers family name",
+        "Use customer domain ontology (D) and combine with attribute from "
+        "schema (S). 3-way join incl. inheritance (I).",
+        "Current family names of all private customers (3-way join through "
+        "the snapshot name key).",
+        {"SELECT indvl_td.id AS pid, indvl_nm_hist_td.family_name AS nm "
+         "FROM party_td, indvl_td, indvl_nm_hist_td "
+         "WHERE indvl_td.id = party_td.id "
+         "AND indvl_td.curr_name_id = indvl_nm_hist_td.name_id"},
+        {{"indvl_td.id|indvl_id", "family_name"}},
+        1.00, 1.00, 1, 0, 3, 1, 1.54, 6, "DSI"});
+
+    // ---- Q2.1 ---------------------------------------------------------------
+    workload->push_back(BenchmarkQuery{
+        "2.1",
+        "Sara",
+        "Use base data (B) as a filter criterion. 3-way join incl. "
+        "inheritance (I) with where-clause on given name.",
+        "The full name history of the customer currently named Sara. The "
+        "history join (indvl_id) is not in the schema graph; SODA can only "
+        "reach the current name version, hence recall 0.2.",
+        {"SELECT indvl_nm_hist_td.indvl_id AS pid, "
+         "indvl_nm_hist_td.given_name AS gn, "
+         "indvl_nm_hist_td.valid_from AS vf "
+         "FROM party_td, indvl_td, indvl_nm_hist_td "
+         "WHERE indvl_td.id = party_td.id "
+         "AND indvl_nm_hist_td.indvl_id = indvl_td.id "
+         "AND indvl_td.given_nm = 'Sara'"},
+        {{"indvl_id|indvl_td.id", "given_nm|given_name", "valid_from"}},
+        1.00, 0.20, 1, 3, 4, 4, 0.81, 1, "BI"});
+
+    // ---- Q2.2 ---------------------------------------------------------------
+    workload->push_back(BenchmarkQuery{
+        "2.2",
+        "Sara given name",
+        "Same as for Q2.1 + restriction on given name (S).",
+        "Same gold standard as Q2.1.",
+        {"SELECT indvl_nm_hist_td.indvl_id AS pid, "
+         "indvl_nm_hist_td.given_name AS gn, "
+         "indvl_nm_hist_td.valid_from AS vf "
+         "FROM party_td, indvl_td, indvl_nm_hist_td "
+         "WHERE indvl_td.id = party_td.id "
+         "AND indvl_nm_hist_td.indvl_id = indvl_td.id "
+         "AND indvl_td.given_nm = 'Sara'"},
+        {{"indvl_id|indvl_td.id", "given_nm|given_name", "valid_from"}},
+        1.00, 0.20, 1, 1, 12, 2, 1.60, 3, "BSI"});
+
+    // ---- Q2.3 ---------------------------------------------------------------
+    workload->push_back(BenchmarkQuery{
+        "2.3",
+        "Sara birth date",
+        "Restriction on birth date to focus on specific table (S).",
+        "Birth date of the customer named Sara (the snapshot join suffices "
+        "for current-state questions, hence full recall).",
+        {"SELECT indvl_td.id AS pid, indvl_td.birth_dt AS bd "
+         "FROM party_td, indvl_td, indvl_nm_hist_td "
+         "WHERE indvl_td.id = party_td.id "
+         "AND indvl_nm_hist_td.indvl_id = indvl_td.id "
+         "AND indvl_td.given_nm = 'Sara'"},
+        {{"indvl_td.id|indvl_id", "birth_dt"}},
+        1.00, 1.00, 1, 2, 12, 3, 1.69, 3, "BSI"});
+
+    // ---- Q3.1 ---------------------------------------------------------------
+    workload->push_back(BenchmarkQuery{
+        "3.1",
+        "Credit Suisse",
+        "Use base data (B) as a filter criterion to find the organization.",
+        "The organization named Credit Suisse.",
+        {"SELECT org_td.id AS oid FROM org_td "
+         "WHERE org_td.org_nm = 'Credit Suisse'"},
+        {{"org_td.id|org_id"}},
+        1.00, 1.00, 2, 4, 12, 6, 3.78, 2, "B"});
+
+    // ---- Q3.2 ---------------------------------------------------------------
+    workload->push_back(BenchmarkQuery{
+        "3.2",
+        "Credit Suisse",
+        "Use base data (B) as a filter criterion to find Credit Suisse "
+        "agreements.",
+        "The Credit Suisse master agreement (deals table).",
+        {"SELECT agrmnt_td.id AS aid FROM agrmnt_td "
+         "WHERE agrmnt_td.agrmnt_nm = 'Credit Suisse Master Agreement'"},
+        {{"agrmnt_td.id"}},
+        1.00, 1.00, 3, 3, 12, 6, 3.78, 2, "B"});
+
+    // ---- Q4.0 ---------------------------------------------------------------
+    workload->push_back(BenchmarkQuery{
+        "4.0",
+        "gold agreement",
+        "Use base data (B) as filter and match with schema attribute (S). "
+        "2-way join.",
+        "The gold hedging agreement and its holding party.",
+        {"SELECT agrmnt_td.id AS aid FROM agrmnt_td, party_td "
+         "WHERE agrmnt_td.party_id = party_td.id "
+         "AND agrmnt_td.agrmnt_nm = 'Gold Hedging Agreement'"},
+        {{"agrmnt_td.id"}},
+        1.00, 1.00, 1, 3, 16, 4, 4.89, 4, "BS"});
+
+    // ---- Q5.0 ---------------------------------------------------------------
+    workload->push_back(BenchmarkQuery{
+        "5.0",
+        "customers names",
+        "Identify inheritance relationships (I) and use names domain "
+        "ontology (D).",
+        "Two separate 3-way join queries for private and corporate clients "
+        "(current names). SODA routes the organization side through the "
+        "associate-employment bridge between the inheritance siblings, "
+        "collapsing precision.",
+        {"SELECT indvl_td.id AS pid, indvl_nm_hist_td.family_name AS nm "
+         "FROM indvl_td, indvl_nm_hist_td "
+         "WHERE indvl_td.curr_name_id = indvl_nm_hist_td.name_id",
+         "SELECT org_td.id AS pid, org_nm_hist_td.org_name AS nm "
+         "FROM org_td, org_nm_hist_td "
+         "WHERE org_td.curr_name_id = org_nm_hist_td.name_id"},
+        {{"party_td.id", "family_name"}, {"party_td.id", "org_name"}},
+        0.12, 0.56, 1, 4, 4, 4, 1.24, 6, "DI"});
+
+    // ---- Q6.0 ---------------------------------------------------------------
+    workload->push_back(BenchmarkQuery{
+        "6.0",
+        "trade order period > date(2011-09-01)",
+        "Time-based range query (P) on given column (S).",
+        "Trade orders with a period after September 2011.",
+        {"SELECT trd_ordr_td.id AS oid "
+         "FROM party_td, ordr_td, trd_ordr_td "
+         "WHERE ordr_td.party_id = party_td.id "
+         "AND trd_ordr_td.id = ordr_td.id "
+         "AND trd_ordr_td.period_dt > DATE '2011-09-01'"},
+        {{"trd_ordr_td.id"}},
+        1.00, 1.00, 2, 0, 5, 2, 0.73, 1, "SPI"});
+
+    // ---- Q7.0 ---------------------------------------------------------------
+    workload->push_back(BenchmarkQuery{
+        "7.0",
+        "YEN trade order",
+        "Use base data (B) filters and schema (S).",
+        "Trade orders fully denominated in YEN (order AND settlement "
+        "currency). SODA restricts only the order currency, returning a "
+        "2x superset.",
+        {"SELECT trd_ordr_td.id AS oid "
+         "FROM party_td, ordr_td, trd_ordr_td, crncy_td "
+         "WHERE ordr_td.party_id = party_td.id "
+         "AND trd_ordr_td.id = ordr_td.id "
+         "AND trd_ordr_td.crncy_cd = crncy_td.cd "
+         "AND crncy_td.cd = 'YEN' "
+         "AND trd_ordr_td.settle_crncy_cd = 'YEN'"},
+        {{"trd_ordr_td.id"}},
+        0.50, 1.00, 1, 3, 20, 4, 4.94, 1, "BSI"});
+
+    // ---- Q8.0 ---------------------------------------------------------------
+    workload->push_back(BenchmarkQuery{
+        "8.0",
+        "trade order investment product Lehman XYZ",
+        "Base data (B) + schema (S). 5-way join with where-clause incl. "
+        "inheritance (I).",
+        "Trade orders of the Lehman XYZ product.",
+        {"SELECT trd_ordr_td.id AS oid "
+         "FROM party_td, ordr_td, trd_ordr_td, invst_prod_td "
+         "WHERE ordr_td.party_id = party_td.id "
+         "AND trd_ordr_td.id = ordr_td.id "
+         "AND trd_ordr_td.prod_id = invst_prod_td.id "
+         "AND invst_prod_td.prod_nm = 'Lehman XYZ'"},
+        {{"trd_ordr_td.id"}},
+        1.00, 1.00, 2, 2, 8, 4, 2.94, 2, "BSI"});
+
+    // ---- Q9.0 ---------------------------------------------------------------
+    workload->push_back(BenchmarkQuery{
+        "9.0",
+        "select count() private customers Switzerland",
+        "Base data (B) + domain ontology (D) + aggregation (A) incl. "
+        "inheritance (I).",
+        "Number of distinct private customers with an address in "
+        "Switzerland. SODA's COUNT(*) over the party-address bridge "
+        "double-counts (two addresses per person) — every produced count "
+        "is wrong.",
+        {"SELECT count(DISTINCT indvl_td.id) AS cnt "
+         "FROM party_td, indvl_td, party_addr_td, addr_td "
+         "WHERE indvl_td.id = party_td.id "
+         "AND party_addr_td.party_id = party_td.id "
+         "AND party_addr_td.addr_id = addr_td.id "
+         "AND addr_td.cntry = 'Switzerland'"},
+        {{"cnt|count(*)"}},
+        0.00, 0.00, 0, 6, 30, 6, 7.31, 1, "BDAI"});
+
+    // ---- Q10.0 --------------------------------------------------------------
+    workload->push_back(BenchmarkQuery{
+        "10.0",
+        "sum(investments) group by (currency)",
+        "Aggregation (A) with explicit grouping and schema (S).",
+        "Total investments per currency.",
+        {"SELECT sum(invst_pos_td.invst_amt) AS total, "
+         "invst_pos_td.crncy_cd AS currency "
+         "FROM invst_pos_td GROUP BY invst_pos_td.crncy_cd"},
+        {{"total|sum(invst_pos_td.invst_amt)", "currency|crncy_cd"}},
+        1.00, 1.00, 1, 5, 25, 6, 2.83, 40, "SA"});
+
+    return workload;
+  }();
+  return *kWorkload;
+}
+
+}  // namespace soda

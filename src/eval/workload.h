@@ -1,0 +1,51 @@
+// The 13-query benchmark workload of the paper's evaluation (Table 2),
+// adapted to the synthetic enterprise warehouse, with hand-written gold
+// standards and the paper's reference numbers for side-by-side reporting.
+
+#ifndef SODA_EVAL_WORKLOAD_H_
+#define SODA_EVAL_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/precision_recall.h"
+
+namespace soda {
+
+struct BenchmarkQuery {
+  std::string id;        // "1.0", "2.1", ...
+  std::string keywords;  // the SODA input
+  std::string comment;   // query-type tags, as in paper Table 2
+  std::string gold_description;
+
+  /// Gold standard: one or more statements whose tuple sets union
+  /// (paper Q5.0 needs "two separate 3-way join queries"). Each statement
+  /// projects exactly the comparison columns.
+  std::vector<std::string> gold_sql;
+
+  /// Tuple extractors applied to every SODA result (see
+  /// eval/precision_recall.h).
+  std::vector<TupleExtractor> extractors;
+
+  // Paper reference numbers (Tables 3 and 4).
+  double paper_precision = 0.0;
+  double paper_recall = 0.0;
+  int paper_results_nonzero = 0;
+  int paper_results_zero = 0;
+  int paper_complexity = 0;
+  int paper_num_results = 0;
+  double paper_soda_seconds = 0.0;
+  int paper_total_minutes = 0;
+
+  /// Query-type tags for the Table 5 comparison: subset of
+  /// {B, S, D, I, P, A} (base data, schema, domain ontology, inheritance,
+  /// predicates, aggregates).
+  std::string types;
+};
+
+/// The full workload, in paper order.
+const std::vector<BenchmarkQuery>& EnterpriseWorkload();
+
+}  // namespace soda
+
+#endif  // SODA_EVAL_WORKLOAD_H_

@@ -1,0 +1,82 @@
+// The predicate and type vocabulary of the metadata graph.
+//
+// These are the edge labels ("static URIs" in the paper's pattern language)
+// that the Credit Suisse metadata warehouse exposes and the SODA patterns
+// test for. Centralizing them here keeps the schema compiler, the pattern
+// library and the datasets in agreement.
+
+#ifndef SODA_GRAPH_VOCAB_H_
+#define SODA_GRAPH_VOCAB_H_
+
+namespace soda {
+namespace vocab {
+
+// ---- rdf-ish core -----------------------------------------------------------
+inline constexpr char kType[] = "type";
+inline constexpr char kLabel[] = "label";  // human-readable text label
+
+// ---- node type URIs ---------------------------------------------------------
+inline constexpr char kPhysicalTable[] = "physical_table";
+inline constexpr char kPhysicalColumn[] = "physical_column";
+inline constexpr char kLogicalEntity[] = "logical_entity";
+inline constexpr char kLogicalAttribute[] = "logical_attribute";
+inline constexpr char kConceptualEntity[] = "conceptual_entity";
+inline constexpr char kConceptualAttribute[] = "conceptual_attribute";
+inline constexpr char kInheritanceNode[] = "inheritance_node";
+inline constexpr char kJoinRelationship[] = "join_relationship";
+inline constexpr char kRelationshipNode[] = "relationship_node";
+inline constexpr char kOntologyConcept[] = "ontology_concept";
+inline constexpr char kDbpediaTerm[] = "dbpedia_term";
+inline constexpr char kMetadataFilter[] = "metadata_filter";
+
+// ---- physical schema edges --------------------------------------------------
+inline constexpr char kTablename[] = "tablename";    // table -> t:name
+inline constexpr char kColumnname[] = "columnname";  // column -> t:name
+inline constexpr char kColumn[] = "column";          // table -> column
+inline constexpr char kForeignKey[] = "foreign_key";  // fk col -> pk col
+
+// Explicit join node (the more general Credit Suisse Join-Relationship):
+inline constexpr char kJoinForeignKey[] = "join_foreign_key";  // join -> col
+inline constexpr char kJoinPrimaryKey[] = "join_primary_key";  // join -> col
+
+// ---- inheritance ------------------------------------------------------------
+inline constexpr char kInheritanceParent[] = "inheritance_parent";
+inline constexpr char kInheritanceChild[] = "inheritance_child";
+
+// ---- conceptual / logical schema edges -------------------------------------
+inline constexpr char kEntityname[] = "entityname";        // entity -> t:name
+inline constexpr char kAttributename[] = "attributename";  // attr -> t:name
+inline constexpr char kAttribute[] = "attribute";          // entity -> attr
+inline constexpr char kRelFrom[] = "rel_from";             // relationship
+inline constexpr char kRelTo[] = "rel_to";
+
+// Cross-layer mapping: conceptual -> logical -> physical.
+inline constexpr char kImplementedBy[] = "implemented_by";
+// Attribute-level mapping onto physical columns.
+inline constexpr char kRealizedBy[] = "realized_by";
+
+// ---- ontology / DBpedia edges ----------------------------------------------
+inline constexpr char kClassifies[] = "classifies";  // concept -> schema node
+inline constexpr char kSubconceptOf[] = "subconcept_of";
+inline constexpr char kSynonymOf[] = "synonym_of";  // dbpedia -> schema node
+
+// ---- metadata-defined filters (e.g. "wealthy customer") ---------------------
+inline constexpr char kFilterColumn[] = "filter_column";  // filter -> column
+inline constexpr char kFilterOp[] = "filter_op";          // filter -> t:op
+inline constexpr char kFilterValue[] = "filter_value";    // filter -> t:value
+
+// ---- metadata-defined aggregations (e.g. "trading volume" = sum of the
+// transaction amount, paper Section 4.4.2) ------------------------------------
+inline constexpr char kMetadataAggregation[] = "metadata_aggregation";
+inline constexpr char kAggColumn[] = "agg_column";  // agg -> column
+inline constexpr char kAggFunc[] = "agg_func";      // agg -> t:sum|count|...
+
+// ---- schema annotations (war stories, Section 5.3.1) ------------------------
+// A join_relationship annotated as ignored (e.g. unpopulated bridge table).
+inline constexpr char kAnnotation[] = "annotation";        // node -> t:text
+inline constexpr char kIgnoreRelationship[] = "ignore_relationship";
+
+}  // namespace vocab
+}  // namespace soda
+
+#endif  // SODA_GRAPH_VOCAB_H_

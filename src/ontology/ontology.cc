@@ -1,0 +1,169 @@
+#include "ontology/ontology.h"
+
+#include "common/strings.h"
+#include "graph/vocab.h"
+
+namespace soda {
+
+namespace {
+
+std::string Slug(const std::string& label) {
+  std::string out;
+  for (char c : FoldForMatch(label)) {
+    out.push_back(c == ' ' ? '_' : c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string OntologyConceptUri(const std::string& label) {
+  return "onto/" + Slug(label);
+}
+
+std::string MetadataFilterUri(const std::string& label) {
+  return "filter/" + Slug(label);
+}
+
+std::string DbpediaTermUri(const std::string& term) {
+  return "dbp/" + Slug(term);
+}
+
+Result<NodeId> ResolveScopedName(const MetadataGraph& graph,
+                                 const std::string& scoped_name) {
+  auto colon = scoped_name.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("scoped name '" + scoped_name +
+                                   "' needs a scope prefix");
+  }
+  std::string scope = scoped_name.substr(0, colon);
+  std::string name = scoped_name.substr(colon + 1);
+  std::string uri;
+  if (scope == "concept") {
+    uri = "concept/" + name;
+  } else if (scope == "logical") {
+    uri = "logical/" + name;
+  } else if (scope == "table") {
+    uri = "table/" + name;
+  } else if (scope == "onto") {
+    uri = OntologyConceptUri(name);
+  } else {
+    return Status::InvalidArgument("unknown scope '" + scope + "' in '" +
+                                   scoped_name + "'");
+  }
+  NodeId node = graph.FindNode(uri);
+  if (node == kInvalidNode) {
+    return Status::NotFound("scoped name '" + scoped_name +
+                            "' resolves to missing node '" + uri + "'");
+  }
+  return node;
+}
+
+Status CompileOntology(const std::vector<OntologyConceptSpec>& concepts,
+                       MetadataGraph* graph) {
+  // Two passes so parents can be declared after children.
+  for (const auto& spec : concepts) {
+    SODA_ASSIGN_OR_RETURN(
+        NodeId node, graph->AddNode(OntologyConceptUri(spec.label),
+                                    MetadataLayer::kDomainOntology));
+    NodeId type_node =
+        graph->GetOrAddNode(vocab::kOntologyConcept, MetadataLayer::kOther);
+    graph->AddEdge(node, vocab::kType, type_node);
+    graph->AddTextEdge(node, vocab::kLabel, spec.label);
+  }
+  for (const auto& spec : concepts) {
+    NodeId node = graph->FindNode(OntologyConceptUri(spec.label));
+    if (!spec.parent.empty()) {
+      NodeId parent = graph->FindNode(OntologyConceptUri(spec.parent));
+      if (parent == kInvalidNode) {
+        return Status::NotFound("ontology concept '" + spec.label +
+                                "' has unknown parent '" + spec.parent +
+                                "'");
+      }
+      graph->AddEdge(node, vocab::kSubconceptOf, parent);
+      // The traversal follows outgoing edges from entry points, so the
+      // parent concept also needs a path down to its subconcepts.
+      graph->AddEdge(parent, vocab::kClassifies, node);
+    }
+    for (const auto& target : spec.classifies) {
+      SODA_ASSIGN_OR_RETURN(NodeId target_node,
+                            ResolveScopedName(*graph, target));
+      graph->AddEdge(node, vocab::kClassifies, target_node);
+    }
+  }
+  return Status::OK();
+}
+
+Status CompileMetadataFilters(const std::vector<MetadataFilterSpec>& filters,
+                              MetadataGraph* graph) {
+  for (const auto& filter : filters) {
+    NodeId column = graph->FindNode("column/" + filter.table + "." +
+                                    filter.column);
+    if (column == kInvalidNode) {
+      return Status::NotFound("metadata filter '" + filter.label +
+                              "' references missing column " + filter.table +
+                              "." + filter.column);
+    }
+    SODA_ASSIGN_OR_RETURN(
+        NodeId node, graph->AddNode(MetadataFilterUri(filter.label),
+                                    MetadataLayer::kDomainOntology));
+    NodeId type_node =
+        graph->GetOrAddNode(vocab::kMetadataFilter, MetadataLayer::kOther);
+    graph->AddEdge(node, vocab::kType, type_node);
+    graph->AddTextEdge(node, vocab::kLabel, filter.label);
+    graph->AddEdge(node, vocab::kFilterColumn, column);
+    graph->AddTextEdge(node, vocab::kFilterOp, filter.op);
+    graph->AddTextEdge(node, vocab::kFilterValue, filter.value);
+  }
+  return Status::OK();
+}
+
+std::string MetadataAggregationUri(const std::string& label) {
+  return "agg/" + Slug(label);
+}
+
+Status CompileMetadataAggregations(
+    const std::vector<MetadataAggregationSpec>& aggregations,
+    MetadataGraph* graph) {
+  for (const auto& agg : aggregations) {
+    NodeId column =
+        graph->FindNode("column/" + agg.table + "." + agg.column);
+    if (column == kInvalidNode) {
+      return Status::NotFound("metadata aggregation '" + agg.label +
+                              "' references missing column " + agg.table +
+                              "." + agg.column);
+    }
+    SODA_ASSIGN_OR_RETURN(
+        NodeId node, graph->AddNode(MetadataAggregationUri(agg.label),
+                                    MetadataLayer::kDomainOntology));
+    NodeId type_node = graph->GetOrAddNode(vocab::kMetadataAggregation,
+                                           MetadataLayer::kOther);
+    graph->AddEdge(node, vocab::kType, type_node);
+    graph->AddTextEdge(node, vocab::kLabel, agg.label);
+    graph->AddEdge(node, vocab::kAggColumn, column);
+    graph->AddTextEdge(node, vocab::kAggFunc, agg.func);
+  }
+  return Status::OK();
+}
+
+Status CompileDbpedia(const std::vector<DbpediaSynonymSpec>& synonyms,
+                      MetadataGraph* graph) {
+  for (const auto& synonym : synonyms) {
+    NodeId node = graph->GetOrAddNode(DbpediaTermUri(synonym.term),
+                                      MetadataLayer::kDbpedia);
+    NodeId type_node =
+        graph->GetOrAddNode(vocab::kDbpediaTerm, MetadataLayer::kOther);
+    if (!graph->HasEdge(node, vocab::kType, type_node)) {
+      graph->AddEdge(node, vocab::kType, type_node);
+      graph->AddTextEdge(node, vocab::kLabel, synonym.term);
+    }
+    for (const auto& target : synonym.schema_targets) {
+      SODA_ASSIGN_OR_RETURN(NodeId target_node,
+                            ResolveScopedName(*graph, target));
+      graph->AddEdge(node, vocab::kSynonymOf, target_node);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace soda

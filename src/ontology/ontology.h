@@ -1,0 +1,101 @@
+// Domain ontologies, metadata-defined filters, and the DBpedia lexicon
+// (paper Section 2.2).
+//
+// Domain ontologies classify schema objects for a business domain: the
+// concept "private customers" classifies the Individuals entity, "corporate
+// customers" the Organizations entity. Metadata filters are business terms
+// that expand to predicates ("wealthy customers" = customers with salary
+// above a threshold). DBpedia supplies synonyms attached to schema terms
+// ("customer", "client" -> Parties).
+//
+// All three compile into the metadata graph; SODA discovers them through
+// the ontology-concept and metadata-filter patterns during lookup and the
+// filters step.
+
+#ifndef SODA_ONTOLOGY_ONTOLOGY_H_
+#define SODA_ONTOLOGY_ONTOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/metadata_graph.h"
+
+namespace soda {
+
+/// One concept of a domain ontology.
+struct OntologyConceptSpec {
+  /// Business label, e.g. "private customers". Also the lookup key.
+  std::string label;
+  /// Optional parent concept label (subconcept_of edge).
+  std::string parent;
+  /// Schema objects this concept classifies, written as scoped names:
+  ///   "concept:<Name>"  — conceptual entity
+  ///   "logical:<Name>"  — logical entity
+  ///   "table:<name>"    — physical table
+  std::vector<std::string> classifies;
+};
+
+/// A business term that expands to a predicate over a physical column,
+/// e.g. label="wealthy customers", table="individuals", column="salary",
+/// op=">=", value="1000000".
+struct MetadataFilterSpec {
+  std::string label;
+  std::string table;
+  std::string column;
+  std::string op;     // one of > >= = <= < like
+  std::string value;  // literal text; typed by the column
+};
+
+/// A DBpedia synonym: `term` is what users type, `schema_targets` are the
+/// scoped names (same syntax as OntologyConceptSpec::classifies) the term
+/// maps onto.
+struct DbpediaSynonymSpec {
+  std::string term;
+  std::vector<std::string> schema_targets;
+};
+
+/// A business measure that expands to an aggregation over a physical
+/// column (paper Section 4.4.2: "trading volume" = sum of the transaction
+/// amount). label="trading volume", func="sum", table="fi_transactions",
+/// column="amount".
+struct MetadataAggregationSpec {
+  std::string label;
+  std::string func;  // sum | count | avg | min | max
+  std::string table;
+  std::string column;
+};
+
+/// Resolves a scoped name ("logical:Individual") to the graph node created
+/// by the warehouse compiler. Fails when the target does not exist.
+Result<NodeId> ResolveScopedName(const MetadataGraph& graph,
+                                 const std::string& scoped_name);
+
+/// URI helpers shared with the warehouse compiler.
+std::string OntologyConceptUri(const std::string& label);
+std::string MetadataFilterUri(const std::string& label);
+std::string DbpediaTermUri(const std::string& term);
+
+/// Compiles ontology concepts into `graph`. Targets must already exist.
+Status CompileOntology(const std::vector<OntologyConceptSpec>& concepts,
+                       MetadataGraph* graph);
+
+/// Compiles metadata filters into `graph` (filter nodes live in the domain
+/// ontology layer and point at physical columns).
+Status CompileMetadataFilters(const std::vector<MetadataFilterSpec>& filters,
+                              MetadataGraph* graph);
+
+/// Compiles DBpedia synonyms into `graph`.
+Status CompileDbpedia(const std::vector<DbpediaSynonymSpec>& synonyms,
+                      MetadataGraph* graph);
+
+/// Compiles metadata aggregations into `graph`.
+Status CompileMetadataAggregations(
+    const std::vector<MetadataAggregationSpec>& aggregations,
+    MetadataGraph* graph);
+
+std::string MetadataAggregationUri(const std::string& label);
+
+}  // namespace soda
+
+#endif  // SODA_ONTOLOGY_ONTOLOGY_H_

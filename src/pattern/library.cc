@@ -1,0 +1,227 @@
+#include "pattern/library.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace soda {
+
+Status PatternLibrary::Register(GraphPattern pattern) {
+  if (patterns_.count(pattern.name) > 0) {
+    return Status::AlreadyExists("pattern '" + pattern.name +
+                                 "' already registered");
+  }
+  patterns_.emplace(pattern.name, std::move(pattern));
+  return Status::OK();
+}
+
+Status PatternLibrary::RegisterText(const std::string& name,
+                                    const std::string& text) {
+  SODA_ASSIGN_OR_RETURN(GraphPattern pattern, ParsePattern(name, text));
+  return Register(std::move(pattern));
+}
+
+Status PatternLibrary::Replace(GraphPattern pattern) {
+  patterns_[pattern.name] = std::move(pattern);
+  return Status::OK();
+}
+
+const GraphPattern* PatternLibrary::Find(const std::string& name) const {
+  auto it = patterns_.find(name);
+  return it == patterns_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> PatternLibrary::names() const {
+  std::vector<std::string> out;
+  out.reserve(patterns_.size());
+  for (const auto& [name, p] : patterns_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+// Renames a term according to the substitution map; variables not in the
+// map are passed through unchanged.
+PatternTerm Substitute(const PatternTerm& term,
+                       const std::map<std::string, std::string>& subst) {
+  if (term.kind == PatternTerm::Kind::kVariable ||
+      term.kind == PatternTerm::Kind::kTextVariable) {
+    auto it = subst.find(term.name);
+    if (it != subst.end()) {
+      PatternTerm renamed = term;
+      renamed.name = it->second;
+      return renamed;
+    }
+  }
+  return term;
+}
+
+}  // namespace
+
+Status PatternLibrary::ExpandInto(const GraphPattern& pattern,
+                                  const std::string& bind_x_to,
+                                  int* fresh_counter,
+                                  std::vector<std::string>* stack,
+                                  GraphPattern* out) const {
+  if (std::find(stack->begin(), stack->end(), pattern.name) != stack->end()) {
+    return Status::InvalidArgument("pattern reference cycle through '" +
+                                   pattern.name + "'");
+  }
+  stack->push_back(pattern.name);
+
+  // Build the substitution: x -> bind_x_to, other variables -> fresh names.
+  // (At the top level bind_x_to == "x", i.e. identity on x.)
+  std::map<std::string, std::string> subst;
+  subst["x"] = bind_x_to;
+  const int instance = (*fresh_counter)++;
+  auto fresh_name = [&](const std::string& var) {
+    if (bind_x_to == "x" && instance == 0) return var;  // top level: keep
+    return pattern.name + "#" + std::to_string(instance) + "::" + var;
+  };
+  auto map_var = [&](const PatternTerm& term) {
+    if (term.kind != PatternTerm::Kind::kVariable &&
+        term.kind != PatternTerm::Kind::kTextVariable) {
+      return;
+    }
+    if (subst.count(term.name) == 0) {
+      subst[term.name] = fresh_name(term.name);
+    }
+  };
+  for (const auto& t : pattern.triples) {
+    map_var(t.subject);
+    if (!t.is_reference) map_var(t.object);
+  }
+
+  for (const auto& t : pattern.triples) {
+    if (t.is_reference) {
+      const GraphPattern* referenced = Find(t.reference_name);
+      if (referenced == nullptr) {
+        return Status::NotFound("pattern '" + pattern.name +
+                                "' references unknown pattern '" +
+                                t.reference_name + "'");
+      }
+      PatternTerm subject = Substitute(t.subject, subst);
+      if (subject.kind == PatternTerm::Kind::kUri) {
+        return Status::InvalidArgument(
+            "matches- reference subject must be a variable");
+      }
+      SODA_RETURN_NOT_OK(ExpandInto(*referenced, subject.name, fresh_counter,
+                                    stack, out));
+    } else {
+      PatternTriple expanded;
+      expanded.subject = Substitute(t.subject, subst);
+      expanded.predicate = t.predicate;
+      expanded.object = Substitute(t.object, subst);
+      out->triples.push_back(std::move(expanded));
+    }
+  }
+  for (const auto& [a, b] : pattern.distinct_constraints) {
+    auto rename = [&](const std::string& v) {
+      auto it = subst.find(v);
+      return it == subst.end() ? v : it->second;
+    };
+    out->distinct_constraints.emplace_back(rename(a), rename(b));
+  }
+
+  stack->pop_back();
+  return Status::OK();
+}
+
+Result<GraphPattern> PatternLibrary::Expand(const std::string& name) const {
+  const GraphPattern* pattern = Find(name);
+  if (pattern == nullptr) {
+    return Status::NotFound("unknown pattern '" + name + "'");
+  }
+  GraphPattern out;
+  out.name = name;
+  int fresh_counter = 0;
+  std::vector<std::string> stack;
+  SODA_RETURN_NOT_OK(
+      ExpandInto(*pattern, "x", &fresh_counter, &stack, &out));
+  return out;
+}
+
+PatternLibrary CreditSuissePatternLibrary() {
+  PatternLibrary lib;
+  auto must = [&](const char* name, const char* text) {
+    Status st = lib.RegisterText(name, text);
+    (void)st;  // patterns below are static and verified by unit tests
+  };
+
+  // Basic patterns (paper Section 4.2.1, "Basic Patterns").
+  must(patterns::kTable,
+       "( x tablename t:y ) &\n"
+       "( x type physical_table )");
+  must(patterns::kColumn,
+       "( x columnname t:y ) &\n"
+       "( x type physical_column ) &\n"
+       "( z column x )");
+
+  // "More Complex Patterns": joins and inheritance.
+  must(patterns::kForeignKey,
+       "( x foreign_key y ) &\n"
+       "( x matches-column ) &\n"
+       "( y matches-column )");
+  must(patterns::kJoinRelationship,
+       "( x type join_relationship ) &\n"
+       "( x join_foreign_key f ) &\n"
+       "( x join_primary_key p ) &\n"
+       "( f matches-column ) &\n"
+       "( p matches-column )");
+  must(patterns::kInheritanceChild,
+       "( y inheritance_child x ) &\n"
+       "( y type inheritance_node ) &\n"
+       "( y inheritance_parent p ) &\n"
+       "( y inheritance_child c1 ) &\n"
+       "( y inheritance_child c2 ) &\n"
+       "( c1 distinct c2 )");
+
+  // Bridge tables: physical implementations of N-to-N relationships,
+  // recognized by two outgoing foreign keys on distinct columns.
+  must(patterns::kBridgeTable,
+       "( x type physical_table ) &\n"
+       "( x column c1 ) &\n"
+       "( c1 foreign_key p1 ) &\n"
+       "( x column c2 ) &\n"
+       "( c2 foreign_key p2 ) &\n"
+       "( c1 distinct c2 ) &\n"
+       "( p1 distinct p2 )");
+
+  // The same bridge shape when foreign keys are modeled with explicit
+  // join-relationship nodes (the Credit Suisse convention).
+  must(patterns::kBridgeTableJoin,
+       "( x type physical_table ) &\n"
+       "( x column c1 ) &\n"
+       "( j1 type join_relationship ) &\n"
+       "( j1 join_foreign_key c1 ) &\n"
+       "( j1 join_primary_key p1 ) &\n"
+       "( x column c2 ) &\n"
+       "( j2 type join_relationship ) &\n"
+       "( j2 join_foreign_key c2 ) &\n"
+       "( j2 join_primary_key p2 ) &\n"
+       "( c1 distinct c2 ) &\n"
+       "( p1 distinct p2 )");
+
+  // Filters stored in the metadata ("wealthy customers").
+  must(patterns::kMetadataFilter,
+       "( x type metadata_filter ) &\n"
+       "( x filter_column c ) &\n"
+       "( c matches-column ) &\n"
+       "( x filter_op t:op ) &\n"
+       "( x filter_value t:v )");
+
+  // Lookup-phase patterns: what counts as a named schema object.
+  must(patterns::kConceptualEntity,
+       "( x type conceptual_entity ) &\n"
+       "( x entityname t:y )");
+  must(patterns::kLogicalEntity,
+       "( x type logical_entity ) &\n"
+       "( x entityname t:y )");
+  must(patterns::kOntologyConcept,
+       "( x type ontology_concept ) &\n"
+       "( x label t:y )");
+
+  return lib;
+}
+
+}  // namespace soda

@@ -1,0 +1,77 @@
+// Registry of named graph patterns plus the default Credit Suisse set.
+//
+// "While the patterns may have to be changed between different
+//  applications, the algorithm always stays the same." (paper Section 4.1)
+//
+// The library owns the named patterns, resolves `matches-<name>` references
+// by inlining (with fresh variable names per instantiation) and memoizes
+// the expanded forms for the matcher.
+
+#ifndef SODA_PATTERN_LIBRARY_H_
+#define SODA_PATTERN_LIBRARY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pattern/pattern.h"
+
+namespace soda {
+
+/// Well-known pattern names used by the SODA pipeline steps.
+namespace patterns {
+inline constexpr char kTable[] = "table";
+inline constexpr char kColumn[] = "column";
+inline constexpr char kForeignKey[] = "foreign_key";
+inline constexpr char kJoinRelationship[] = "join_relationship";
+inline constexpr char kInheritanceChild[] = "inheritance_child";
+inline constexpr char kBridgeTable[] = "bridge_table";
+inline constexpr char kBridgeTableJoin[] = "bridge_table_join";
+inline constexpr char kMetadataFilter[] = "metadata_filter";
+inline constexpr char kConceptualEntity[] = "conceptual_entity";
+inline constexpr char kLogicalEntity[] = "logical_entity";
+inline constexpr char kOntologyConcept[] = "ontology_concept";
+}  // namespace patterns
+
+class PatternLibrary {
+ public:
+  /// Registers a parsed pattern under its name. Fails on duplicates.
+  Status Register(GraphPattern pattern);
+
+  /// Parses `text` and registers it as `name`.
+  Status RegisterText(const std::string& name, const std::string& text);
+
+  /// Replaces an existing pattern (used to adapt SODA to another
+  /// warehouse's modeling conventions without touching the algorithm).
+  Status Replace(GraphPattern pattern);
+
+  /// Looks up a pattern by name; nullptr when absent.
+  const GraphPattern* Find(const std::string& name) const;
+
+  /// Returns the pattern with all `matches-` references inlined.
+  /// Referenced patterns bind their `x` variable to the referencing
+  /// subject; their other variables get fresh names. Cycles are an error.
+  Result<GraphPattern> Expand(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+  size_t size() const { return patterns_.size(); }
+
+ private:
+  Status ExpandInto(const GraphPattern& pattern,
+                    const std::string& bind_x_to, int* fresh_counter,
+                    std::vector<std::string>* stack,
+                    GraphPattern* out) const;
+
+  std::map<std::string, GraphPattern> patterns_;
+};
+
+/// Builds the pattern set used for the Credit Suisse data warehouse
+/// (paper Section 4.2.1): Table, Column, Foreign-Key, Join-Relationship,
+/// Inheritance-Child, Bridge-Table, Metadata-Filter plus the lookup
+/// patterns for conceptual/logical entities and ontology concepts.
+PatternLibrary CreditSuissePatternLibrary();
+
+}  // namespace soda
+
+#endif  // SODA_PATTERN_LIBRARY_H_

@@ -1,0 +1,209 @@
+#include "pattern/matcher.h"
+
+#include <optional>
+
+namespace soda {
+
+namespace {
+
+// Search state shared across the recursion.
+struct SearchContext {
+  const MetadataGraph* graph;
+  const GraphPattern* pattern;
+  size_t max_matches;
+  std::vector<MatchBinding>* out;
+};
+
+// Returns the node a subject term refers to under `binding`, or
+// kInvalidNode when it is an unbound variable; sets *is_unbound.
+NodeId ResolveNodeTerm(const PatternTerm& term, const MatchBinding& binding,
+                       const MetadataGraph& graph, bool* is_unbound) {
+  *is_unbound = false;
+  if (term.kind == PatternTerm::Kind::kUri) {
+    return graph.FindNode(term.name);  // kInvalidNode if the URI is absent
+  }
+  auto it = binding.nodes.find(term.name);
+  if (it != binding.nodes.end()) return it->second;
+  *is_unbound = true;
+  return kInvalidNode;
+}
+
+bool ViolatesDistinct(const GraphPattern& pattern,
+                      const MatchBinding& binding) {
+  for (const auto& [a, b] : pattern.distinct_constraints) {
+    auto ia = binding.nodes.find(a);
+    auto ib = binding.nodes.find(b);
+    if (ia != binding.nodes.end() && ib != binding.nodes.end() &&
+        ia->second == ib->second) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Solve(SearchContext* ctx, size_t triple_index, MatchBinding* binding);
+
+// Tries to bind `term` (a node term) to `node` and continue. Undoes the
+// binding on return.
+void BindNodeAndContinue(SearchContext* ctx, size_t triple_index,
+                         MatchBinding* binding, const PatternTerm& term,
+                         NodeId node) {
+  if (term.kind == PatternTerm::Kind::kUri) {
+    if (ctx->graph->FindNode(term.name) != node) return;
+    Solve(ctx, triple_index + 1, binding);
+    return;
+  }
+  auto it = binding->nodes.find(term.name);
+  if (it != binding->nodes.end()) {
+    if (it->second != node) return;
+    Solve(ctx, triple_index + 1, binding);
+    return;
+  }
+  binding->nodes[term.name] = node;
+  if (!ViolatesDistinct(*ctx->pattern, *binding)) {
+    Solve(ctx, triple_index + 1, binding);
+  }
+  binding->nodes.erase(term.name);
+}
+
+// Tries to bind a text term to `text` and continue.
+void BindTextAndContinue(SearchContext* ctx, size_t triple_index,
+                         MatchBinding* binding, const PatternTerm& term,
+                         const std::string& text) {
+  if (term.kind == PatternTerm::Kind::kTextLiteral) {
+    if (term.name != text) return;
+    Solve(ctx, triple_index + 1, binding);
+    return;
+  }
+  auto it = binding->texts.find(term.name);
+  if (it != binding->texts.end()) {
+    if (it->second != text) return;
+    Solve(ctx, triple_index + 1, binding);
+    return;
+  }
+  binding->texts[term.name] = text;
+  Solve(ctx, triple_index + 1, binding);
+  binding->texts.erase(term.name);
+}
+
+void Solve(SearchContext* ctx, size_t triple_index, MatchBinding* binding) {
+  if (ctx->out->size() >= ctx->max_matches) return;
+  if (triple_index == ctx->pattern->triples.size()) {
+    ctx->out->push_back(*binding);
+    return;
+  }
+  const PatternTriple& triple = ctx->pattern->triples[triple_index];
+  const MetadataGraph& graph = *ctx->graph;
+
+  auto pred = graph.FindPredicate(triple.predicate);
+  if (!pred.has_value()) return;  // predicate never used in this graph
+
+  bool subject_unbound = false;
+  NodeId subject =
+      ResolveNodeTerm(triple.subject, *binding, graph, &subject_unbound);
+  if (!subject_unbound && subject == kInvalidNode) return;
+
+  if (triple.object.is_text()) {
+    if (!subject_unbound) {
+      for (const TextEdge& e : graph.TextEdges(subject)) {
+        if (e.predicate != *pred) continue;
+        BindTextAndContinue(ctx, triple_index, binding, triple.object, e.text);
+      }
+    } else {
+      // Unbound subject with a text object: scan all nodes. Rare (only
+      // when a pattern starts from a label), acceptable at metadata scale.
+      for (NodeId n = 0; n < static_cast<NodeId>(graph.num_nodes()); ++n) {
+        for (const TextEdge& e : graph.TextEdges(n)) {
+          if (e.predicate != *pred) continue;
+          // Bind subject first, then the text object.
+          binding->nodes[triple.subject.name] = n;
+          if (!ViolatesDistinct(*ctx->pattern, *binding)) {
+            BindTextAndContinue(ctx, triple_index, binding, triple.object,
+                                e.text);
+          }
+          binding->nodes.erase(triple.subject.name);
+        }
+      }
+    }
+    return;
+  }
+
+  bool object_unbound = false;
+  NodeId object =
+      ResolveNodeTerm(triple.object, *binding, graph, &object_unbound);
+  if (!object_unbound && object == kInvalidNode) return;
+
+  if (!subject_unbound && !object_unbound) {
+    for (const Edge& e : graph.OutEdges(subject)) {
+      if (e.predicate == *pred && e.target == object) {
+        Solve(ctx, triple_index + 1, binding);
+        return;
+      }
+    }
+    return;
+  }
+  if (!subject_unbound) {
+    for (const Edge& e : graph.OutEdges(subject)) {
+      if (e.predicate != *pred) continue;
+      BindNodeAndContinue(ctx, triple_index, binding, triple.object, e.target);
+    }
+    return;
+  }
+  if (!object_unbound) {
+    for (const Edge& e : graph.InEdges(object)) {
+      if (e.predicate != *pred) continue;
+      BindNodeAndContinue(ctx, triple_index, binding, triple.subject,
+                          e.target);
+    }
+    return;
+  }
+  // Both unbound: enumerate every edge with this predicate.
+  for (const auto& [s, o] : graph.EdgesWithPredicate(triple.predicate)) {
+    binding->nodes[triple.subject.name] = s;
+    if (!ViolatesDistinct(*ctx->pattern, *binding)) {
+      BindNodeAndContinue(ctx, triple_index, binding, triple.object, o);
+    }
+    binding->nodes.erase(triple.subject.name);
+  }
+}
+
+}  // namespace
+
+Result<const GraphPattern*> PatternMatcher::Expanded(
+    const std::string& name) const {
+  auto it = expansion_cache_.find(name);
+  if (it != expansion_cache_.end()) return &it->second;
+  SODA_ASSIGN_OR_RETURN(GraphPattern expanded, library_->Expand(name));
+  auto [inserted, ok] = expansion_cache_.emplace(name, std::move(expanded));
+  (void)ok;
+  return &inserted->second;
+}
+
+Result<std::vector<MatchBinding>> PatternMatcher::MatchAt(
+    const std::string& pattern_name, NodeId node, size_t max_matches) const {
+  SODA_ASSIGN_OR_RETURN(const GraphPattern* pattern, Expanded(pattern_name));
+  std::vector<MatchBinding> out;
+  MatchBinding binding;
+  binding.nodes["x"] = node;
+  SearchContext ctx{graph_, pattern, max_matches, &out};
+  Solve(&ctx, 0, &binding);
+  return out;
+}
+
+bool PatternMatcher::Matches(const std::string& pattern_name,
+                             NodeId node) const {
+  auto result = MatchAt(pattern_name, node, /*max_matches=*/1);
+  return result.ok() && !result.value().empty();
+}
+
+Result<std::vector<MatchBinding>> PatternMatcher::MatchAll(
+    const std::string& pattern_name, size_t max_matches) const {
+  SODA_ASSIGN_OR_RETURN(const GraphPattern* pattern, Expanded(pattern_name));
+  std::vector<MatchBinding> out;
+  MatchBinding binding;
+  SearchContext ctx{graph_, pattern, max_matches, &out};
+  Solve(&ctx, 0, &binding);
+  return out;
+}
+
+}  // namespace soda

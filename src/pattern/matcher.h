@@ -1,0 +1,72 @@
+// Backtracking graph-pattern matcher.
+//
+// "To match a pattern on a given graph, we assign the variable x to the
+//  current node and try to match each triple in the pattern to the graph
+//  accordingly." (paper Section 4.2.1)
+//
+// The matcher works on library-expanded patterns (references inlined) and
+// enumerates all variable bindings, subject to the pattern's distinct
+// constraints. Expansion results are memoized per matcher instance.
+
+#ifndef SODA_PATTERN_MATCHER_H_
+#define SODA_PATTERN_MATCHER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/metadata_graph.h"
+#include "pattern/library.h"
+#include "pattern/pattern.h"
+
+namespace soda {
+
+/// One solution: node bindings plus text bindings.
+struct MatchBinding {
+  std::map<std::string, NodeId> nodes;
+  std::map<std::string, std::string> texts;
+
+  NodeId node(const std::string& var) const {
+    auto it = nodes.find(var);
+    return it == nodes.end() ? kInvalidNode : it->second;
+  }
+  std::string text(const std::string& var) const {
+    auto it = texts.find(var);
+    return it == texts.end() ? std::string() : it->second;
+  }
+};
+
+class PatternMatcher {
+ public:
+  PatternMatcher(const MetadataGraph* graph, const PatternLibrary* library)
+      : graph_(graph), library_(library) {}
+
+  /// Matches the named pattern with `x` pre-bound to `node`. Returns all
+  /// bindings, capped at `max_matches`.
+  Result<std::vector<MatchBinding>> MatchAt(const std::string& pattern_name,
+                                            NodeId node,
+                                            size_t max_matches = 64) const;
+
+  /// True when the pattern matches at `node` at least once. Unknown
+  /// patterns return false.
+  bool Matches(const std::string& pattern_name, NodeId node) const;
+
+  /// Matches without pre-binding x — enumerates over the whole graph.
+  Result<std::vector<MatchBinding>> MatchAll(const std::string& pattern_name,
+                                             size_t max_matches = 4096) const;
+
+  const MetadataGraph* graph() const { return graph_; }
+  const PatternLibrary* library() const { return library_; }
+
+ private:
+  Result<const GraphPattern*> Expanded(const std::string& name) const;
+
+  const MetadataGraph* graph_;
+  const PatternLibrary* library_;
+  mutable std::map<std::string, GraphPattern> expansion_cache_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_PATTERN_MATCHER_H_

@@ -1,0 +1,196 @@
+#include "pattern/pattern.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace soda {
+
+std::string PatternTerm::ToString() const {
+  switch (kind) {
+    case Kind::kVariable:
+      return name;
+    case Kind::kUri:
+      return name;
+    case Kind::kTextVariable:
+      return "t:" + name;
+    case Kind::kTextLiteral:
+      return "t:\"" + name + "\"";
+  }
+  return name;
+}
+
+std::string PatternTriple::ToString() const {
+  if (is_reference) {
+    return "( " + subject.ToString() + " matches-" + reference_name + " )";
+  }
+  return "( " + subject.ToString() + " " + predicate + " " +
+         object.ToString() + " )";
+}
+
+std::string GraphPattern::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < triples.size(); ++i) {
+    if (i > 0) out += " &\n";
+    out += triples[i].ToString();
+  }
+  for (const auto& [a, b] : distinct_constraints) {
+    out += " &\n( " + a + " distinct " + b + " )";
+  }
+  return out;
+}
+
+bool IsVariableToken(std::string_view token) {
+  if (token.empty()) return false;
+  if (token[0] == '?') return true;
+  // Single letter: x, y, z, p, w, ...
+  if (token.size() == 1 && std::isalpha(static_cast<unsigned char>(token[0]))) {
+    return true;
+  }
+  // A letter followed only by digits: c1, c2, p3 ...
+  if (std::isalpha(static_cast<unsigned char>(token[0]))) {
+    for (size_t i = 1; i < token.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(token[i]))) return false;
+    }
+    return token.size() > 1;
+  }
+  return false;
+}
+
+namespace {
+
+// Splits pattern text into word / punctuation tokens. Handles quoted text
+// literals after the `t:` prefix.
+Result<std::vector<std::string>> TokenizePattern(std::string_view text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == '&') {
+      tokens.emplace_back(1, c);
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    // Word: may contain the t: prefix with an optional quoted literal.
+    size_t start = i;
+    if (StartsWith(text.substr(i), "t:\"")) {
+      i += 3;
+      while (i < text.size() && text[i] != '"') ++i;
+      if (i >= text.size()) {
+        return Status::ParseError("unterminated text literal in pattern");
+      }
+      ++i;  // consume closing quote
+      tokens.emplace_back(text.substr(start, i - start));
+      continue;
+    }
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i])) &&
+           text[i] != '(' && text[i] != ')' && text[i] != '&') {
+      ++i;
+    }
+    tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+PatternTerm ParseTerm(const std::string& token) {
+  if (StartsWith(token, "t:\"")) {
+    // t:"literal"
+    return PatternTerm::TextLiteral(token.substr(3, token.size() - 4));
+  }
+  if (StartsWith(token, "t:")) {
+    std::string name = token.substr(2);
+    return PatternTerm::TextVariable(name[0] == '?' ? name.substr(1) : name);
+  }
+  if (token[0] == '?') {
+    return PatternTerm::Variable(token.substr(1));
+  }
+  if (IsVariableToken(token)) {
+    return PatternTerm::Variable(token);
+  }
+  return PatternTerm::Uri(token);
+}
+
+}  // namespace
+
+Result<GraphPattern> ParsePattern(std::string_view name,
+                                  std::string_view text) {
+  SODA_ASSIGN_OR_RETURN(std::vector<std::string> tokens,
+                        TokenizePattern(text));
+  GraphPattern pattern;
+  pattern.name = std::string(name);
+
+  size_t i = 0;
+  bool expect_triple = true;
+  while (i < tokens.size()) {
+    if (!expect_triple) {
+      if (tokens[i] != "&") {
+        return Status::ParseError("expected '&' between triples, got '" +
+                                  tokens[i] + "'");
+      }
+      ++i;
+      expect_triple = true;
+      continue;
+    }
+    if (tokens[i] != "(") {
+      return Status::ParseError("expected '(' to open a triple, got '" +
+                                tokens[i] + "'");
+    }
+    ++i;
+    std::vector<std::string> parts;
+    while (i < tokens.size() && tokens[i] != ")") {
+      parts.push_back(tokens[i]);
+      ++i;
+    }
+    if (i >= tokens.size()) {
+      return Status::ParseError("unterminated triple in pattern '" +
+                                pattern.name + "'");
+    }
+    ++i;  // consume ')'
+
+    PatternTriple triple;
+    if (parts.size() == 3 && parts[1] == "distinct") {
+      PatternTerm a = ParseTerm(parts[0]);
+      PatternTerm b = ParseTerm(parts[2]);
+      if (a.kind != PatternTerm::Kind::kVariable ||
+          b.kind != PatternTerm::Kind::kVariable) {
+        return Status::ParseError(
+            "distinct constraint requires two node variables");
+      }
+      pattern.distinct_constraints.emplace_back(a.name, b.name);
+      expect_triple = false;
+      continue;
+    }
+    if (parts.size() == 2 && StartsWith(parts[1], "matches-")) {
+      triple.subject = ParseTerm(parts[0]);
+      triple.is_reference = true;
+      triple.reference_name = parts[1].substr(8);
+    } else if (parts.size() == 3) {
+      triple.subject = ParseTerm(parts[0]);
+      triple.predicate = parts[1];
+      triple.object = ParseTerm(parts[2]);
+      if (triple.subject.is_text()) {
+        return Status::ParseError("triple subject cannot be a text label");
+      }
+    } else {
+      return Status::ParseError(
+          "a triple needs 3 terms (or 2 for a matches- reference), got " +
+          std::to_string(parts.size()));
+    }
+    pattern.triples.push_back(std::move(triple));
+    expect_triple = false;
+  }
+  if (pattern.triples.empty()) {
+    return Status::ParseError("pattern '" + pattern.name + "' is empty");
+  }
+  return pattern;
+}
+
+}  // namespace soda

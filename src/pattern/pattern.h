@@ -1,0 +1,111 @@
+// The metadata graph pattern language (paper Section 4.2.1).
+//
+// SODA describes schema structure with a SPARQL-inspired triple language:
+//
+//     ( x tablename t:y ) &
+//     ( x type physical_table )
+//
+// Each parenthesized triple connects two nodes, or a node with a text
+// label. Subjects and objects are variables or static URIs; text objects
+// are written with a `t:` prefix; predicates are always static URIs.
+// A two-term triple `( x matches-column )` references another named
+// pattern ("the term matches-column references the Column pattern").
+//
+// Variable convention: a term is a variable when it starts with '?', or
+// when it is one of the short names the paper uses in its pattern listings
+// (x, y, z, p, w, v, u, or a letter followed by digits such as c1, c2).
+// Everything else is a static URI. By convention the variable `x` denotes
+// the node currently being tested.
+
+#ifndef SODA_PATTERN_PATTERN_H_
+#define SODA_PATTERN_PATTERN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace soda {
+
+/// One term of a pattern triple.
+struct PatternTerm {
+  enum class Kind {
+    kVariable,      // binds to a graph node
+    kUri,           // static node URI
+    kTextVariable,  // t:y — binds to a text label
+    kTextLiteral,   // t:"..." — must equal the text label
+  };
+
+  Kind kind = Kind::kVariable;
+  std::string name;  // variable name, URI, or literal text
+
+  static PatternTerm Variable(std::string name) {
+    return PatternTerm{Kind::kVariable, std::move(name)};
+  }
+  static PatternTerm Uri(std::string uri) {
+    return PatternTerm{Kind::kUri, std::move(uri)};
+  }
+  static PatternTerm TextVariable(std::string name) {
+    return PatternTerm{Kind::kTextVariable, std::move(name)};
+  }
+  static PatternTerm TextLiteral(std::string text) {
+    return PatternTerm{Kind::kTextLiteral, std::move(text)};
+  }
+
+  bool is_text() const {
+    return kind == Kind::kTextVariable || kind == Kind::kTextLiteral;
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const PatternTerm&) const = default;
+};
+
+/// One triple of a pattern, or a reference to another named pattern.
+struct PatternTriple {
+  // Regular triple.
+  PatternTerm subject;
+  std::string predicate;  // static URI; empty for references
+  PatternTerm object;
+
+  // Reference form: `( x matches-column )`.
+  bool is_reference = false;
+  std::string reference_name;  // "column"
+
+  std::string ToString() const;
+
+  bool operator==(const PatternTriple&) const = default;
+};
+
+/// A named conjunction of triples.
+struct GraphPattern {
+  std::string name;
+  std::vector<PatternTriple> triples;
+
+  /// Inequality constraints between node variables, written in pattern text
+  /// as the pseudo-triple `( c1 distinct c2 )`. The paper's
+  /// Inheritance-Child pattern lists two children c1, c2 with the clear
+  /// intent that they differ; plain SPARQL semantics would let them
+  /// coincide, so the constraint is explicit here.
+  std::vector<std::pair<std::string, std::string>> distinct_constraints;
+
+  std::string ToString() const;
+};
+
+/// Parses the paper's pattern syntax. `name` is the registered name that
+/// `matches-<name>` references resolve to.
+///
+/// Syntax:  pattern  := triple ( '&' triple )*
+///          triple   := '(' term term term ')' | '(' term reference ')'
+///          term     := URI | variable | 't:' word | 't:"' text '"'
+///          reference := 'matches-' name
+Result<GraphPattern> ParsePattern(std::string_view name,
+                                  std::string_view text);
+
+/// True when a bare token is treated as a variable (see header comment).
+bool IsVariableToken(std::string_view token);
+
+}  // namespace soda
+
+#endif  // SODA_PATTERN_PATTERN_H_

@@ -1,0 +1,366 @@
+#include "schema/warehouse_model.h"
+
+#include "common/strings.h"
+#include "graph/vocab.h"
+
+namespace soda {
+
+std::string ConceptUri(const std::string& entity) { return "concept/" + entity; }
+std::string ConceptAttrUri(const std::string& entity,
+                           const std::string& attribute) {
+  return "concept/" + entity + "/attr/" + attribute;
+}
+std::string LogicalUri(const std::string& entity) { return "logical/" + entity; }
+std::string LogicalAttrUri(const std::string& entity,
+                           const std::string& attribute) {
+  return "logical/" + entity + "/attr/" + attribute;
+}
+std::string TableUri(const std::string& table) { return "table/" + table; }
+std::string ColumnUri(const std::string& table, const std::string& column) {
+  return "column/" + table + "." + column;
+}
+std::string InheritanceUri(const std::string& parent_table) {
+  return "inh/" + parent_table;
+}
+std::string JoinUri(const std::string& from_table,
+                    const std::string& from_column,
+                    const std::string& to_table,
+                    const std::string& to_column) {
+  return "join/" + from_table + "." + from_column + "->" + to_table + "." +
+         to_column;
+}
+
+WarehouseModel& WarehouseModel::AddConceptualEntity(EntitySpec entity) {
+  conceptual_entities_.push_back(std::move(entity));
+  return *this;
+}
+WarehouseModel& WarehouseModel::AddConceptualRelationship(
+    RelationshipSpec rel) {
+  conceptual_relationships_.push_back(std::move(rel));
+  return *this;
+}
+WarehouseModel& WarehouseModel::AddLogicalEntity(EntitySpec entity) {
+  logical_entities_.push_back(std::move(entity));
+  return *this;
+}
+WarehouseModel& WarehouseModel::AddLogicalRelationship(RelationshipSpec rel) {
+  logical_relationships_.push_back(std::move(rel));
+  return *this;
+}
+WarehouseModel& WarehouseModel::AddTable(TableSpec table) {
+  tables_.push_back(std::move(table));
+  return *this;
+}
+WarehouseModel& WarehouseModel::AddForeignKey(ForeignKeySpec fk) {
+  foreign_keys_.push_back(std::move(fk));
+  return *this;
+}
+WarehouseModel& WarehouseModel::AddInheritance(InheritanceSpec inheritance) {
+  inheritances_.push_back(std::move(inheritance));
+  return *this;
+}
+WarehouseModel& WarehouseModel::AddOntologyConcept(OntologyConceptSpec c) {
+  ontology_concepts_.push_back(std::move(c));
+  return *this;
+}
+WarehouseModel& WarehouseModel::AddMetadataFilter(MetadataFilterSpec filter) {
+  metadata_filters_.push_back(std::move(filter));
+  return *this;
+}
+WarehouseModel& WarehouseModel::AddDbpediaSynonym(DbpediaSynonymSpec synonym) {
+  dbpedia_synonyms_.push_back(std::move(synonym));
+  return *this;
+}
+WarehouseModel& WarehouseModel::AddMetadataAggregation(
+    MetadataAggregationSpec aggregation) {
+  metadata_aggregations_.push_back(std::move(aggregation));
+  return *this;
+}
+
+namespace {
+
+// Replaces '_' with ' ' so "birth_dt" also carries the label "birth dt".
+// Business users type spaces; physical names use underscores.
+std::string Humanize(const std::string& name) {
+  return ReplaceAll(name, "_", " ");
+}
+
+}  // namespace
+
+Status WarehouseModel::CompileConceptual(MetadataGraph* graph) const {
+  NodeId type_entity =
+      graph->GetOrAddNode(vocab::kConceptualEntity, MetadataLayer::kOther);
+  NodeId type_attr =
+      graph->GetOrAddNode(vocab::kConceptualAttribute, MetadataLayer::kOther);
+  for (const auto& entity : conceptual_entities_) {
+    SODA_ASSIGN_OR_RETURN(NodeId node,
+                          graph->AddNode(ConceptUri(entity.name),
+                                         MetadataLayer::kConceptualSchema));
+    graph->AddEdge(node, vocab::kType, type_entity);
+    graph->AddTextEdge(node, vocab::kEntityname, entity.name);
+    graph->AddTextEdge(node, vocab::kLabel, Humanize(entity.name));
+    for (const auto& attr : entity.attributes) {
+      SODA_ASSIGN_OR_RETURN(
+          NodeId attr_node,
+          graph->AddNode(ConceptAttrUri(entity.name, attr.name),
+                         MetadataLayer::kConceptualSchema));
+      graph->AddEdge(attr_node, vocab::kType, type_attr);
+      graph->AddTextEdge(attr_node, vocab::kAttributename, attr.name);
+      graph->AddTextEdge(attr_node, vocab::kLabel, Humanize(attr.name));
+      graph->AddEdge(node, vocab::kAttribute, attr_node);
+    }
+  }
+  NodeId type_rel =
+      graph->GetOrAddNode(vocab::kRelationshipNode, MetadataLayer::kOther);
+  for (const auto& rel : conceptual_relationships_) {
+    NodeId from = graph->FindNode(ConceptUri(rel.from));
+    NodeId to = graph->FindNode(ConceptUri(rel.to));
+    if (from == kInvalidNode || to == kInvalidNode) {
+      return Status::NotFound("conceptual relationship '" + rel.name +
+                              "' references unknown entity");
+    }
+    SODA_ASSIGN_OR_RETURN(NodeId node,
+                          graph->AddNode("rel/c/" + rel.name,
+                                         MetadataLayer::kConceptualSchema));
+    graph->AddEdge(node, vocab::kType, type_rel);
+    graph->AddTextEdge(node, vocab::kLabel, Humanize(rel.name));
+    graph->AddEdge(node, vocab::kRelFrom, from);
+    graph->AddEdge(node, vocab::kRelTo, to);
+    // Entities can reach their relationships while traversing outward.
+    graph->AddEdge(from, "related_via", node);
+    graph->AddEdge(to, "related_via", node);
+  }
+  return Status::OK();
+}
+
+Status WarehouseModel::CompileLogical(MetadataGraph* graph) const {
+  NodeId type_entity =
+      graph->GetOrAddNode(vocab::kLogicalEntity, MetadataLayer::kOther);
+  NodeId type_attr =
+      graph->GetOrAddNode(vocab::kLogicalAttribute, MetadataLayer::kOther);
+  for (const auto& entity : logical_entities_) {
+    SODA_ASSIGN_OR_RETURN(NodeId node,
+                          graph->AddNode(LogicalUri(entity.name),
+                                         MetadataLayer::kLogicalSchema));
+    graph->AddEdge(node, vocab::kType, type_entity);
+    graph->AddTextEdge(node, vocab::kEntityname, entity.name);
+    graph->AddTextEdge(node, vocab::kLabel, Humanize(entity.name));
+    for (const auto& attr : entity.attributes) {
+      SODA_ASSIGN_OR_RETURN(
+          NodeId attr_node,
+          graph->AddNode(LogicalAttrUri(entity.name, attr.name),
+                         MetadataLayer::kLogicalSchema));
+      graph->AddEdge(attr_node, vocab::kType, type_attr);
+      graph->AddTextEdge(attr_node, vocab::kAttributename, attr.name);
+      graph->AddTextEdge(attr_node, vocab::kLabel, Humanize(attr.name));
+      graph->AddEdge(node, vocab::kAttribute, attr_node);
+    }
+    if (!entity.implements.empty()) {
+      NodeId conceptual = graph->FindNode(ConceptUri(entity.implements));
+      if (conceptual == kInvalidNode) {
+        return Status::NotFound("logical entity '" + entity.name +
+                                "' implements unknown conceptual entity '" +
+                                entity.implements + "'");
+      }
+      graph->AddEdge(conceptual, vocab::kImplementedBy, node);
+      // Attribute-level mapping by the modeling-tool convention: a logical
+      // attribute implements the same-named conceptual attribute of the
+      // implemented entity. This lets SODA traverse from a conceptual
+      // attribute entry point down to the physical column.
+      for (const auto& attr : entity.attributes) {
+        NodeId conceptual_attr = graph->FindNode(
+            ConceptAttrUri(entity.implements, attr.name));
+        if (conceptual_attr != kInvalidNode) {
+          graph->AddEdge(conceptual_attr, vocab::kImplementedBy,
+                         graph->FindNode(LogicalAttrUri(entity.name,
+                                                        attr.name)));
+        }
+      }
+    }
+  }
+  NodeId type_rel =
+      graph->GetOrAddNode(vocab::kRelationshipNode, MetadataLayer::kOther);
+  for (const auto& rel : logical_relationships_) {
+    NodeId from = graph->FindNode(LogicalUri(rel.from));
+    NodeId to = graph->FindNode(LogicalUri(rel.to));
+    if (from == kInvalidNode || to == kInvalidNode) {
+      return Status::NotFound("logical relationship '" + rel.name +
+                              "' references unknown entity");
+    }
+    SODA_ASSIGN_OR_RETURN(
+        NodeId node,
+        graph->AddNode("rel/l/" + rel.name, MetadataLayer::kLogicalSchema));
+    graph->AddEdge(node, vocab::kType, type_rel);
+    graph->AddTextEdge(node, vocab::kLabel, Humanize(rel.name));
+    graph->AddEdge(node, vocab::kRelFrom, from);
+    graph->AddEdge(node, vocab::kRelTo, to);
+    graph->AddEdge(from, "related_via", node);
+    graph->AddEdge(to, "related_via", node);
+  }
+  return Status::OK();
+}
+
+Status WarehouseModel::CompilePhysical(MetadataGraph* graph,
+                                       Database* db) const {
+  NodeId type_table =
+      graph->GetOrAddNode(vocab::kPhysicalTable, MetadataLayer::kOther);
+  NodeId type_column =
+      graph->GetOrAddNode(vocab::kPhysicalColumn, MetadataLayer::kOther);
+  for (const auto& table : tables_) {
+    SODA_ASSIGN_OR_RETURN(
+        NodeId node,
+        graph->AddNode(TableUri(table.name), MetadataLayer::kPhysicalSchema));
+    graph->AddEdge(node, vocab::kType, type_table);
+    graph->AddTextEdge(node, vocab::kTablename, table.name);
+    graph->AddTextEdge(node, vocab::kLabel, Humanize(table.name));
+    std::vector<std::string> implemented = table.also_implements;
+    if (!table.implements.empty()) {
+      implemented.insert(implemented.begin(), table.implements);
+    }
+    for (const auto& entity_name : implemented) {
+      NodeId logical = graph->FindNode(LogicalUri(entity_name));
+      if (logical == kInvalidNode) {
+        return Status::NotFound("table '" + table.name +
+                                "' implements unknown logical entity '" +
+                                entity_name + "'");
+      }
+      graph->AddEdge(logical, vocab::kImplementedBy, node);
+    }
+    std::vector<ColumnDef> defs;
+    for (const auto& column : table.columns) {
+      SODA_ASSIGN_OR_RETURN(
+          NodeId col_node,
+          graph->AddNode(ColumnUri(table.name, column.name),
+                         MetadataLayer::kPhysicalSchema));
+      graph->AddEdge(col_node, vocab::kType, type_column);
+      graph->AddTextEdge(col_node, vocab::kColumnname, column.name);
+      graph->AddTextEdge(col_node, vocab::kLabel, Humanize(column.name));
+      graph->AddEdge(node, vocab::kColumn, col_node);
+      if (!column.realizes.empty()) {
+        auto dot = column.realizes.find('.');
+        if (dot == std::string::npos) {
+          return Status::InvalidArgument(
+              "column realizes must be 'Entity.attribute', got '" +
+              column.realizes + "'");
+        }
+        NodeId attr = graph->FindNode(LogicalAttrUri(
+            column.realizes.substr(0, dot), column.realizes.substr(dot + 1)));
+        if (attr == kInvalidNode) {
+          return Status::NotFound("column " + table.name + "." + column.name +
+                                  " realizes unknown logical attribute '" +
+                                  column.realizes + "'");
+        }
+        graph->AddEdge(attr, vocab::kRealizedBy, col_node);
+      }
+      defs.push_back(ColumnDef{column.name, column.type});
+    }
+    if (db != nullptr) {
+      SODA_ASSIGN_OR_RETURN(Table * t,
+                            db->CreateTable(table.name, std::move(defs)));
+      (void)t;
+    }
+  }
+  return Status::OK();
+}
+
+Status WarehouseModel::CompileForeignKeys(MetadataGraph* graph) const {
+  NodeId type_join =
+      graph->GetOrAddNode(vocab::kJoinRelationship, MetadataLayer::kOther);
+  for (const auto& fk : foreign_keys_) {
+    NodeId from = graph->FindNode(ColumnUri(fk.from_table, fk.from_column));
+    NodeId to = graph->FindNode(ColumnUri(fk.to_table, fk.to_column));
+    if (from == kInvalidNode || to == kInvalidNode) {
+      return Status::NotFound(
+          StrFormat("foreign key %s.%s -> %s.%s references missing column",
+                    fk.from_table.c_str(), fk.from_column.c_str(),
+                    fk.to_table.c_str(), fk.to_column.c_str()));
+    }
+    if (fk.via_join_node) {
+      SODA_ASSIGN_OR_RETURN(
+          NodeId join,
+          graph->AddNode(JoinUri(fk.from_table, fk.from_column, fk.to_table,
+                                 fk.to_column),
+                         MetadataLayer::kPhysicalSchema));
+      graph->AddEdge(join, vocab::kType, type_join);
+      graph->AddEdge(join, vocab::kJoinForeignKey, from);
+      graph->AddEdge(join, vocab::kJoinPrimaryKey, to);
+      if (fk.ignored) {
+        graph->AddTextEdge(join, vocab::kAnnotation,
+                           vocab::kIgnoreRelationship);
+      }
+    } else {
+      graph->AddEdge(from, vocab::kForeignKey, to);
+      if (fk.ignored) {
+        graph->AddTextEdge(from, vocab::kAnnotation,
+                           vocab::kIgnoreRelationship);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status WarehouseModel::CompileInheritances(MetadataGraph* graph) const {
+  NodeId type_inh =
+      graph->GetOrAddNode(vocab::kInheritanceNode, MetadataLayer::kOther);
+  for (const auto& inheritance : inheritances_) {
+    NodeId parent = graph->FindNode(TableUri(inheritance.parent_table));
+    if (parent == kInvalidNode) {
+      return Status::NotFound("inheritance parent table '" +
+                              inheritance.parent_table + "' missing");
+    }
+    SODA_ASSIGN_OR_RETURN(
+        NodeId node, graph->AddNode(InheritanceUri(inheritance.parent_table),
+                                    MetadataLayer::kPhysicalSchema));
+    graph->AddEdge(node, vocab::kType, type_inh);
+    graph->AddEdge(node, vocab::kInheritanceParent, parent);
+    for (const auto& child : inheritance.child_tables) {
+      NodeId child_node = graph->FindNode(TableUri(child));
+      if (child_node == kInvalidNode) {
+        return Status::NotFound("inheritance child table '" + child +
+                                "' missing");
+      }
+      graph->AddEdge(node, vocab::kInheritanceChild, child_node);
+      // Children reach the inheritance node when traversing outward, so
+      // the Inheritance-Child pattern can fire from a child entry point.
+      graph->AddEdge(child_node, "child_of", node);
+      graph->AddEdge(parent, "parent_of", node);
+    }
+  }
+  return Status::OK();
+}
+
+Status WarehouseModel::Compile(MetadataGraph* graph, Database* db) const {
+  MetadataGraph scratch;
+  MetadataGraph* g = graph != nullptr ? graph : &scratch;
+  SODA_RETURN_NOT_OK(CompileConceptual(g));
+  SODA_RETURN_NOT_OK(CompileLogical(g));
+  SODA_RETURN_NOT_OK(CompilePhysical(g, db));
+  SODA_RETURN_NOT_OK(CompileForeignKeys(g));
+  SODA_RETURN_NOT_OK(CompileInheritances(g));
+  SODA_RETURN_NOT_OK(CompileOntology(ontology_concepts_, g));
+  SODA_RETURN_NOT_OK(CompileMetadataFilters(metadata_filters_, g));
+  SODA_RETURN_NOT_OK(CompileDbpedia(dbpedia_synonyms_, g));
+  SODA_RETURN_NOT_OK(CompileMetadataAggregations(metadata_aggregations_, g));
+  return Status::OK();
+}
+
+SchemaStats WarehouseModel::Stats() const {
+  SchemaStats stats;
+  stats.conceptual_entities = conceptual_entities_.size();
+  for (const auto& e : conceptual_entities_) {
+    stats.conceptual_attributes += e.attributes.size();
+  }
+  stats.conceptual_relationships = conceptual_relationships_.size();
+  stats.logical_entities = logical_entities_.size();
+  for (const auto& e : logical_entities_) {
+    stats.logical_attributes += e.attributes.size();
+  }
+  stats.logical_relationships = logical_relationships_.size();
+  stats.physical_tables = tables_.size();
+  for (const auto& t : tables_) {
+    stats.physical_columns += t.columns.size();
+  }
+  return stats;
+}
+
+}  // namespace soda

@@ -1,0 +1,182 @@
+// The layered warehouse schema model and its compiler.
+//
+// A WarehouseModel describes a data warehouse the way the Credit Suisse
+// modeling tools do (paper Section 2.2): a conceptual schema for business
+// communication, a logical schema that adds inheritance and entity
+// splitting, and a physical schema of tables and columns, plus domain
+// ontologies, metadata filters and DBpedia synonyms. Compile() lowers the
+// model into (a) the extended metadata graph that SODA's patterns match
+// against and (b) empty physical tables in the storage catalog.
+//
+// URI scheme produced by the compiler:
+//   concept/<Entity>                  conceptual entity
+//   concept/<Entity>/attr/<name>      conceptual attribute
+//   logical/<Entity>                  logical entity
+//   logical/<Entity>/attr/<name>      logical attribute
+//   table/<name>                      physical table
+//   column/<table>.<column>           physical column
+//   rel/c/<name>, rel/l/<name>        relationship nodes
+//   inh/<parent_table>                inheritance node
+//   join/<t1>.<c1>-><t2>.<c2>         explicit join-relationship node
+//   onto/<slug>, filter/<slug>, dbp/<slug>   (see ontology/ontology.h)
+
+#ifndef SODA_SCHEMA_WAREHOUSE_MODEL_H_
+#define SODA_SCHEMA_WAREHOUSE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/metadata_graph.h"
+#include "ontology/ontology.h"
+#include "storage/table.h"
+
+namespace soda {
+
+/// A named, typed attribute (conceptual or logical layer).
+struct AttributeSpec {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// An entity of the conceptual or logical schema.
+struct EntitySpec {
+  std::string name;
+  std::vector<AttributeSpec> attributes;
+  /// For logical entities: the conceptual entity this one implements
+  /// (empty for purely technical entities).
+  std::string implements;
+};
+
+/// A relationship between two entities of the same layer.
+struct RelationshipSpec {
+  std::string name;
+  std::string from;
+  std::string to;
+  bool many_to_many = false;
+};
+
+/// One physical column.
+struct ColumnSpec {
+  std::string name;
+  ValueType type = ValueType::kString;
+  /// Logical attribute realized by this column, as "Entity.attribute"
+  /// (empty for purely technical columns such as surrogate keys).
+  std::string realizes;
+};
+
+/// One physical table.
+struct TableSpec {
+  std::string name;
+  /// Logical entity this table implements (empty for technical tables).
+  std::string implements;
+  std::vector<ColumnSpec> columns;
+  /// Additional logical entities this table also implements — entity
+  /// splitting can share a physical table across several logical views
+  /// (e.g. a securities table backing both the Securities entity and the
+  /// structured-instrument decomposition of Financial_Instruments).
+  std::vector<std::string> also_implements;
+};
+
+/// A foreign-key relationship between physical columns.
+struct ForeignKeySpec {
+  std::string from_table;
+  std::string from_column;
+  std::string to_table;
+  std::string to_column;
+  /// True: modeled as an explicit join-relationship node (Credit Suisse
+  /// style). False: a direct foreign_key edge between the columns.
+  bool via_join_node = true;
+  /// War-story annotation (Section 5.3.1): mark the relationship as
+  /// ignored (e.g. the bridge table is not populated yet). SODA's join
+  /// discovery skips annotated relationships.
+  bool ignored = false;
+};
+
+/// A physical inheritance structure: mutually exclusive child tables.
+struct InheritanceSpec {
+  std::string parent_table;
+  std::vector<std::string> child_tables;
+};
+
+/// Cardinalities of the compiled schema graph — paper Table 1.
+struct SchemaStats {
+  size_t conceptual_entities = 0;
+  size_t conceptual_attributes = 0;
+  size_t conceptual_relationships = 0;
+  size_t logical_entities = 0;
+  size_t logical_attributes = 0;
+  size_t logical_relationships = 0;
+  size_t physical_tables = 0;
+  size_t physical_columns = 0;
+};
+
+/// Builder for a layered warehouse. All Add* methods return *this for
+/// chaining; referential errors surface at Compile() time.
+class WarehouseModel {
+ public:
+  WarehouseModel& AddConceptualEntity(EntitySpec entity);
+  WarehouseModel& AddConceptualRelationship(RelationshipSpec rel);
+  WarehouseModel& AddLogicalEntity(EntitySpec entity);
+  WarehouseModel& AddLogicalRelationship(RelationshipSpec rel);
+  WarehouseModel& AddTable(TableSpec table);
+  WarehouseModel& AddForeignKey(ForeignKeySpec fk);
+  WarehouseModel& AddInheritance(InheritanceSpec inheritance);
+  WarehouseModel& AddOntologyConcept(OntologyConceptSpec spec);
+  WarehouseModel& AddMetadataFilter(MetadataFilterSpec filter);
+  WarehouseModel& AddDbpediaSynonym(DbpediaSynonymSpec synonym);
+  WarehouseModel& AddMetadataAggregation(MetadataAggregationSpec aggregation);
+
+  /// Lowers the model into the metadata graph and creates the physical
+  /// tables (empty) in `db`. Both outputs may be nullptr when not needed.
+  Status Compile(MetadataGraph* graph, Database* db) const;
+
+  /// Schema-graph cardinalities (paper Table 1).
+  SchemaStats Stats() const;
+
+  const std::vector<TableSpec>& tables() const { return tables_; }
+  const std::vector<ForeignKeySpec>& foreign_keys() const {
+    return foreign_keys_;
+  }
+  const std::vector<InheritanceSpec>& inheritances() const {
+    return inheritances_;
+  }
+
+ private:
+  Status CompileConceptual(MetadataGraph* graph) const;
+  Status CompileLogical(MetadataGraph* graph) const;
+  Status CompilePhysical(MetadataGraph* graph, Database* db) const;
+  Status CompileForeignKeys(MetadataGraph* graph) const;
+  Status CompileInheritances(MetadataGraph* graph) const;
+
+  std::vector<EntitySpec> conceptual_entities_;
+  std::vector<RelationshipSpec> conceptual_relationships_;
+  std::vector<EntitySpec> logical_entities_;
+  std::vector<RelationshipSpec> logical_relationships_;
+  std::vector<TableSpec> tables_;
+  std::vector<ForeignKeySpec> foreign_keys_;
+  std::vector<InheritanceSpec> inheritances_;
+  std::vector<OntologyConceptSpec> ontology_concepts_;
+  std::vector<MetadataFilterSpec> metadata_filters_;
+  std::vector<DbpediaSynonymSpec> dbpedia_synonyms_;
+  std::vector<MetadataAggregationSpec> metadata_aggregations_;
+};
+
+/// Canonical URI helpers (shared with datasets and the SODA pipeline).
+std::string ConceptUri(const std::string& entity);
+std::string ConceptAttrUri(const std::string& entity,
+                           const std::string& attribute);
+std::string LogicalUri(const std::string& entity);
+std::string LogicalAttrUri(const std::string& entity,
+                           const std::string& attribute);
+std::string TableUri(const std::string& table);
+std::string ColumnUri(const std::string& table, const std::string& column);
+std::string InheritanceUri(const std::string& parent_table);
+std::string JoinUri(const std::string& from_table,
+                    const std::string& from_column,
+                    const std::string& to_table,
+                    const std::string& to_column);
+
+}  // namespace soda
+
+#endif  // SODA_SCHEMA_WAREHOUSE_MODEL_H_

@@ -1,0 +1,45 @@
+// Execution of the SODA SQL subset against the in-memory catalog.
+//
+// The executor is deliberately a straightforward relational evaluator:
+//   1. FROM resolution (tables + aliases),
+//   2. equi-join planning over the WHERE conjuncts (left-deep hash joins,
+//      cross product only when no join condition connects a table),
+//   3. residual predicate filtering (NULL-rejecting comparison semantics),
+//   4. grouping and aggregation (COUNT/SUM/AVG/MIN/MAX),
+//   5. ORDER BY / DISTINCT / LIMIT / projection.
+//
+// Its role in the reproduction is the role Oracle played in the paper: run
+// the generated statements and the gold standard and hand back tuple sets.
+
+#ifndef SODA_SQL_EXECUTOR_H_
+#define SODA_SQL_EXECUTOR_H_
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/result_set.h"
+#include "storage/table.h"
+
+namespace soda {
+
+/// Stateless query executor bound to a catalog.
+class Executor {
+ public:
+  explicit Executor(const Database* db) : db_(db) {}
+
+  /// Runs `stmt` and materializes the full result.
+  Result<ResultSet> Execute(const SelectStatement& stmt) const;
+
+  /// Convenience: parse + execute.
+  Result<ResultSet> ExecuteSql(std::string_view sql) const;
+
+ private:
+  const Database* db_;
+};
+
+/// SQL LIKE pattern matching ('%' multi-char wildcard, '_' single char).
+/// Exposed for tests.
+bool SqlLikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace soda
+
+#endif  // SODA_SQL_EXECUTOR_H_

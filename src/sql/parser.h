@@ -1,0 +1,42 @@
+// Recursive-descent parser for the SODA SQL subset.
+//
+// Grammar (keywords case-insensitive):
+//
+//   statement  := SELECT [DISTINCT] select_list FROM table_list
+//                 [WHERE predicate (AND predicate)*]
+//                 [GROUP BY column (, column)*]
+//                 [ORDER BY order_item (, order_item)*]
+//                 [LIMIT integer]
+//   select_list := '*' | select_item (, select_item)*
+//   select_item := expr [AS identifier]
+//   table_list  := table_ref (, table_ref)*
+//   table_ref   := identifier [identifier]          -- optional alias
+//   expr        := agg '(' ('*' | column) ')' | column | literal
+//   agg         := COUNT | SUM | AVG | MIN | MAX
+//   column      := identifier ['.' identifier]
+//   predicate   := expr cmp expr | expr BETWEEN literal AND literal
+//   cmp         := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>=' | LIKE
+//   literal     := integer | float | string | DATE 'YYYY-MM-DD'
+//                | TRUE | FALSE | NULL
+//   order_item  := expr [ASC | DESC]
+//
+// BETWEEN desugars into two conjuncts (>= lo, <= hi). This is the exact
+// subset the paper's example statements (Query 1-4) and the gold-standard
+// queries of the evaluation need.
+
+#ifndef SODA_SQL_PARSER_H_
+#define SODA_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace soda {
+
+/// Parses one SELECT statement. Trailing semicolon is allowed.
+Result<SelectStatement> ParseSql(std::string_view sql);
+
+}  // namespace soda
+
+#endif  // SODA_SQL_PARSER_H_

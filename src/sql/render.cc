@@ -1,0 +1,123 @@
+// Rendering of the SQL AST into executable text.
+//
+// The output style follows the statements printed in the paper (Query 1-4):
+// uppercase keywords, comma-joined FROM list, WHERE as AND-chain.
+
+#include <string>
+
+#include "common/strings.h"
+#include "sql/ast.h"
+
+namespace soda {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "count";
+}
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLike:
+      return "LIKE";
+  }
+  return "=";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kStar:
+      return "*";
+    case Kind::kColumn:
+      return column.ToString();
+    case Kind::kLiteral:
+      return literal.ToSqlLiteral();
+    case Kind::kAggregate: {
+      std::string arg = agg_star ? "*" : column.ToString();
+      if (agg_distinct) arg = "DISTINCT " + arg;
+      return std::string(AggFuncName(agg)) + "(" + arg + ")";
+    }
+  }
+  return "*";
+}
+
+std::string Predicate::ToString() const {
+  return lhs.ToString() + " " + CompareOpSymbol(op) + " " + rhs.ToString();
+}
+
+bool SelectStatement::HasAggregates() const {
+  for (const auto& item : items) {
+    if (item.expr.is_aggregate()) return true;
+  }
+  for (const auto& o : order_by) {
+    if (o.expr.is_aggregate()) return true;
+  }
+  return false;
+}
+
+std::string SelectStatement::ToSql() const {
+  std::string sql = "SELECT ";
+  if (distinct) sql += "DISTINCT ";
+  if (items.empty()) {
+    sql += "*";
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += items[i].ToString();
+    }
+  }
+  sql += "\nFROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += from[i].ToString();
+  }
+  if (!where.empty()) {
+    sql += "\nWHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) sql += "\n  AND ";
+      sql += where[i].ToString();
+    }
+  }
+  if (!group_by.empty()) {
+    sql += "\nGROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += group_by[i].ToString();
+    }
+  }
+  if (!order_by.empty()) {
+    sql += "\nORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += order_by[i].ToString();
+    }
+  }
+  if (limit.has_value()) {
+    sql += "\nLIMIT " + std::to_string(*limit);
+  }
+  return sql;
+}
+
+}  // namespace soda

@@ -1,0 +1,57 @@
+#include "sql/result_set.h"
+
+#include <algorithm>
+
+namespace soda {
+
+std::string ResultSet::RowKey(const std::vector<Value>& row) {
+  std::string key;
+  for (const auto& v : row) {
+    key += v.ToSqlLiteral();
+    key += '\x1f';  // unit separator: cannot occur in rendered literals
+  }
+  return key;
+}
+
+std::string ResultSet::ToAsciiTable(size_t max_rows) const {
+  std::vector<size_t> widths(column_names.size());
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    widths[c] = column_names[c].size();
+  }
+  size_t shown = std::min(max_rows, rows.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(column_names.size());
+    for (size_t c = 0; c < column_names.size() && c < rows[r].size(); ++c) {
+      cells[r][c] = rows[r][c].ToDisplayString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  auto rule = [&]() {
+    std::string line = "+";
+    for (size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  std::string out = rule();
+  out += "|";
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    out += " " + column_names[c] +
+           std::string(widths[c] - column_names[c].size(), ' ') + " |";
+  }
+  out += "\n" + rule();
+  for (size_t r = 0; r < shown; ++r) {
+    out += "|";
+    for (size_t c = 0; c < column_names.size(); ++c) {
+      out += " " + cells[r][c] + std::string(widths[c] - cells[r][c].size(), ' ') +
+             " |";
+    }
+    out += "\n";
+  }
+  out += rule();
+  if (rows.size() > shown) {
+    out += "(" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace soda

@@ -1,0 +1,34 @@
+// Materialized query results.
+
+#ifndef SODA_SQL_RESULT_SET_H_
+#define SODA_SQL_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace soda {
+
+/// The rows a SELECT produced, with output column names. Used both for the
+/// user-facing result snippets and for precision/recall scoring against the
+/// gold standard.
+struct ResultSet {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<Value>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_columns() const { return column_names.size(); }
+
+  /// Canonical string key of one row — the unit of comparison for
+  /// precision/recall (paper Section 5.2.1 compares result tuples).
+  static std::string RowKey(const std::vector<Value>& row);
+
+  /// ASCII table rendering, at most `max_rows` data rows (the paper's
+  /// result snippets show up to twenty tuples).
+  std::string ToAsciiTable(size_t max_rows = 20) const;
+};
+
+}  // namespace soda
+
+#endif  // SODA_SQL_RESULT_SET_H_

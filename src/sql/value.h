@@ -1,0 +1,107 @@
+// Typed relational values.
+//
+// The SODA back-end executes generated SQL on an in-memory engine; Value is
+// the cell type of that engine. Values are totally ordered (NULL sorts
+// first, numeric types compare numerically across Int64/Double), hashable,
+// and print in SQL-literal syntax.
+
+#ifndef SODA_SQL_VALUE_H_
+#define SODA_SQL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/date.h"
+#include "common/status.h"
+
+namespace soda {
+
+/// Column / value type tags.
+enum class ValueType {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,
+};
+
+/// Canonical lowercase type name ("int64", "string", ...).
+const char* ValueTypeName(ValueType type);
+
+/// One relational cell. Cheap to copy for all types except long strings.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Payload(v)); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Real(double v) { return Value(Payload(v)); }
+  static Value Str(std::string v) { return Value(Payload(std::move(v))); }
+  static Value DateV(Date d) { return Value(Payload(d)); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  Date AsDate() const { return std::get<Date>(data_); }
+
+  /// Numeric view: Int64 and Double (and Bool as 0/1) promote to double.
+  /// Calling on non-numeric types is an error (returns 0 in release).
+  double NumericValue() const;
+
+  /// True for Int64/Double/Bool.
+  bool IsNumeric() const {
+    ValueType t = type();
+    return t == ValueType::kBool || t == ValueType::kInt64 ||
+           t == ValueType::kDouble;
+  }
+
+  /// Three-way comparison used by ORDER BY and predicate evaluation.
+  /// NULL < everything; numeric types compare by value; cross-type
+  /// non-numeric comparisons order by type tag (deterministic, like SQLite).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable hash consistent with operator== (numeric 3 and 3.0 hash equal).
+  size_t Hash() const;
+
+  /// SQL-literal rendering: NULL, TRUE, 42, 3.14, 'text' (quotes escaped),
+  /// DATE '2010-01-01'.
+  std::string ToSqlLiteral() const;
+
+  /// Plain rendering for result tables (no quotes).
+  std::string ToDisplayString() const;
+
+ private:
+  using Payload =
+      std::variant<std::monostate, bool, int64_t, double, std::string, Date>;
+  explicit Value(Payload p) : data_(std::move(p)) {}
+
+  Payload data_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToSqlLiteral();
+}
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace soda
+
+#endif  // SODA_SQL_VALUE_H_

@@ -1,0 +1,83 @@
+#include "storage/table.h"
+
+#include "common/strings.h"
+
+namespace soda {
+
+int Table::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsFolded(columns_[i].name, column_name)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Status Table::Append(Row row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("table %s expects %zu columns, got %zu", name_.c_str(),
+                  columns_.size(), row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != columns_[i].type) {
+      return Status::TypeError(StrFormat(
+          "table %s column %s expects %s, got %s", name_.c_str(),
+          columns_[i].name.c_str(), ValueTypeName(columns_[i].type),
+          ValueTypeName(row[i].type())));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Value Table::ValueAt(size_t row_index, const std::string& column_name) const {
+  int col = ColumnIndex(column_name);
+  if (col < 0 || row_index >= rows_.size()) return Value::Null();
+  return rows_[row_index][static_cast<size_t>(col)];
+}
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     std::vector<ColumnDef> columns) {
+  std::string key = FoldForMatch(name);
+  if (by_name_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_.push_back(std::make_unique<Table>(name, std::move(columns)));
+  Table* t = tables_.back().get();
+  by_name_[key] = t;
+  return t;
+}
+
+Table* Database::FindTable(const std::string& name) {
+  auto it = by_name_.find(FoldForMatch(name));
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = by_name_.find(FoldForMatch(name));
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<const Table*> Database::tables() const {
+  std::vector<const Table*> out;
+  out.reserve(tables_.size());
+  for (const auto& t : tables_) out.push_back(t.get());
+  return out;
+}
+
+std::vector<Table*> Database::mutable_tables() {
+  std::vector<Table*> out;
+  out.reserve(tables_.size());
+  for (const auto& t : tables_) out.push_back(t.get());
+  return out;
+}
+
+size_t Database::TotalRows() const {
+  size_t n = 0;
+  for (const auto& t : tables_) n += t->num_rows();
+  return n;
+}
+
+}  // namespace soda

@@ -1,0 +1,98 @@
+// Row-oriented in-memory tables and the database catalog.
+//
+// This is the "base data" substrate of the reproduction: the physical tables
+// the warehouse schema compiles into, the rows the inverted index covers,
+// and the storage the generated SQL executes against.
+
+#ifndef SODA_STORAGE_TABLE_H_
+#define SODA_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/value.h"
+
+namespace soda {
+
+/// One column of a physical table.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+using Row = std::vector<Value>;
+
+/// An in-memory table: schema plus a row store. Row ids are stable (no
+/// deletes in this workload; warehouses are append-only with historization).
+class Table {
+ public:
+  Table(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Index of `column_name` or -1 when absent (case-insensitive match,
+  /// mirroring SQL identifier resolution).
+  int ColumnIndex(const std::string& column_name) const;
+
+  /// True when the table has a column of that name.
+  bool HasColumn(const std::string& column_name) const {
+    return ColumnIndex(column_name) >= 0;
+  }
+
+  /// Appends a row; fails when arity or value types disagree with the
+  /// schema (NULL is allowed in any column).
+  Status Append(Row row);
+
+  /// Appends without validation — used by generators on hot paths after
+  /// they have validated the recipe once.
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Value at (row, column-name); NULL when the column does not exist.
+  Value ValueAt(size_t row_index, const std::string& column_name) const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<Row> rows_;
+};
+
+/// The catalog: owns tables, resolves case-insensitive table names.
+class Database {
+ public:
+  /// Creates an empty table. Fails when the name is taken.
+  Result<Table*> CreateTable(const std::string& name,
+                             std::vector<ColumnDef> columns);
+
+  /// Looks up a table; nullptr when absent.
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+
+  /// All tables in creation order.
+  std::vector<const Table*> tables() const;
+  std::vector<Table*> mutable_tables();
+
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Sum of rows over all tables (used by dataset sanity checks).
+  size_t TotalRows() const;
+
+ private:
+  // Creation order preserved for deterministic iteration.
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::map<std::string, Table*> by_name_;  // folded-lowercase name -> table
+};
+
+}  // namespace soda
+
+#endif  // SODA_STORAGE_TABLE_H_

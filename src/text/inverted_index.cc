@@ -1,0 +1,94 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+
+namespace soda {
+
+void InvertedIndex::Build(const Database& db) {
+  for (const Table* table : db.tables()) {
+    IndexTable(*table);
+  }
+}
+
+void InvertedIndex::IndexTable(const Table& table) {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (table.columns()[c].type != ValueType::kString) continue;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      const Value& v = table.row(r)[c];
+      if (v.is_null()) continue;
+      const std::string& text = v.AsString();
+      if (text.empty()) continue;
+      ++num_records_;
+
+      std::string key =
+          table.name() + '\x1f' + table.columns()[c].name + '\x1f' + text;
+      auto it = value_keys_.find(key);
+      if (it != value_keys_.end()) {
+        ++values_[it->second].row_count;
+        continue;
+      }
+      StoredValue sv;
+      sv.table = table.name();
+      sv.column = table.columns()[c].name;
+      sv.value = text;
+      sv.tokens = Tokenize(text);
+      sv.row_count = 1;
+      if (sv.tokens.empty()) continue;
+      uint32_t index = static_cast<uint32_t>(values_.size());
+      // Register under each distinct token of the value.
+      std::vector<std::string> seen;
+      for (const auto& token : sv.tokens) {
+        if (std::find(seen.begin(), seen.end(), token) != seen.end()) continue;
+        seen.push_back(token);
+        postings_[token].push_back(index);
+      }
+      values_.push_back(std::move(sv));
+      value_keys_.emplace(std::move(key), index);
+    }
+  }
+}
+
+std::vector<ValuePosting> InvertedIndex::LookupPhrase(
+    const std::string& phrase) const {
+  std::vector<ValuePosting> result;
+  std::vector<std::string> query_tokens = Tokenize(phrase);
+  if (query_tokens.empty()) return result;
+
+  auto it = postings_.find(query_tokens[0]);
+  if (it == postings_.end()) return result;
+
+  for (uint32_t index : it->second) {
+    const StoredValue& sv = values_[index];
+    // Check that query_tokens appear consecutively in sv.tokens.
+    bool found = false;
+    if (sv.tokens.size() >= query_tokens.size()) {
+      for (size_t start = 0; start + query_tokens.size() <= sv.tokens.size();
+           ++start) {
+        bool all = true;
+        for (size_t k = 0; k < query_tokens.size(); ++k) {
+          if (sv.tokens[start + k] != query_tokens[k]) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (found) {
+      result.push_back(ValuePosting{sv.table, sv.column, sv.value,
+                                    sv.row_count});
+    }
+  }
+  return result;
+}
+
+bool InvertedIndex::ContainsToken(const std::string& token) const {
+  return postings_.count(NormalizeToken(token)) > 0;
+}
+
+}  // namespace soda

@@ -1,0 +1,73 @@
+// Inverted index over the text columns of the base data.
+//
+// The paper builds an inverted index over all 472 base tables, restricted
+// to columns of type "text" (Section 5.1.2). SODA's lookup step probes the
+// index with keyword phrases; a hit identifies (table, column, stored
+// value) triples that become base-data entry points with equality filters.
+//
+// Postings are kept at value granularity: token -> set of distinct
+// (table, column, value) occurrences with row counts. Phrase queries
+// ("credit suisse") require the tokens to appear consecutively in the
+// stored value.
+
+#ifndef SODA_TEXT_INVERTED_INDEX_H_
+#define SODA_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace soda {
+
+/// One distinct (table, column, value) occurrence.
+struct ValuePosting {
+  std::string table;
+  std::string column;
+  std::string value;      // the stored value, original spelling
+  int64_t row_count = 0;  // number of base rows carrying this value
+};
+
+class InvertedIndex {
+ public:
+  /// Indexes every string column of every table in `db`.
+  void Build(const Database& db);
+
+  /// Indexes one table (incremental build).
+  void IndexTable(const Table& table);
+
+  /// All distinct values whose token sequence contains `phrase` (a
+  /// space-separated token phrase) as a consecutive subsequence.
+  /// An empty result means the phrase does not occur in the base data.
+  std::vector<ValuePosting> LookupPhrase(const std::string& phrase) const;
+
+  /// True when the single token occurs anywhere.
+  bool ContainsToken(const std::string& token) const;
+
+  size_t num_tokens() const { return postings_.size(); }
+  size_t num_values() const { return values_.size(); }
+  size_t num_records() const { return num_records_; }
+
+ private:
+  struct StoredValue {
+    std::string table;
+    std::string column;
+    std::string value;
+    std::vector<std::string> tokens;  // normalized token sequence
+    int64_t row_count = 0;
+  };
+
+  // token -> indexes into values_ (deduplicated).
+  std::unordered_map<std::string, std::vector<uint32_t>> postings_;
+  std::vector<StoredValue> values_;
+  // (table, column, value) -> index into values_, for row_count merging.
+  std::map<std::string, uint32_t> value_keys_;
+  size_t num_records_ = 0;
+};
+
+}  // namespace soda
+
+#endif  // SODA_TEXT_INVERTED_INDEX_H_

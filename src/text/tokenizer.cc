@@ -1,0 +1,38 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace soda {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::string folded = FoldForMatch(text);
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < folded.size()) {
+    while (i < folded.size() &&
+           !std::isalnum(static_cast<unsigned char>(folded[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < folded.size() &&
+           std::isalnum(static_cast<unsigned char>(folded[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.push_back(folded.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::string NormalizeToken(std::string_view word) {
+  auto tokens = Tokenize(word);
+  if (tokens.empty()) return std::string();
+  std::string out = tokens[0];
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace soda

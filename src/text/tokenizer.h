@@ -1,0 +1,26 @@
+// Tokenization for the base-data inverted index and the keyword matcher.
+//
+// Tokens are maximal runs of alphanumeric characters, normalized with
+// FoldForMatch (lowercase + diacritic folding), so the query keyword
+// "Zurich" matches the stored value "Zürich".
+
+#ifndef SODA_TEXT_TOKENIZER_H_
+#define SODA_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace soda {
+
+/// Splits `text` into normalized tokens. Digits are kept ("basel ii" ->
+/// ["basel", "ii"]; "q3 2011" -> ["q3", "2011"]).
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Normalized single token (no splitting); empty when `word` holds no
+/// alphanumeric characters.
+std::string NormalizeToken(std::string_view word);
+
+}  // namespace soda
+
+#endif  // SODA_TEXT_TOKENIZER_H_

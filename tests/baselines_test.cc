@@ -1,0 +1,218 @@
+// Unit tests for the baseline systems and the Table 5 capability matrix.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/baseline.h"
+#include "core/soda.h"
+#include "datasets/enterprise.h"
+#include "pattern/library.h"
+
+namespace soda {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    warehouse_ = BuildEnterpriseWarehouse().value().release();
+    SodaConfig config;
+    config.execute_snippets = false;
+    soda_ = new Soda(&warehouse_->db, &warehouse_->graph,
+                     CreditSuissePatternLibrary(), config);
+    metadata_only_ = new ClassificationIndex();
+    metadata_only_->Build(warehouse_->graph, nullptr);
+    context_ = new BaselineContext();
+    context_->db = &warehouse_->db;
+    context_->inverted_index = &soda_->inverted_index();
+    context_->foreign_keys = soda_->join_graph().all_edges();
+    context_->classification = &soda_->classification();
+    context_->metadata_only_classification = metadata_only_;
+    context_->graph_for_resolution = &warehouse_->graph;
+    context_->schema_columns = kPaperPhysicalColumns;
+    systems_ = new std::vector<std::unique_ptr<KeywordSearchSystem>>(
+        MakeBaselines(context_));
+  }
+  static void TearDownTestSuite() {
+    delete systems_;
+    delete context_;
+    delete metadata_only_;
+    delete soda_;
+    delete warehouse_;
+  }
+
+  static KeywordSearchSystem* Find(const std::string& name) {
+    for (auto& system : *systems_) {
+      if (system->name() == name) return system.get();
+    }
+    return nullptr;
+  }
+
+  static EnterpriseWarehouse* warehouse_;
+  static Soda* soda_;
+  static ClassificationIndex* metadata_only_;
+  static BaselineContext* context_;
+  static std::vector<std::unique_ptr<KeywordSearchSystem>>* systems_;
+};
+
+EnterpriseWarehouse* BaselinesTest::warehouse_ = nullptr;
+Soda* BaselinesTest::soda_ = nullptr;
+ClassificationIndex* BaselinesTest::metadata_only_ = nullptr;
+BaselineContext* BaselinesTest::context_ = nullptr;
+std::vector<std::unique_ptr<KeywordSearchSystem>>* BaselinesTest::systems_ =
+    nullptr;
+
+TEST_F(BaselinesTest, AllFiveSystemsPresent) {
+  ASSERT_EQ(systems_->size(), 5u);
+  for (const char* name :
+       {"DBExplorer", "DISCOVER", "BANKS", "SQAK", "Keymantic"}) {
+    EXPECT_NE(Find(name), nullptr) << name;
+  }
+}
+
+// The declared capability matrix must equal paper Table 5.
+TEST_F(BaselinesTest, DeclaredMatrixMatchesPaper) {
+  struct Row {
+    QueryType type;
+    SupportLevel dbexplorer, discover, banks, sqak, keymantic;
+  };
+  const Row kPaper[] = {
+      {QueryType::kBaseData, SupportLevel::kPartial, SupportLevel::kPartial,
+       SupportLevel::kYes, SupportLevel::kNo, SupportLevel::kNoInPractice},
+      {QueryType::kSchema, SupportLevel::kNo, SupportLevel::kNo,
+       SupportLevel::kYes, SupportLevel::kNo, SupportLevel::kYes},
+      {QueryType::kInheritance, SupportLevel::kNo, SupportLevel::kNo,
+       SupportLevel::kNo, SupportLevel::kNo, SupportLevel::kNo},
+      {QueryType::kDomainOntology, SupportLevel::kNo, SupportLevel::kNo,
+       SupportLevel::kNo, SupportLevel::kNo, SupportLevel::kPartial},
+      {QueryType::kPredicates, SupportLevel::kNo, SupportLevel::kNo,
+       SupportLevel::kNo, SupportLevel::kNo, SupportLevel::kNo},
+      {QueryType::kAggregates, SupportLevel::kNo, SupportLevel::kNo,
+       SupportLevel::kNo, SupportLevel::kYes, SupportLevel::kNo},
+  };
+  for (const Row& row : kPaper) {
+    EXPECT_EQ(Find("DBExplorer")->DeclaredSupport(row.type), row.dbexplorer);
+    EXPECT_EQ(Find("DISCOVER")->DeclaredSupport(row.type), row.discover);
+    EXPECT_EQ(Find("BANKS")->DeclaredSupport(row.type), row.banks);
+    EXPECT_EQ(Find("SQAK")->DeclaredSupport(row.type), row.sqak);
+    EXPECT_EQ(Find("Keymantic")->DeclaredSupport(row.type), row.keymantic);
+  }
+}
+
+TEST_F(BaselinesTest, DbExplorerBreaksOnCyclicSchema) {
+  // The enterprise foreign-key graph is cyclic (e.g. two currency FKs on
+  // trade orders), which defeats DBExplorer's join trees.
+  auto answer = Find("DBExplorer")->Translate("Sara");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->answered);
+  EXPECT_NE(answer->failure_reason.find("cycle"), std::string::npos);
+}
+
+TEST_F(BaselinesTest, DiscoverBreaksOnCyclicSchema) {
+  auto answer = Find("DISCOVER")->Translate("Credit Suisse");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->answered);
+}
+
+TEST_F(BaselinesTest, BanksAnswersBaseDataQueries) {
+  auto answer = Find("BANKS")->Translate("Sara");
+  ASSERT_TRUE(answer.ok());
+  ASSERT_TRUE(answer->answered) << answer->failure_reason;
+  ASSERT_FALSE(answer->statements.empty());
+  // The statement filters on the matched value.
+  EXPECT_NE(answer->statements[0].ToSql().find("'Sara'"),
+            std::string::npos);
+}
+
+TEST_F(BaselinesTest, BanksCannotExpandOntologyTerms) {
+  auto answer = Find("BANKS")->Translate("wealthy customers");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->answered);
+}
+
+TEST_F(BaselinesTest, SqakRejectsPlainKeywords) {
+  auto answer = Find("SQAK")->Translate("Sara");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->answered);
+  EXPECT_NE(answer->failure_reason.find("pattern"), std::string::npos);
+}
+
+TEST_F(BaselinesTest, SqakHandlesAggregation) {
+  auto answer =
+      Find("SQAK")->Translate("sum(investments) group by (currency)");
+  ASSERT_TRUE(answer.ok());
+  ASSERT_TRUE(answer->answered) << answer->failure_reason;
+  const std::string sql = answer->statements[0].ToSql();
+  EXPECT_NE(sql.find("sum(invst_pos_td.invst_amt)"), std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("GROUP BY"), std::string::npos);
+}
+
+TEST_F(BaselinesTest, KeymanticMatchesSchemaTerms) {
+  auto answer = Find("Keymantic")->Translate("trade order");
+  ASSERT_TRUE(answer.ok());
+  ASSERT_TRUE(answer->answered) << answer->failure_reason;
+}
+
+TEST_F(BaselinesTest, KeymanticFailsOnValueKeywordsAtScale) {
+  auto answer = Find("Keymantic")->Translate("Sara");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->answered);
+  EXPECT_NE(answer->failure_reason.find("3181"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// shared helpers
+// ---------------------------------------------------------------------------
+
+TEST(ConnectByForeignKeysTest, DirectedModeRespectsFkDirection) {
+  std::vector<JoinEdge> fks = {
+      {{"child", "pid"}, {"parent", "id"}, false},
+  };
+  std::vector<JoinEdge> joins;
+  std::vector<std::string> tables;
+  // fk -> pk allowed.
+  EXPECT_TRUE(ConnectByForeignKeys(fks, {"child", "parent"},
+                                   /*directed=*/true, &joins, &tables));
+  joins.clear();
+  tables.clear();
+  // pk -> fk forbidden in directed mode.
+  EXPECT_FALSE(ConnectByForeignKeys(fks, {"parent", "child"},
+                                    /*directed=*/true, &joins, &tables));
+  // ...but fine undirected.
+  joins.clear();
+  tables.clear();
+  EXPECT_TRUE(ConnectByForeignKeys(fks, {"parent", "child"},
+                                   /*directed=*/false, &joins, &tables));
+}
+
+TEST(CycleDetectionTest, ParallelEdgesAreACycle) {
+  std::vector<JoinEdge> fks = {
+      {{"a", "x"}, {"b", "id"}, false},
+      {{"a", "y"}, {"b", "id2"}, false},
+  };
+  EXPECT_TRUE(ForeignKeyComponentHasCycle(fks, "a"));
+}
+
+TEST(CycleDetectionTest, TreeIsAcyclic) {
+  std::vector<JoinEdge> fks = {
+      {{"b", "aid"}, {"a", "id"}, false},
+      {{"c", "aid"}, {"a", "id"}, false},
+      {{"d", "bid"}, {"b", "id"}, false},
+  };
+  EXPECT_FALSE(ForeignKeyComponentHasCycle(fks, "a"));
+  EXPECT_FALSE(ForeignKeyComponentHasCycle(fks, "d"));
+  EXPECT_FALSE(ForeignKeyComponentHasCycle(fks, "unrelated"));
+}
+
+TEST(CycleDetectionTest, TriangleIsACycle) {
+  std::vector<JoinEdge> fks = {
+      {{"a", "b_id"}, {"b", "id"}, false},
+      {{"b", "c_id"}, {"c", "id"}, false},
+      {{"c", "a_id"}, {"a", "id"}, false},
+  };
+  EXPECT_TRUE(ForeignKeyComponentHasCycle(fks, "a"));
+}
+
+}  // namespace
+}  // namespace soda

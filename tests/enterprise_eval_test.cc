@@ -1,0 +1,160 @@
+// End-to-end evaluation tests on the enterprise warehouse: these assert
+// the precision/recall *shape* of paper Table 3 (who wins, which queries
+// collapse and why), plus the Table 1 schema cardinalities.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "core/soda.h"
+#include "datasets/enterprise.h"
+#include "eval/harness.h"
+#include "eval/workload.h"
+#include "pattern/library.h"
+
+namespace soda {
+namespace {
+
+class EnterpriseEvalTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto built = BuildEnterpriseWarehouse();
+    ASSERT_TRUE(built.ok()) << built.status();
+    warehouse_ = built.value().release();
+    SodaConfig config;
+    config.execute_snippets = false;
+    soda_ = new Soda(&warehouse_->db, &warehouse_->graph,
+                     CreditSuissePatternLibrary(), config);
+    auto evaluations = EvaluateWorkload(*soda_, EnterpriseWorkload());
+    ASSERT_TRUE(evaluations.ok()) << evaluations.status();
+    for (auto& evaluation : *evaluations) {
+      (*by_id_)[evaluation.id] = evaluation;
+    }
+  }
+  static void TearDownTestSuite() {
+    delete soda_;
+    delete warehouse_;
+    soda_ = nullptr;
+    warehouse_ = nullptr;
+    by_id_->clear();
+  }
+
+  static const QueryEvaluation& Eval(const std::string& id) {
+    auto it = by_id_->find(id);
+    EXPECT_NE(it, by_id_->end()) << "no evaluation for query " << id;
+    return it->second;
+  }
+
+  static EnterpriseWarehouse* warehouse_;
+  static Soda* soda_;
+  static std::map<std::string, QueryEvaluation>* by_id_;
+};
+
+EnterpriseWarehouse* EnterpriseEvalTest::warehouse_ = nullptr;
+Soda* EnterpriseEvalTest::soda_ = nullptr;
+std::map<std::string, QueryEvaluation>* EnterpriseEvalTest::by_id_ =
+    new std::map<std::string, QueryEvaluation>();
+
+TEST_F(EnterpriseEvalTest, Table1SchemaCardinalities) {
+  SchemaStats stats = warehouse_->model.Stats();
+  EXPECT_EQ(stats.conceptual_entities, kPaperConceptualEntities);
+  EXPECT_EQ(stats.conceptual_attributes, kPaperConceptualAttributes);
+  EXPECT_EQ(stats.conceptual_relationships, kPaperConceptualRelationships);
+  EXPECT_EQ(stats.logical_entities, kPaperLogicalEntities);
+  EXPECT_EQ(stats.logical_attributes, kPaperLogicalAttributes);
+  EXPECT_EQ(stats.logical_relationships, kPaperLogicalRelationships);
+  EXPECT_EQ(stats.physical_tables, kPaperPhysicalTables);
+  EXPECT_EQ(stats.physical_columns, kPaperPhysicalColumns);
+}
+
+// Prints the full Table-3-style summary on failure for debugging.
+TEST_F(EnterpriseEvalTest, PrintSummary) {
+  for (const auto& [id, evaluation] : *by_id_) {
+    std::printf(
+        "Q%-5s P=%.2f R=%.2f  results=%zu (nz=%d z=%d)  complexity=%zu  "
+        "soda=%.1fms exec=%.1fms\n",
+        id.c_str(), evaluation.best.precision, evaluation.best.recall,
+        evaluation.num_results, evaluation.results_nonzero,
+        evaluation.results_zero, evaluation.complexity, evaluation.soda_ms,
+        evaluation.execute_ms);
+  }
+}
+
+TEST_F(EnterpriseEvalTest, Q1PerfectPrecisionRecall) {
+  EXPECT_DOUBLE_EQ(Eval("1.0").best.precision, 1.0);
+  EXPECT_DOUBLE_EQ(Eval("1.0").best.recall, 1.0);
+}
+
+// The bi-temporal historization hazard: SODA only reaches the current
+// name version (paper: recall 0.2 on Q2.1/Q2.2).
+TEST_F(EnterpriseEvalTest, Q21BitemporalRecallLoss) {
+  EXPECT_DOUBLE_EQ(Eval("2.1").best.precision, 1.0);
+  EXPECT_NEAR(Eval("2.1").best.recall, 0.2, 1e-9);
+  EXPECT_EQ(Eval("2.1").complexity, 4u);
+}
+
+TEST_F(EnterpriseEvalTest, Q22BitemporalRecallLoss) {
+  EXPECT_DOUBLE_EQ(Eval("2.2").best.precision, 1.0);
+  EXPECT_NEAR(Eval("2.2").best.recall, 0.2, 1e-9);
+  EXPECT_EQ(Eval("2.2").complexity, 12u);
+}
+
+TEST_F(EnterpriseEvalTest, Q23CurrentStateQuestionsUnaffected) {
+  EXPECT_DOUBLE_EQ(Eval("2.3").best.precision, 1.0);
+  EXPECT_DOUBLE_EQ(Eval("2.3").best.recall, 1.0);
+}
+
+TEST_F(EnterpriseEvalTest, Q3BothIntentsServed) {
+  EXPECT_DOUBLE_EQ(Eval("3.1").best.precision, 1.0);
+  EXPECT_DOUBLE_EQ(Eval("3.1").best.recall, 1.0);
+  EXPECT_DOUBLE_EQ(Eval("3.2").best.precision, 1.0);
+  EXPECT_DOUBLE_EQ(Eval("3.2").best.recall, 1.0);
+  EXPECT_EQ(Eval("3.1").complexity, 12u);
+}
+
+TEST_F(EnterpriseEvalTest, Q4BaseDataPlusSchema) {
+  EXPECT_DOUBLE_EQ(Eval("4.0").best.precision, 1.0);
+  EXPECT_DOUBLE_EQ(Eval("4.0").best.recall, 1.0);
+}
+
+// The sibling-bridge hazard (paper: P=0.12, R=0.56).
+TEST_F(EnterpriseEvalTest, Q5SiblingBridgePrecisionCollapse) {
+  EXPECT_NEAR(Eval("5.0").best.precision, 0.125, 0.01);
+  EXPECT_NEAR(Eval("5.0").best.recall, 0.5625, 0.01);
+  EXPECT_EQ(Eval("5.0").complexity, 4u);
+}
+
+TEST_F(EnterpriseEvalTest, Q6RangePredicate) {
+  EXPECT_DOUBLE_EQ(Eval("6.0").best.precision, 1.0);
+  EXPECT_DOUBLE_EQ(Eval("6.0").best.recall, 1.0);
+  EXPECT_EQ(Eval("6.0").results_zero, 0);
+}
+
+// SODA restricts only the order currency (paper: P=0.5, R=1.0).
+TEST_F(EnterpriseEvalTest, Q7SupersetResult) {
+  EXPECT_NEAR(Eval("7.0").best.precision, 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(Eval("7.0").best.recall, 1.0);
+}
+
+TEST_F(EnterpriseEvalTest, Q8FiveWayJoin) {
+  EXPECT_DOUBLE_EQ(Eval("8.0").best.precision, 1.0);
+  EXPECT_DOUBLE_EQ(Eval("8.0").best.recall, 1.0);
+  EXPECT_EQ(Eval("8.0").complexity, 8u);
+}
+
+// COUNT(*) over the address bridge double-counts (paper: all zero).
+TEST_F(EnterpriseEvalTest, Q9AllCountsWrong) {
+  EXPECT_DOUBLE_EQ(Eval("9.0").best.precision, 0.0);
+  EXPECT_DOUBLE_EQ(Eval("9.0").best.recall, 0.0);
+  EXPECT_EQ(Eval("9.0").results_nonzero, 0);
+}
+
+TEST_F(EnterpriseEvalTest, Q10ExplicitAggregation) {
+  EXPECT_DOUBLE_EQ(Eval("10.0").best.precision, 1.0);
+  EXPECT_DOUBLE_EQ(Eval("10.0").best.recall, 1.0);
+}
+
+}  // namespace
+}  // namespace soda

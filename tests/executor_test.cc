@@ -1,0 +1,256 @@
+// Unit tests for the SQL executor.
+
+#include <gtest/gtest.h>
+
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "storage/table.h"
+
+namespace soda {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* parties = *db_.CreateTable(
+        "parties", {{"id", ValueType::kInt64}, {"type", ValueType::kString}});
+    Table* individuals = *db_.CreateTable(
+        "individuals", {{"id", ValueType::kInt64},
+                        {"name", ValueType::kString},
+                        {"salary", ValueType::kInt64},
+                        {"birthday", ValueType::kDate}});
+    Table* orders = *db_.CreateTable(
+        "orders", {{"id", ValueType::kInt64},
+                   {"party", ValueType::kInt64},
+                   {"amount", ValueType::kDouble},
+                   {"currency", ValueType::kString}});
+    struct P {
+      int64_t id;
+      const char* name;
+      int64_t salary;
+      const char* birthday;
+    };
+    for (const P& p : std::initializer_list<P>{
+             {1, "Sara", 900, "1981-04-23"},
+             {2, "Bruno", 500, "1975-01-15"},
+             {3, "Carla", 1200, "1990-07-30"}}) {
+      ASSERT_TRUE(parties->Append({Value::Int(p.id),
+                                   Value::Str("individual")}).ok());
+      ASSERT_TRUE(individuals
+                      ->Append({Value::Int(p.id), Value::Str(p.name),
+                                Value::Int(p.salary),
+                                Value::DateV(*Date::Parse(p.birthday))})
+                      .ok());
+    }
+    struct O {
+      int64_t id, party;
+      double amount;
+      const char* currency;
+    };
+    for (const O& o : std::initializer_list<O>{{10, 1, 100.0, "CHF"},
+                                               {11, 1, 250.0, "YEN"},
+                                               {12, 2, 75.0, "CHF"},
+                                               {13, 3, 300.0, "YEN"},
+                                               {14, 3, 125.0, "YEN"}}) {
+      ASSERT_TRUE(orders
+                      ->Append({Value::Int(o.id), Value::Int(o.party),
+                                Value::Real(o.amount),
+                                Value::Str(o.currency)})
+                      .ok());
+    }
+    executor_ = std::make_unique<Executor>(&db_);
+  }
+
+  ResultSet Run(const std::string& sql) {
+    auto rs = executor_->ExecuteSql(sql);
+    EXPECT_TRUE(rs.ok()) << sql << " -> " << rs.status();
+    return rs.ok() ? *rs : ResultSet{};
+  }
+
+  Database db_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(ExecutorTest, FullScan) {
+  ResultSet rs = Run("SELECT * FROM individuals");
+  EXPECT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.num_columns(), 4u);
+  EXPECT_EQ(rs.column_names[1], "individuals.name");
+}
+
+TEST_F(ExecutorTest, FilterEquality) {
+  ResultSet rs = Run("SELECT * FROM individuals WHERE name = 'Sara'");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(1));
+}
+
+TEST_F(ExecutorTest, FilterRange) {
+  ResultSet rs = Run("SELECT * FROM individuals WHERE salary >= 900");
+  EXPECT_EQ(rs.num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, FilterDate) {
+  ResultSet rs = Run(
+      "SELECT * FROM individuals WHERE birthday > DATE '1980-01-01'");
+  EXPECT_EQ(rs.num_rows(), 2u);  // Sara and Carla
+}
+
+TEST_F(ExecutorTest, HashJoin) {
+  ResultSet rs = Run(
+      "SELECT individuals.name, orders.amount FROM individuals, orders "
+      "WHERE orders.party = individuals.id");
+  EXPECT_EQ(rs.num_rows(), 5u);
+}
+
+TEST_F(ExecutorTest, ThreeWayJoin) {
+  ResultSet rs = Run(
+      "SELECT * FROM parties, individuals, orders "
+      "WHERE individuals.id = parties.id "
+      "AND orders.party = individuals.id "
+      "AND orders.currency = 'YEN'");
+  EXPECT_EQ(rs.num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, CrossProductWhenNoJoinCondition) {
+  ResultSet rs = Run("SELECT * FROM parties, orders");
+  EXPECT_EQ(rs.num_rows(), 15u);  // 3 x 5
+}
+
+TEST_F(ExecutorTest, GroupByWithAggregates) {
+  ResultSet rs = Run(
+      "SELECT sum(orders.amount), count(*), orders.currency FROM orders "
+      "GROUP BY orders.currency ORDER BY orders.currency");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][2], Value::Str("CHF"));
+  EXPECT_EQ(rs.rows[0][0], Value::Real(175.0));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(2));
+  EXPECT_EQ(rs.rows[1][0], Value::Real(675.0));
+}
+
+TEST_F(ExecutorTest, AggregateWithoutGroupBy) {
+  ResultSet rs = Run("SELECT count(*), sum(amount), avg(amount), "
+                     "min(amount), max(amount) FROM orders");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(5));
+  EXPECT_EQ(rs.rows[0][1], Value::Real(850.0));
+  EXPECT_EQ(rs.rows[0][2], Value::Real(170.0));
+  EXPECT_EQ(rs.rows[0][3], Value::Real(75.0));
+  EXPECT_EQ(rs.rows[0][4], Value::Real(300.0));
+}
+
+TEST_F(ExecutorTest, CountDistinct) {
+  ResultSet rs = Run("SELECT count(DISTINCT orders.party) FROM orders");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(3));
+}
+
+TEST_F(ExecutorTest, CountStarOnEmptyInputIsZero) {
+  ResultSet rs = Run("SELECT count(*) FROM orders WHERE amount > 99999");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(0));
+}
+
+TEST_F(ExecutorTest, SumOfEmptyIsNull) {
+  ResultSet rs = Run("SELECT sum(amount) FROM orders WHERE amount > 99999");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+TEST_F(ExecutorTest, OrderByDescWithLimit) {
+  ResultSet rs = Run(
+      "SELECT orders.id, orders.amount FROM orders "
+      "ORDER BY orders.amount DESC LIMIT 2");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][1], Value::Real(300.0));
+  EXPECT_EQ(rs.rows[1][1], Value::Real(250.0));
+}
+
+TEST_F(ExecutorTest, OrderByAggregate) {
+  ResultSet rs = Run(
+      "SELECT count(*), orders.party FROM orders GROUP BY orders.party "
+      "ORDER BY count(*) DESC, orders.party");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.rows[0][1], Value::Int(1));  // parties 1 and 3 tie at 2
+  EXPECT_EQ(rs.rows[1][1], Value::Int(3));
+}
+
+TEST_F(ExecutorTest, Distinct) {
+  ResultSet rs = Run("SELECT DISTINCT orders.currency FROM orders");
+  EXPECT_EQ(rs.num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, LikeFilter) {
+  ResultSet rs = Run("SELECT * FROM individuals WHERE name LIKE 'S%'");
+  EXPECT_EQ(rs.num_rows(), 1u);
+}
+
+TEST_F(ExecutorTest, UnknownTableFails) {
+  auto rs = executor_->ExecuteSql("SELECT * FROM missing");
+  EXPECT_EQ(rs.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, UnknownColumnFails) {
+  auto rs = executor_->ExecuteSql("SELECT nope FROM orders");
+  EXPECT_EQ(rs.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, AmbiguousColumnFails) {
+  auto rs = executor_->ExecuteSql(
+      "SELECT id FROM parties, individuals "
+      "WHERE parties.id = individuals.id");
+  EXPECT_EQ(rs.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, UngroupedColumnWithAggregateFails) {
+  auto rs = executor_->ExecuteSql(
+      "SELECT orders.currency, count(*) FROM orders");
+  EXPECT_EQ(rs.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, DuplicateQualifierFails) {
+  auto rs = executor_->ExecuteSql("SELECT * FROM orders, orders");
+  EXPECT_EQ(rs.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, NullNeverJoins) {
+  Table* t = *db_.CreateTable("with_nulls", {{"ref", ValueType::kInt64}});
+  t->AppendUnchecked({Value::Null()});
+  t->AppendUnchecked({Value::Int(1)});
+  ResultSet rs = Run(
+      "SELECT * FROM with_nulls, individuals "
+      "WHERE with_nulls.ref = individuals.id");
+  EXPECT_EQ(rs.num_rows(), 1u);
+}
+
+// SQL LIKE semantics.
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool expected;
+};
+
+class SqlLikeTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(SqlLikeTest, Matches) {
+  const LikeCase& c = GetParam();
+  EXPECT_EQ(SqlLikeMatch(c.text, c.pattern), c.expected)
+      << c.text << " LIKE " << c.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SqlLikeTest,
+    ::testing::Values(LikeCase{"Credit Suisse", "%Suisse%", true},
+                      LikeCase{"Credit Suisse", "Credit%", true},
+                      LikeCase{"Credit Suisse", "%Credit", false},
+                      LikeCase{"Sara", "S_ra", true},
+                      LikeCase{"Sara", "S_r", false},
+                      LikeCase{"", "%", true},
+                      LikeCase{"", "_", false},
+                      LikeCase{"abc", "abc", true},
+                      LikeCase{"abc", "ABC", false},  // case-sensitive
+                      LikeCase{"a%b", "a%b", true},
+                      LikeCase{"xyz", "%%%", true},
+                      LikeCase{"mississippi", "%iss%ppi", true}));
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,136 @@
+// Unit tests for the join graph: harvesting join conditions and bridges
+// through the patterns, direct-path search, and ignore annotations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/join_graph.h"
+#include "graph/vocab.h"
+#include "datasets/minibank.h"
+#include "pattern/library.h"
+#include "pattern/matcher.h"
+
+namespace soda {
+namespace {
+
+class JoinGraphTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bank_ = BuildMiniBank().value().release();
+    library_ = new PatternLibrary(CreditSuissePatternLibrary());
+    matcher_ = new PatternMatcher(&bank_->graph, library_);
+    join_graph_ = new JoinGraph();
+    ASSERT_TRUE(join_graph_->Build(*matcher_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete join_graph_;
+    delete matcher_;
+    delete library_;
+    delete bank_;
+  }
+
+  static MiniBank* bank_;
+  static PatternLibrary* library_;
+  static PatternMatcher* matcher_;
+  static JoinGraph* join_graph_;
+};
+
+MiniBank* JoinGraphTest::bank_ = nullptr;
+PatternLibrary* JoinGraphTest::library_ = nullptr;
+PatternMatcher* JoinGraphTest::matcher_ = nullptr;
+JoinGraph* JoinGraphTest::join_graph_ = nullptr;
+
+TEST_F(JoinGraphTest, HarvestsAllDeclaredForeignKeys) {
+  // The mini-bank declares 10 foreign keys, all via join nodes.
+  EXPECT_EQ(join_graph_->num_edges(), 10u);
+}
+
+TEST_F(JoinGraphTest, AdjacencyCoversBothSides) {
+  EXPECT_FALSE(join_graph_->EdgesOf("parties").empty());
+  EXPECT_FALSE(join_graph_->EdgesOf("individuals").empty());
+  EXPECT_TRUE(join_graph_->EdgesOf("no_such_table").empty());
+}
+
+TEST_F(JoinGraphTest, DetectsBridgeTables) {
+  // fi_contains_sec bridges fin_instruments and securities.
+  bool found = false;
+  for (const BridgeInfo& bridge : join_graph_->bridges()) {
+    if (bridge.bridge_table == "fi_contains_sec") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(JoinGraphTest, TransactionsIsNotABridgeOntoItself) {
+  // transactions has two FKs to the same table (parties); the bridge
+  // pattern requires two distinct targets (p1 distinct p2).
+  for (const BridgeInfo& bridge : join_graph_->bridges()) {
+    EXPECT_NE(bridge.bridge_table, "transactions");
+  }
+}
+
+TEST_F(JoinGraphTest, DirectPathSingleHop) {
+  std::vector<JoinEdge> path;
+  std::vector<std::string> tables;
+  ASSERT_TRUE(join_graph_->DirectPath({"individuals"}, {"parties"}, &path,
+                                      &tables));
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0].ToString(), "individuals.id = parties.id");
+}
+
+TEST_F(JoinGraphTest, DirectPathMultiHop) {
+  std::vector<JoinEdge> path;
+  std::vector<std::string> tables;
+  ASSERT_TRUE(join_graph_->DirectPath({"addresses"}, {"fin_instruments"},
+                                      &path, &tables));
+  // addresses - individuals - parties - transactions - fi_transactions -
+  // fin_instruments.
+  EXPECT_EQ(path.size(), 5u);
+}
+
+TEST_F(JoinGraphTest, MultiSourcePathPicksShortest) {
+  std::vector<JoinEdge> path;
+  std::vector<std::string> tables;
+  ASSERT_TRUE(join_graph_->DirectPath({"addresses", "parties"},
+                                      {"transactions"}, &path, &tables));
+  ASSERT_EQ(path.size(), 1u);  // parties -> transactions directly
+}
+
+TEST_F(JoinGraphTest, OverlappingSetsNeedNoPath) {
+  std::vector<JoinEdge> path;
+  std::vector<std::string> tables;
+  ASSERT_TRUE(join_graph_->DirectPath({"parties", "individuals"},
+                                      {"individuals"}, &path, &tables));
+  EXPECT_TRUE(path.empty());
+}
+
+TEST_F(JoinGraphTest, DisconnectedTablesReportFalse) {
+  MetadataGraph isolated_graph;
+  PatternLibrary lib = CreditSuissePatternLibrary();
+  PatternMatcher matcher(&isolated_graph, &lib);
+  JoinGraph empty;
+  ASSERT_TRUE(empty.Build(matcher).ok());
+  std::vector<JoinEdge> path;
+  EXPECT_FALSE(empty.DirectPath({"a"}, {"b"}, &path, nullptr));
+}
+
+TEST_F(JoinGraphTest, IgnoredEdgesAreNotUsedForPaths) {
+  // Annotate the addresses join as ignored in a scratch copy of the
+  // mini-bank and verify the path router avoids it.
+  auto bank = BuildMiniBank().value();
+  NodeId join = bank->graph.FindNode(
+      JoinUri("addresses", "party_id", "individuals", "id"));
+  ASSERT_NE(join, kInvalidNode);
+  bank->graph.AddTextEdge(join, vocab::kAnnotation,
+                          vocab::kIgnoreRelationship);
+  PatternLibrary lib = CreditSuissePatternLibrary();
+  PatternMatcher matcher(&bank->graph, &lib);
+  JoinGraph jg;
+  ASSERT_TRUE(jg.Build(matcher).ok());
+  std::vector<JoinEdge> path;
+  EXPECT_FALSE(jg.DirectPath({"addresses"}, {"individuals"}, &path,
+                             nullptr));
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,194 @@
+// Unit tests for classification, the lookup step, and ranking — on the
+// mini-bank (shared across the suite to amortize setup).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/classification.h"
+#include "core/lookup.h"
+#include "core/soda.h"
+#include "datasets/minibank.h"
+#include "pattern/library.h"
+
+namespace soda {
+namespace {
+
+class LookupRankTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bank_ = BuildMiniBank().value().release();
+    soda_ = new Soda(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
+                     SodaConfig{});
+  }
+  static void TearDownTestSuite() {
+    delete soda_;
+    delete bank_;
+  }
+
+  static LookupOutput Lookup(const std::string& query) {
+    SodaConfig config;
+    LookupStep step(&soda_->classification(), &config_);
+    auto parsed = ParseInputQuery(query);
+    EXPECT_TRUE(parsed.ok());
+    auto output = step.Run(*parsed);
+    EXPECT_TRUE(output.ok()) << output.status();
+    return output.ok() ? *output : LookupOutput{};
+  }
+
+  static MiniBank* bank_;
+  static Soda* soda_;
+  static SodaConfig config_;
+};
+
+MiniBank* LookupRankTest::bank_ = nullptr;
+Soda* LookupRankTest::soda_ = nullptr;
+SodaConfig LookupRankTest::config_;
+
+// ---------------------------------------------------------------------------
+// classification
+// ---------------------------------------------------------------------------
+
+TEST_F(LookupRankTest, ClassificationFindsAllMetadataKinds) {
+  const ClassificationIndex& index = soda_->classification();
+  // Ontology concept.
+  auto customers = index.Lookup("customers");
+  ASSERT_EQ(customers.size(), 1u);
+  EXPECT_EQ(customers[0].layer, MetadataLayer::kDomainOntology);
+  // Conceptual + logical entity.
+  EXPECT_EQ(index.Lookup("financial instruments").size(), 2u);
+  // Physical table name.
+  bool physical_found = false;
+  for (const auto& ep : index.Lookup("individuals")) {
+    physical_found |= ep.layer == MetadataLayer::kPhysicalSchema;
+  }
+  EXPECT_TRUE(physical_found);
+  // Metadata filter label.
+  EXPECT_FALSE(index.Lookup("wealthy customers").empty());
+  // DBpedia term.
+  auto client = index.Lookup("client");
+  ASSERT_FALSE(client.empty());
+  EXPECT_EQ(client[0].layer, MetadataLayer::kDbpedia);
+  // Base data.
+  auto zurich = index.Lookup("Zurich");
+  ASSERT_EQ(zurich.size(), 1u);
+  EXPECT_EQ(zurich[0].kind, EntryPoint::Kind::kBaseData);
+  EXPECT_EQ(zurich[0].value, "Zürich");
+}
+
+TEST_F(LookupRankTest, MetadataBeforeBaseData) {
+  // When a phrase matches both, metadata candidates come first.
+  auto results = soda_->classification().Lookup("individuals");
+  ASSERT_GE(results.size(), 1u);
+  EXPECT_EQ(results[0].kind, EntryPoint::Kind::kMetadataNode);
+}
+
+TEST_F(LookupRankTest, SegmentationPrefersLongestCombination) {
+  std::vector<std::string> ignored;
+  auto phrases = soda_->classification().SegmentKeywords(
+      {"financial", "instruments", "Zurich"}, &ignored);
+  ASSERT_EQ(phrases.size(), 2u);
+  EXPECT_EQ(phrases[0], "financial instruments");
+  EXPECT_EQ(phrases[1], "Zurich");  // original spelling preserved
+  EXPECT_TRUE(ignored.empty());
+}
+
+TEST_F(LookupRankTest, UnknownWordsIgnored) {
+  std::vector<std::string> ignored;
+  auto phrases = soda_->classification().SegmentKeywords(
+      {"frobnicate", "customers"}, &ignored);
+  ASSERT_EQ(phrases.size(), 1u);
+  EXPECT_EQ(phrases[0], "customers");
+  ASSERT_EQ(ignored.size(), 1u);
+  EXPECT_EQ(ignored[0], "frobnicate");
+}
+
+// ---------------------------------------------------------------------------
+// lookup step
+// ---------------------------------------------------------------------------
+
+TEST_F(LookupRankTest, CombinatorialProduct) {
+  LookupOutput out = Lookup("customers Zürich financial instruments");
+  ASSERT_EQ(out.terms.size(), 3u);
+  EXPECT_EQ(out.complexity, 2u);  // 1 x 1 x 2 (paper Figure 5)
+  EXPECT_EQ(out.interpretations.size(), 2u);
+}
+
+TEST_F(LookupRankTest, OperatorBindsToPrecedingTerm) {
+  LookupOutput out = Lookup("salary >= 500000");
+  ASSERT_EQ(out.operators.size(), 1u);
+  EXPECT_EQ(out.operators[0].op, CompareOp::kGe);
+  EXPECT_EQ(out.operators[0].literal, Value::Int(500000));
+  EXPECT_EQ(out.terms[out.operators[0].term_index].phrase, "salary");
+  EXPECT_TRUE(out.terms[out.operators[0].term_index].has_operator);
+}
+
+TEST_F(LookupRankTest, BetweenBindsTwoLiterals) {
+  LookupOutput out = Lookup(
+      "transaction date between date(2010-01-01) date(2010-12-31)");
+  ASSERT_EQ(out.operators.size(), 1u);
+  EXPECT_TRUE(out.operators[0].is_between);
+  EXPECT_EQ(out.operators[0].literal.type(), ValueType::kDate);
+  EXPECT_EQ(out.operators[0].literal_high.type(), ValueType::kDate);
+}
+
+TEST_F(LookupRankTest, ComparisonWithoutLhsFails) {
+  SodaConfig config;
+  LookupStep step(&soda_->classification(), &config);
+  auto parsed = ParseInputQuery(">= 100");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(step.Run(*parsed).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ranking
+// ---------------------------------------------------------------------------
+
+TEST_F(LookupRankTest, LayerWeightsOrdered) {
+  SodaConfig config;
+  EXPECT_GT(LayerWeight(MetadataLayer::kDomainOntology, config),
+            LayerWeight(MetadataLayer::kConceptualSchema, config));
+  EXPECT_GT(LayerWeight(MetadataLayer::kConceptualSchema, config),
+            LayerWeight(MetadataLayer::kLogicalSchema, config));
+  EXPECT_GT(LayerWeight(MetadataLayer::kBaseData, config),
+            LayerWeight(MetadataLayer::kDbpedia, config));
+}
+
+TEST_F(LookupRankTest, RankingPrefersOntologyOverDbpedia) {
+  // "customer" matches only DBpedia; "customers" only the ontology. Build
+  // an artificial lookup with both candidates for one term and check the
+  // ordering of interpretations.
+  LookupOutput out = Lookup("financial instruments");
+  ASSERT_EQ(out.terms.size(), 1u);
+  ASSERT_EQ(out.terms[0].candidates.size(), 2u);
+  SodaConfig config;
+  auto ranked = RankAndTopN(out, config);
+  ASSERT_EQ(ranked.size(), 2u);
+  // Conceptual (0.85) must come before logical (0.80).
+  const EntryPoint& first =
+      out.terms[0].candidates[ranked[0].choice[0]];
+  EXPECT_EQ(first.layer, MetadataLayer::kConceptualSchema);
+  EXPECT_GT(ranked[0].score, ranked[1].score);
+}
+
+TEST_F(LookupRankTest, TopNCapsInterpretations) {
+  LookupOutput out = Lookup("Sara");  // several base-data homes
+  SodaConfig config;
+  config.top_n = 1;
+  auto ranked = RankAndTopN(out, config);
+  EXPECT_EQ(ranked.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// end-to-end step timing sanity
+// ---------------------------------------------------------------------------
+
+TEST_F(LookupRankTest, SearchReportsTimings) {
+  auto output = soda_->Search("customers Zürich financial instruments");
+  ASSERT_TRUE(output.ok());
+  EXPECT_GE(output->timings.soda_total_ms(), 0.0);
+  EXPECT_GE(output->timings.lookup_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,313 @@
+// Unit tests for the pattern language: parser, library expansion, and the
+// backtracking matcher — including the paper's verbatim pattern texts.
+
+#include <gtest/gtest.h>
+
+#include "graph/metadata_graph.h"
+#include "graph/vocab.h"
+#include "pattern/library.h"
+#include "pattern/matcher.h"
+#include "pattern/pattern.h"
+
+#include <set>
+
+namespace soda {
+namespace {
+
+// ---------------------------------------------------------------------------
+// parser
+// ---------------------------------------------------------------------------
+
+TEST(PatternParserTest, PaperTablePattern) {
+  auto pattern = ParsePattern("table",
+                              "( x tablename t:y ) &\n"
+                              "( x type physical_table )");
+  ASSERT_TRUE(pattern.ok()) << pattern.status();
+  ASSERT_EQ(pattern->triples.size(), 2u);
+  EXPECT_EQ(pattern->triples[0].subject.kind, PatternTerm::Kind::kVariable);
+  EXPECT_EQ(pattern->triples[0].subject.name, "x");
+  EXPECT_EQ(pattern->triples[0].predicate, "tablename");
+  EXPECT_EQ(pattern->triples[0].object.kind,
+            PatternTerm::Kind::kTextVariable);
+  EXPECT_EQ(pattern->triples[1].object.kind, PatternTerm::Kind::kUri);
+  EXPECT_EQ(pattern->triples[1].object.name, "physical_table");
+}
+
+TEST(PatternParserTest, ReferenceTriple) {
+  auto pattern = ParsePattern("foreign_key",
+                              "( x foreign_key y ) &\n"
+                              "( x matches-column ) &\n"
+                              "( y matches-column )");
+  ASSERT_TRUE(pattern.ok()) << pattern.status();
+  ASSERT_EQ(pattern->triples.size(), 3u);
+  EXPECT_TRUE(pattern->triples[1].is_reference);
+  EXPECT_EQ(pattern->triples[1].reference_name, "column");
+}
+
+TEST(PatternParserTest, DistinctConstraint) {
+  auto pattern = ParsePattern("p",
+                              "( y inheritance_child c1 ) &\n"
+                              "( y inheritance_child c2 ) &\n"
+                              "( c1 distinct c2 )");
+  ASSERT_TRUE(pattern.ok()) << pattern.status();
+  EXPECT_EQ(pattern->triples.size(), 2u);
+  ASSERT_EQ(pattern->distinct_constraints.size(), 1u);
+  EXPECT_EQ(pattern->distinct_constraints[0].first, "c1");
+  EXPECT_EQ(pattern->distinct_constraints[0].second, "c2");
+}
+
+TEST(PatternParserTest, TextLiteral) {
+  auto pattern = ParsePattern("p", "( x label t:\"wealthy customers\" )");
+  ASSERT_TRUE(pattern.ok()) << pattern.status();
+  EXPECT_EQ(pattern->triples[0].object.kind,
+            PatternTerm::Kind::kTextLiteral);
+  EXPECT_EQ(pattern->triples[0].object.name, "wealthy customers");
+}
+
+TEST(PatternParserTest, ExplicitVariableMarker) {
+  auto pattern = ParsePattern("p", "( ?mynode type physical_table )");
+  ASSERT_TRUE(pattern.ok()) << pattern.status();
+  EXPECT_EQ(pattern->triples[0].subject.kind, PatternTerm::Kind::kVariable);
+  EXPECT_EQ(pattern->triples[0].subject.name, "mynode");
+}
+
+TEST(PatternParserTest, VariableTokenHeuristic) {
+  EXPECT_TRUE(IsVariableToken("x"));
+  EXPECT_TRUE(IsVariableToken("c1"));
+  EXPECT_TRUE(IsVariableToken("p42"));
+  EXPECT_TRUE(IsVariableToken("?anything"));
+  EXPECT_FALSE(IsVariableToken("physical_table"));
+  EXPECT_FALSE(IsVariableToken("tablename"));
+  EXPECT_FALSE(IsVariableToken(""));
+}
+
+TEST(PatternParserTest, Errors) {
+  EXPECT_FALSE(ParsePattern("p", "").ok());
+  EXPECT_FALSE(ParsePattern("p", "( x tablename t:y").ok());  // unterminated
+  EXPECT_FALSE(ParsePattern("p", "( x y )").ok());  // 2 terms, no matches-
+  EXPECT_FALSE(ParsePattern("p", "( x a b c d )").ok());
+  EXPECT_FALSE(ParsePattern("p", "( t:x type y )").ok());  // text subject
+  EXPECT_FALSE(
+      ParsePattern("p", "( x type a ) ( x type b )").ok());  // missing &
+}
+
+TEST(PatternParserTest, ToStringRoundTrips) {
+  const char* text =
+      "( x columnname t:y ) &\n"
+      "( x type physical_column ) &\n"
+      "( z column x )";
+  auto pattern = ParsePattern("column", text);
+  ASSERT_TRUE(pattern.ok());
+  auto reparsed = ParsePattern("column", pattern->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->triples, pattern->triples);
+}
+
+// ---------------------------------------------------------------------------
+// library expansion
+// ---------------------------------------------------------------------------
+
+TEST(PatternLibraryTest, DefaultSetRegistered) {
+  PatternLibrary lib = CreditSuissePatternLibrary();
+  for (const char* name :
+       {patterns::kTable, patterns::kColumn, patterns::kForeignKey,
+        patterns::kJoinRelationship, patterns::kInheritanceChild,
+        patterns::kBridgeTable, patterns::kBridgeTableJoin,
+        patterns::kMetadataFilter}) {
+    EXPECT_NE(lib.Find(name), nullptr) << name;
+  }
+}
+
+TEST(PatternLibraryTest, DuplicateRejected) {
+  PatternLibrary lib;
+  ASSERT_TRUE(lib.RegisterText("p", "( x type y )").ok());
+  EXPECT_EQ(lib.RegisterText("p", "( x type z )").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(lib.Replace(*ParsePattern("p", "( x type z )")).ok());
+}
+
+TEST(PatternLibraryTest, ExpansionInlinesReferences) {
+  PatternLibrary lib = CreditSuissePatternLibrary();
+  auto expanded = lib.Expand(patterns::kForeignKey);
+  ASSERT_TRUE(expanded.ok()) << expanded.status();
+  // foreign_key has 1 own triple + 2 x 3 column triples.
+  EXPECT_EQ(expanded->triples.size(), 7u);
+  // No references remain.
+  for (const auto& triple : expanded->triples) {
+    EXPECT_FALSE(triple.is_reference);
+  }
+}
+
+TEST(PatternLibraryTest, ExpansionRenamesFreshVariables) {
+  PatternLibrary lib = CreditSuissePatternLibrary();
+  auto expanded = lib.Expand(patterns::kForeignKey);
+  ASSERT_TRUE(expanded.ok());
+  // The two inlined column patterns must not share their z variable.
+  std::set<std::string> z_variables;
+  for (const auto& triple : expanded->triples) {
+    if (triple.predicate == vocab::kColumn) {
+      z_variables.insert(triple.subject.name);
+    }
+  }
+  EXPECT_EQ(z_variables.size(), 2u);
+}
+
+TEST(PatternLibraryTest, UnknownReferenceFails) {
+  PatternLibrary lib;
+  ASSERT_TRUE(lib.RegisterText("p", "( x matches-ghost )").ok());
+  EXPECT_EQ(lib.Expand("p").status().code(), StatusCode::kNotFound);
+}
+
+TEST(PatternLibraryTest, ReferenceCycleFails) {
+  PatternLibrary lib;
+  ASSERT_TRUE(lib.RegisterText("a", "( x matches-b )").ok());
+  ASSERT_TRUE(lib.RegisterText("b", "( x matches-a )").ok());
+  EXPECT_FALSE(lib.Expand("a").ok());
+}
+
+// ---------------------------------------------------------------------------
+// matcher
+// ---------------------------------------------------------------------------
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lib_ = CreditSuissePatternLibrary();
+    type_table_ = graph_.GetOrAddNode(vocab::kPhysicalTable,
+                                      MetadataLayer::kOther);
+    type_column_ = graph_.GetOrAddNode(vocab::kPhysicalColumn,
+                                       MetadataLayer::kOther);
+    type_inh_ = graph_.GetOrAddNode(vocab::kInheritanceNode,
+                                    MetadataLayer::kOther);
+
+    parties_ = AddTable("parties");
+    individuals_ = AddTable("individuals");
+    organizations_ = AddTable("organizations");
+    parties_id_ = AddColumn(parties_, "parties", "id");
+    individuals_id_ = AddColumn(individuals_, "individuals", "id");
+    graph_.AddEdge(individuals_id_, vocab::kForeignKey, parties_id_);
+
+    inh_ = *graph_.AddNode("inh/parties", MetadataLayer::kPhysicalSchema);
+    graph_.AddEdge(inh_, vocab::kType, type_inh_);
+    graph_.AddEdge(inh_, vocab::kInheritanceParent, parties_);
+    graph_.AddEdge(inh_, vocab::kInheritanceChild, individuals_);
+    graph_.AddEdge(inh_, vocab::kInheritanceChild, organizations_);
+
+    matcher_ = std::make_unique<PatternMatcher>(&graph_, &lib_);
+  }
+
+  NodeId AddTable(const std::string& name) {
+    NodeId node = *graph_.AddNode("table/" + name,
+                                  MetadataLayer::kPhysicalSchema);
+    graph_.AddEdge(node, vocab::kType, type_table_);
+    graph_.AddTextEdge(node, vocab::kTablename, name);
+    return node;
+  }
+
+  NodeId AddColumn(NodeId table, const std::string& table_name,
+                   const std::string& name) {
+    NodeId node = *graph_.AddNode("column/" + table_name + "." + name,
+                                  MetadataLayer::kPhysicalSchema);
+    graph_.AddEdge(node, vocab::kType, type_column_);
+    graph_.AddTextEdge(node, vocab::kColumnname, name);
+    graph_.AddEdge(table, vocab::kColumn, node);
+    return node;
+  }
+
+  MetadataGraph graph_;
+  PatternLibrary lib_;
+  std::unique_ptr<PatternMatcher> matcher_;
+  NodeId type_table_, type_column_, type_inh_;
+  NodeId parties_, individuals_, organizations_;
+  NodeId parties_id_, individuals_id_, inh_;
+};
+
+TEST_F(MatcherTest, TablePatternMatchesTables) {
+  EXPECT_TRUE(matcher_->Matches(patterns::kTable, parties_));
+  EXPECT_FALSE(matcher_->Matches(patterns::kTable, parties_id_));
+  EXPECT_FALSE(matcher_->Matches(patterns::kTable, inh_));
+}
+
+TEST_F(MatcherTest, TablePatternBindsName) {
+  auto matches = matcher_->MatchAt(patterns::kTable, parties_);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ(matches->front().text("y"), "parties");
+}
+
+TEST_F(MatcherTest, ColumnPatternRequiresOwningTable) {
+  EXPECT_TRUE(matcher_->Matches(patterns::kColumn, parties_id_));
+  // A column node without an incoming `column` edge must not match.
+  NodeId orphan = *graph_.AddNode("column/orphan.c",
+                                  MetadataLayer::kPhysicalSchema);
+  graph_.AddEdge(orphan, vocab::kType, type_column_);
+  graph_.AddTextEdge(orphan, vocab::kColumnname, "c");
+  EXPECT_FALSE(matcher_->Matches(patterns::kColumn, orphan));
+}
+
+TEST_F(MatcherTest, ForeignKeyPatternBindsBothColumns) {
+  auto matches = matcher_->MatchAt(patterns::kForeignKey, individuals_id_);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ(matches->front().node("y"), parties_id_);
+}
+
+TEST_F(MatcherTest, InheritanceChildMatchesViaIncomingEdge) {
+  // The pattern's first triple has an unbound subject (the inheritance
+  // node), exercising the in-edge enumeration path of the matcher.
+  auto matches = matcher_->MatchAt(patterns::kInheritanceChild,
+                                   individuals_);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_FALSE(matches->empty());
+  EXPECT_EQ(matches->front().node("p"), parties_);
+  // c1 and c2 must bind to distinct children.
+  for (const auto& match : *matches) {
+    EXPECT_NE(match.node("c1"), match.node("c2"));
+  }
+}
+
+TEST_F(MatcherTest, InheritanceChildRequiresTwoChildren) {
+  // An inheritance node with a single child cannot satisfy c1 != c2.
+  NodeId lonely_parent = AddTable("orders");
+  NodeId lonely_child = AddTable("trade_orders");
+  NodeId inh = *graph_.AddNode("inh/orders",
+                               MetadataLayer::kPhysicalSchema);
+  graph_.AddEdge(inh, vocab::kType, type_inh_);
+  graph_.AddEdge(inh, vocab::kInheritanceParent, lonely_parent);
+  graph_.AddEdge(inh, vocab::kInheritanceChild, lonely_child);
+  EXPECT_FALSE(matcher_->Matches(patterns::kInheritanceChild, lonely_child));
+}
+
+TEST_F(MatcherTest, ParentIsNotAChild) {
+  EXPECT_FALSE(matcher_->Matches(patterns::kInheritanceChild, parties_));
+}
+
+TEST_F(MatcherTest, MatchAllEnumeratesEverything) {
+  auto matches = matcher_->MatchAll(patterns::kTable);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 3u);  // parties, individuals, organizations
+}
+
+TEST_F(MatcherTest, MaxMatchesCapRespected) {
+  auto matches = matcher_->MatchAll(patterns::kTable, /*max_matches=*/2);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 2u);
+}
+
+TEST_F(MatcherTest, UnknownPatternFails) {
+  auto matches = matcher_->MatchAt("no_such_pattern", parties_);
+  EXPECT_FALSE(matches.ok());
+  EXPECT_FALSE(matcher_->Matches("no_such_pattern", parties_));
+}
+
+TEST_F(MatcherTest, TextLiteralConstraint) {
+  PatternLibrary lib;
+  ASSERT_TRUE(lib.RegisterText(
+      "parties_only", "( x tablename t:\"parties\" )").ok());
+  PatternMatcher matcher(&graph_, &lib);
+  EXPECT_TRUE(matcher.Matches("parties_only", parties_));
+  EXPECT_FALSE(matcher.Matches("parties_only", individuals_));
+}
+
+}  // namespace
+}  // namespace soda

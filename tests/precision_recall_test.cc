@@ -1,0 +1,115 @@
+// Unit tests for the evaluation harness building blocks.
+
+#include <gtest/gtest.h>
+
+#include "eval/precision_recall.h"
+
+namespace soda {
+namespace {
+
+ResultSet MakeResult(std::vector<std::string> columns,
+                     std::vector<std::vector<Value>> rows) {
+  ResultSet rs;
+  rs.column_names = std::move(columns);
+  rs.rows = std::move(rows);
+  return rs;
+}
+
+TEST(PrecisionRecallTest, PerfectMatch) {
+  std::set<std::string> gold = {"a", "b", "c"};
+  PrScore score = ComputePr(gold, gold);
+  EXPECT_DOUBLE_EQ(score.precision, 1.0);
+  EXPECT_DOUBLE_EQ(score.recall, 1.0);
+  EXPECT_DOUBLE_EQ(score.f1(), 1.0);
+}
+
+TEST(PrecisionRecallTest, Subset) {
+  PrScore score = ComputePr({"a"}, {"a", "b", "c", "d", "e"});
+  EXPECT_DOUBLE_EQ(score.precision, 1.0);
+  EXPECT_DOUBLE_EQ(score.recall, 0.2);  // the paper's Q2.1 shape
+}
+
+TEST(PrecisionRecallTest, Superset) {
+  PrScore score = ComputePr({"a", "b"}, {"a"});
+  EXPECT_DOUBLE_EQ(score.precision, 0.5);  // the paper's Q7.0 shape
+  EXPECT_DOUBLE_EQ(score.recall, 1.0);
+}
+
+TEST(PrecisionRecallTest, Disjoint) {
+  PrScore score = ComputePr({"x", "y"}, {"a", "b"});
+  EXPECT_DOUBLE_EQ(score.precision, 0.0);
+  EXPECT_DOUBLE_EQ(score.recall, 0.0);
+  EXPECT_DOUBLE_EQ(score.f1(), 0.0);
+}
+
+TEST(PrecisionRecallTest, EmptyResult) {
+  PrScore score = ComputePr({}, {"a"});
+  EXPECT_DOUBLE_EQ(score.precision, 0.0);
+  EXPECT_DOUBLE_EQ(score.recall, 0.0);
+}
+
+TEST(ExtractTuplesTest, ExactColumnMatch) {
+  ResultSet rs = MakeResult({"id", "name"},
+                            {{Value::Int(1), Value::Str("Sara")},
+                             {Value::Int(2), Value::Str("Bruno")}});
+  auto tuples = ExtractTuples(rs, {{"id", "name"}});
+  EXPECT_EQ(tuples.size(), 2u);
+}
+
+TEST(ExtractTuplesTest, SuffixMatchAtDotBoundary) {
+  ResultSet rs = MakeResult(
+      {"indvl_nm_hist_td.family_name", "indvl_td.id"},
+      {{Value::Str("Guttinger"), Value::Int(7)}});
+  auto tuples = ExtractTuples(rs, {{"id", "family_name"}});
+  EXPECT_EQ(tuples.size(), 1u);
+  // But not a non-boundary suffix:
+  ResultSet trap = MakeResult({"t.a_family_name"}, {{Value::Str("x")}});
+  EXPECT_TRUE(ExtractTuples(trap, {{"family_name"}}).empty());
+}
+
+TEST(ExtractTuplesTest, AlternativesTryInOrder) {
+  ResultSet rs = MakeResult({"indvl_id"}, {{Value::Int(7)}});
+  auto tuples = ExtractTuples(rs, {{"indvl_td.id|indvl_id"}});
+  EXPECT_EQ(tuples.size(), 1u);
+}
+
+TEST(ExtractTuplesTest, MissingColumnYieldsNothing) {
+  ResultSet rs = MakeResult({"id"}, {{Value::Int(1)}});
+  EXPECT_TRUE(ExtractTuples(rs, {{"id", "missing"}}).empty());
+}
+
+TEST(ExtractTuplesTest, MultipleExtractorsUnion) {
+  ResultSet rs = MakeResult(
+      {"party_td.id", "family_name", "org_name"},
+      {{Value::Int(1), Value::Str("Meier"), Value::Str("Acme")}});
+  auto tuples = ExtractTuples(
+      rs, {{"party_td.id", "family_name"}, {"party_td.id", "org_name"}});
+  EXPECT_EQ(tuples.size(), 2u);  // the Q5.0 evaluation mechanism
+}
+
+TEST(ExtractTuplesTest, DistinctTuplesOnly) {
+  ResultSet rs = MakeResult({"id"}, {{Value::Int(1)},
+                                     {Value::Int(1)},
+                                     {Value::Int(2)}});
+  auto tuples = ExtractTuples(rs, {{"id"}});
+  EXPECT_EQ(tuples.size(), 2u);  // set semantics
+}
+
+TEST(AllTuplesTest, WholeRowKeys) {
+  ResultSet rs = MakeResult({"a", "b"},
+                            {{Value::Int(1), Value::Str("x")},
+                             {Value::Int(1), Value::Str("x")},
+                             {Value::Int(1), Value::Str("y")}});
+  EXPECT_EQ(AllTuples(rs).size(), 2u);
+}
+
+TEST(AllTuplesTest, TypedTuplesDistinguished) {
+  // Int 1 and string "1" must not collide as tuples.
+  ResultSet a = MakeResult({"v"}, {{Value::Int(1)}});
+  ResultSet b = MakeResult({"v"}, {{Value::Str("1")}});
+  PrScore score = ComputePr(AllTuples(a), AllTuples(b));
+  EXPECT_DOUBLE_EQ(score.precision, 0.0);
+}
+
+}  // namespace
+}  // namespace soda

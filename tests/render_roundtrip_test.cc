@@ -1,0 +1,150 @@
+// Property test: rendering a statement to SQL text and parsing it back
+// yields the same AST (modulo nothing — the subset round-trips exactly).
+// Statements are generated pseudo-randomly over the full AST surface.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sql/ast.h"
+#include "sql/parser.h"
+
+namespace soda {
+namespace {
+
+Value RandomLiteral(Rng* rng) {
+  switch (rng->Below(4)) {
+    case 0:
+      return Value::Int(rng->Range(-1000, 1000));
+    case 1:
+      return Value::Real(static_cast<double>(rng->Range(1, 400)) / 4.0);
+    case 2:
+      return Value::Str("v" + std::to_string(rng->Range(0, 99)));
+    default:
+      return Value::DateV(Date::FromYmd(
+          static_cast<int>(rng->Range(1990, 2020)),
+          static_cast<int>(rng->Range(1, 12)),
+          static_cast<int>(rng->Range(1, 28))));
+  }
+}
+
+ColumnRef RandomColumn(Rng* rng) {
+  return ColumnRef{"t" + std::to_string(rng->Range(0, 3)),
+                   "c" + std::to_string(rng->Range(0, 5))};
+}
+
+SelectStatement RandomStatement(Rng* rng) {
+  SelectStatement stmt;
+  stmt.distinct = rng->Chance(0.2);
+
+  bool aggregate_query = rng->Chance(0.4);
+  if (rng->Chance(0.25) && !aggregate_query) {
+    stmt.items.push_back(SelectItem{Expr::MakeStar(), ""});
+  } else if (aggregate_query) {
+    size_t num_aggs = 1 + rng->Below(2);
+    for (size_t i = 0; i < num_aggs; ++i) {
+      Expr agg;
+      switch (rng->Below(3)) {
+        case 0:
+          agg = Expr::MakeCountStar();
+          break;
+        case 1:
+          agg = Expr::MakeAggregate(AggFunc::kSum, RandomColumn(rng));
+          break;
+        default:
+          agg = Expr::MakeAggregate(AggFunc::kCount, RandomColumn(rng));
+          agg.agg_distinct = rng->Chance(0.5);
+      }
+      stmt.items.push_back(SelectItem{std::move(agg), ""});
+    }
+    size_t num_groups = rng->Below(3);
+    for (size_t i = 0; i < num_groups; ++i) {
+      ColumnRef ref = RandomColumn(rng);
+      stmt.items.push_back(SelectItem{Expr::MakeColumn(ref), ""});
+      stmt.group_by.push_back(ref);
+    }
+  } else {
+    size_t num_items = 1 + rng->Below(3);
+    for (size_t i = 0; i < num_items; ++i) {
+      stmt.items.push_back(
+          SelectItem{Expr::MakeColumn(RandomColumn(rng)), ""});
+    }
+  }
+
+  size_t num_tables = 1 + rng->Below(3);
+  for (size_t i = 0; i < num_tables; ++i) {
+    stmt.from.push_back(TableRef{"t" + std::to_string(i), ""});
+  }
+
+  size_t num_predicates = rng->Below(4);
+  for (size_t i = 0; i < num_predicates; ++i) {
+    Predicate p;
+    p.lhs = Expr::MakeColumn(RandomColumn(rng));
+    p.op = static_cast<CompareOp>(rng->Below(7));
+    if (p.op == CompareOp::kLike) {
+      p.rhs = Expr::MakeLiteral(Value::Str("%x%"));
+    } else if (rng->Chance(0.4)) {
+      p.rhs = Expr::MakeColumn(RandomColumn(rng));
+    } else {
+      p.rhs = Expr::MakeLiteral(RandomLiteral(rng));
+    }
+    stmt.where.push_back(std::move(p));
+  }
+
+  if (rng->Chance(0.4)) {
+    OrderItem order;
+    order.expr = stmt.items.empty() ||
+                         stmt.items[0].expr.kind == Expr::Kind::kStar
+                     ? Expr::MakeColumn(RandomColumn(rng))
+                     : stmt.items[0].expr;
+    order.descending = rng->Chance(0.5);
+    stmt.order_by.push_back(std::move(order));
+  }
+  if (rng->Chance(0.3)) {
+    stmt.limit = rng->Range(1, 100);
+  }
+  return stmt;
+}
+
+class RenderRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RenderRoundTripTest, ParseOfRenderIsIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    SelectStatement stmt = RandomStatement(&rng);
+    std::string sql = stmt.ToSql();
+    auto reparsed = ParseSql(sql);
+    ASSERT_TRUE(reparsed.ok()) << "failed to re-parse:\n" << sql << "\n"
+                               << reparsed.status();
+    EXPECT_EQ(*reparsed, stmt) << "round-trip mismatch for:\n" << sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RenderRoundTripTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+// Double literals with fractional noise do not round-trip through %.6g in
+// general; the generator above uses quarter values which do. This test
+// documents the renderer's contract on the values SODA itself generates.
+TEST(RenderTest, RendersPaperStyle) {
+  SelectStatement stmt;
+  stmt.items.push_back(SelectItem{Expr::MakeStar(), ""});
+  stmt.from.push_back(TableRef{"parties", ""});
+  stmt.from.push_back(TableRef{"individuals", ""});
+  Predicate join;
+  join.lhs = Expr::MakeColumn("parties", "id");
+  join.rhs = Expr::MakeColumn("individuals", "id");
+  stmt.where.push_back(join);
+  Predicate filter;
+  filter.lhs = Expr::MakeColumn("individuals", "firstName");
+  filter.rhs = Expr::MakeLiteral(Value::Str("Sara"));
+  stmt.where.push_back(filter);
+  EXPECT_EQ(stmt.ToSql(),
+            "SELECT *\n"
+            "FROM parties, individuals\n"
+            "WHERE parties.id = individuals.id\n"
+            "  AND individuals.firstName = 'Sara'");
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,191 @@
+// Unit tests for the warehouse model compiler and the ontology compilers.
+
+#include <gtest/gtest.h>
+
+#include "datasets/minibank.h"
+#include "graph/vocab.h"
+#include "ontology/ontology.h"
+#include "schema/warehouse_model.h"
+#include "storage/table.h"
+
+namespace soda {
+namespace {
+
+WarehouseModel TinyModel() {
+  WarehouseModel model;
+  model.AddConceptualEntity({"Party", {{"name"}}, ""});
+  model.AddLogicalEntity({"Party", {{"name"}}, "Party"});
+  model.AddLogicalEntity({"Individual", {{"name"}}, "Party"});
+  model.AddTable({"party_td",
+                  "Party",
+                  {{"id", ValueType::kInt64, ""},
+                   {"nm", ValueType::kString, "Party.name"}}});
+  model.AddTable({"indvl_td",
+                  "Individual",
+                  {{"id", ValueType::kInt64, ""},
+                   {"nm", ValueType::kString, "Individual.name"}}});
+  model.AddForeignKey({"indvl_td", "id", "party_td", "id"});
+  model.AddInheritance({"party_td", {"indvl_td"}});
+  return model;
+}
+
+TEST(WarehouseCompileTest, CreatesGraphNodesAndTables) {
+  WarehouseModel model = TinyModel();
+  MetadataGraph graph;
+  Database db;
+  ASSERT_TRUE(model.Compile(&graph, &db).ok());
+
+  EXPECT_NE(graph.FindNode(ConceptUri("Party")), kInvalidNode);
+  EXPECT_NE(graph.FindNode(LogicalUri("Individual")), kInvalidNode);
+  EXPECT_NE(graph.FindNode(TableUri("party_td")), kInvalidNode);
+  EXPECT_NE(graph.FindNode(ColumnUri("indvl_td", "nm")), kInvalidNode);
+  EXPECT_NE(graph.FindNode(InheritanceUri("party_td")), kInvalidNode);
+  EXPECT_NE(graph.FindNode(JoinUri("indvl_td", "id", "party_td", "id")),
+            kInvalidNode);
+
+  ASSERT_NE(db.FindTable("party_td"), nullptr);
+  EXPECT_EQ(db.FindTable("indvl_td")->num_columns(), 2u);
+}
+
+TEST(WarehouseCompileTest, CrossLayerMappingEdges) {
+  WarehouseModel model = TinyModel();
+  MetadataGraph graph;
+  ASSERT_TRUE(model.Compile(&graph, nullptr).ok());
+
+  NodeId conceptual = graph.FindNode(ConceptUri("Party"));
+  NodeId logical = graph.FindNode(LogicalUri("Party"));
+  NodeId table = graph.FindNode(TableUri("party_td"));
+  EXPECT_TRUE(graph.HasEdge(conceptual, vocab::kImplementedBy, logical));
+  EXPECT_TRUE(graph.HasEdge(logical, vocab::kImplementedBy, table));
+
+  // Attribute-level convention mapping: conceptual Party.name ->
+  // logical Party.name (same name, implementing entity).
+  NodeId cattr = graph.FindNode(ConceptAttrUri("Party", "name"));
+  NodeId lattr = graph.FindNode(LogicalAttrUri("Party", "name"));
+  EXPECT_TRUE(graph.HasEdge(cattr, vocab::kImplementedBy, lattr));
+
+  // realized_by: logical attribute -> physical column.
+  NodeId column = graph.FindNode(ColumnUri("party_td", "nm"));
+  EXPECT_TRUE(graph.HasEdge(lattr, vocab::kRealizedBy, column));
+}
+
+TEST(WarehouseCompileTest, MissingReferencesFail) {
+  {
+    WarehouseModel model;
+    model.AddLogicalEntity({"L", {}, "NoSuchConceptual"});
+    MetadataGraph graph;
+    EXPECT_EQ(model.Compile(&graph, nullptr).code(), StatusCode::kNotFound);
+  }
+  {
+    WarehouseModel model;
+    model.AddTable({"t", "NoSuchLogical", {{"id", ValueType::kInt64, ""}}});
+    MetadataGraph graph;
+    EXPECT_EQ(model.Compile(&graph, nullptr).code(), StatusCode::kNotFound);
+  }
+  {
+    WarehouseModel model;
+    model.AddTable({"t", "", {{"id", ValueType::kInt64, ""}}});
+    model.AddForeignKey({"t", "id", "missing", "id"});
+    MetadataGraph graph;
+    EXPECT_EQ(model.Compile(&graph, nullptr).code(), StatusCode::kNotFound);
+  }
+  {
+    WarehouseModel model;
+    model.AddTable({"t", "", {{"id", ValueType::kInt64, ""}}});
+    model.AddInheritance({"t", {"missing_child"}});
+    MetadataGraph graph;
+    EXPECT_EQ(model.Compile(&graph, nullptr).code(), StatusCode::kNotFound);
+  }
+}
+
+TEST(WarehouseCompileTest, IgnoredForeignKeyIsAnnotated) {
+  WarehouseModel model = TinyModel();
+  model.AddTable({"extra_td", "", {{"pid", ValueType::kInt64, ""}}});
+  ForeignKeySpec fk{"extra_td", "pid", "party_td", "id"};
+  fk.ignored = true;
+  model.AddForeignKey(fk);
+  MetadataGraph graph;
+  ASSERT_TRUE(model.Compile(&graph, nullptr).ok());
+  NodeId join = graph.FindNode(JoinUri("extra_td", "pid", "party_td", "id"));
+  ASSERT_NE(join, kInvalidNode);
+  auto annotation = graph.FirstText(join, vocab::kAnnotation);
+  ASSERT_TRUE(annotation.has_value());
+  EXPECT_EQ(*annotation, vocab::kIgnoreRelationship);
+}
+
+TEST(WarehouseCompileTest, StatsCountEverything) {
+  WarehouseModel model = TinyModel();
+  SchemaStats stats = model.Stats();
+  EXPECT_EQ(stats.conceptual_entities, 1u);
+  EXPECT_EQ(stats.conceptual_attributes, 1u);
+  EXPECT_EQ(stats.logical_entities, 2u);
+  EXPECT_EQ(stats.logical_attributes, 2u);
+  EXPECT_EQ(stats.physical_tables, 2u);
+  EXPECT_EQ(stats.physical_columns, 4u);
+}
+
+TEST(OntologyCompileTest, ScopedNameResolution) {
+  WarehouseModel model = TinyModel();
+  MetadataGraph graph;
+  ASSERT_TRUE(model.Compile(&graph, nullptr).ok());
+  EXPECT_TRUE(ResolveScopedName(graph, "concept:Party").ok());
+  EXPECT_TRUE(ResolveScopedName(graph, "logical:Individual").ok());
+  EXPECT_TRUE(ResolveScopedName(graph, "table:party_td").ok());
+  EXPECT_FALSE(ResolveScopedName(graph, "logical:Ghost").ok());
+  EXPECT_FALSE(ResolveScopedName(graph, "no-scope").ok());
+  EXPECT_FALSE(ResolveScopedName(graph, "badscope:Party").ok());
+}
+
+TEST(OntologyCompileTest, ConceptHierarchyEdges) {
+  WarehouseModel model = TinyModel();
+  model.AddOntologyConcept({"customers", "", {"logical:Party"}});
+  model.AddOntologyConcept(
+      {"private customers", "customers", {"logical:Individual"}});
+  MetadataGraph graph;
+  ASSERT_TRUE(model.Compile(&graph, nullptr).ok());
+
+  NodeId parent = graph.FindNode(OntologyConceptUri("customers"));
+  NodeId child = graph.FindNode(OntologyConceptUri("private customers"));
+  ASSERT_NE(parent, kInvalidNode);
+  ASSERT_NE(child, kInvalidNode);
+  EXPECT_TRUE(graph.HasEdge(child, vocab::kSubconceptOf, parent));
+  // Downward edge for traversal.
+  EXPECT_TRUE(graph.HasEdge(parent, vocab::kClassifies, child));
+}
+
+TEST(OntologyCompileTest, MetadataFilterNeedsExistingColumn) {
+  WarehouseModel model = TinyModel();
+  model.AddMetadataFilter({"vip", "party_td", "no_such_column", ">", "1"});
+  MetadataGraph graph;
+  EXPECT_EQ(model.Compile(&graph, nullptr).code(), StatusCode::kNotFound);
+}
+
+TEST(OntologyCompileTest, MetadataAggregationCompiles) {
+  WarehouseModel model = TinyModel();
+  model.AddTable({"pos_td", "", {{"amt", ValueType::kDouble, ""}}});
+  model.AddMetadataAggregation({"volume", "sum", "pos_td", "amt"});
+  MetadataGraph graph;
+  ASSERT_TRUE(model.Compile(&graph, nullptr).ok());
+  NodeId node = graph.FindNode(MetadataAggregationUri("volume"));
+  ASSERT_NE(node, kInvalidNode);
+  EXPECT_TRUE(graph.HasType(node, vocab::kMetadataAggregation));
+  EXPECT_EQ(graph.FirstText(node, vocab::kAggFunc), "sum");
+}
+
+TEST(MiniBankModelTest, CompilesCleanly) {
+  auto bank = BuildMiniBank();
+  ASSERT_TRUE(bank.ok()) << bank.status();
+  EXPECT_EQ((*bank)->db.num_tables(), 10u);
+  EXPECT_GT((*bank)->db.TotalRows(), 500u);
+  // Determinism: building twice yields identical row counts everywhere.
+  auto again = BuildMiniBank();
+  ASSERT_TRUE(again.ok());
+  for (const Table* table : (*bank)->db.tables()) {
+    const Table* other = (*again)->db.FindTable(table->name());
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->num_rows(), table->num_rows()) << table->name();
+  }
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,92 @@
+// Unit tests for the storage catalog and tables.
+
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+
+namespace soda {
+namespace {
+
+std::vector<ColumnDef> PersonColumns() {
+  return {{"id", ValueType::kInt64},
+          {"name", ValueType::kString},
+          {"birthday", ValueType::kDate}};
+}
+
+TEST(TableTest, ColumnIndexIsCaseInsensitive) {
+  Table t("persons", PersonColumns());
+  EXPECT_EQ(t.ColumnIndex("id"), 0);
+  EXPECT_EQ(t.ColumnIndex("NAME"), 1);
+  EXPECT_EQ(t.ColumnIndex("Birthday"), 2);
+  EXPECT_EQ(t.ColumnIndex("missing"), -1);
+  EXPECT_TRUE(t.HasColumn("name"));
+  EXPECT_FALSE(t.HasColumn("salary"));
+}
+
+TEST(TableTest, AppendValidatesArity) {
+  Table t("persons", PersonColumns());
+  Status st = t.Append({Value::Int(1), Value::Str("Sara")});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, AppendValidatesTypes) {
+  Table t("persons", PersonColumns());
+  Status st = t.Append({Value::Str("one"), Value::Str("Sara"),
+                        Value::DateV(Date())});
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+}
+
+TEST(TableTest, NullAllowedInAnyColumn) {
+  Table t("persons", PersonColumns());
+  EXPECT_TRUE(t.Append({Value::Null(), Value::Null(), Value::Null()}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, ValueAtResolvesByName) {
+  Table t("persons", PersonColumns());
+  ASSERT_TRUE(t.Append({Value::Int(7), Value::Str("Sara"),
+                        Value::DateV(Date::FromYmd(1981, 4, 23))})
+                  .ok());
+  EXPECT_EQ(t.ValueAt(0, "name"), Value::Str("Sara"));
+  EXPECT_TRUE(t.ValueAt(0, "missing").is_null());
+  EXPECT_TRUE(t.ValueAt(5, "name").is_null());  // row out of range
+}
+
+TEST(DatabaseTest, CreateAndFind) {
+  Database db;
+  auto created = db.CreateTable("persons", PersonColumns());
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(db.FindTable("persons"), *created);
+  EXPECT_EQ(db.FindTable("PERSONS"), *created);  // case-insensitive
+  EXPECT_EQ(db.FindTable("missing"), nullptr);
+}
+
+TEST(DatabaseTest, DuplicateNameRejected) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", {{"a", ValueType::kInt64}}).ok());
+  auto dup = db.CreateTable("T", {{"b", ValueType::kInt64}});
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, TablesPreserveCreationOrder) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("zeta", {{"a", ValueType::kInt64}}).ok());
+  ASSERT_TRUE(db.CreateTable("alpha", {{"a", ValueType::kInt64}}).ok());
+  auto tables = db.tables();
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0]->name(), "zeta");
+  EXPECT_EQ(tables[1]->name(), "alpha");
+}
+
+TEST(DatabaseTest, TotalRows) {
+  Database db;
+  Table* a = *db.CreateTable("a", {{"x", ValueType::kInt64}});
+  Table* b = *db.CreateTable("b", {{"x", ValueType::kInt64}});
+  for (int i = 0; i < 3; ++i) a->AppendUnchecked({Value::Int(i)});
+  for (int i = 0; i < 5; ++i) b->AppendUnchecked({Value::Int(i)});
+  EXPECT_EQ(db.TotalRows(), 8u);
+}
+
+}  // namespace
+}  // namespace soda

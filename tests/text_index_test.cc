@@ -1,0 +1,134 @@
+// Unit tests for the tokenizer and the base-data inverted index.
+
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+#include "text/inverted_index.h"
+#include "text/tokenizer.h"
+
+namespace soda {
+namespace {
+
+TEST(TokenizerTest, SplitsAndFolds) {
+  auto tokens = Tokenize("Zürich Insurance, AG!");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "zurich");
+  EXPECT_EQ(tokens[1], "insurance");
+  EXPECT_EQ(tokens[2], "ag");
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  auto tokens = Tokenize("Basel III 2011-09");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2], "2011");
+  EXPECT_EQ(tokens[3], "09");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("--- !!! ---").empty());
+}
+
+TEST(TokenizerTest, NormalizeToken) {
+  EXPECT_EQ(NormalizeToken("Zürich"), "zurich");
+  EXPECT_EQ(NormalizeToken("  x  "), "x");
+  EXPECT_EQ(NormalizeToken("!!!"), "");
+}
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* orgs = *db_.CreateTable(
+        "organizations",
+        {{"id", ValueType::kInt64}, {"name", ValueType::kString}});
+    ASSERT_TRUE(orgs->Append({Value::Int(1),
+                              Value::Str("Credit Suisse")}).ok());
+    ASSERT_TRUE(orgs->Append({Value::Int(2),
+                              Value::Str("Credit Suisse")}).ok());
+    ASSERT_TRUE(
+        orgs->Append({Value::Int(3), Value::Str("Swiss Re")}).ok());
+    Table* addresses = *db_.CreateTable(
+        "addresses",
+        {{"id", ValueType::kInt64}, {"city", ValueType::kString}});
+    ASSERT_TRUE(
+        addresses->Append({Value::Int(1), Value::Str("Zürich")}).ok());
+    ASSERT_TRUE(
+        addresses->Append({Value::Int(2), Value::Str("Geneva")}).ok());
+    ASSERT_TRUE(addresses->Append({Value::Int(3), Value::Null()}).ok());
+    index_.Build(db_);
+  }
+
+  Database db_;
+  InvertedIndex index_;
+};
+
+TEST_F(InvertedIndexTest, SingleTokenLookup) {
+  auto postings = index_.LookupPhrase("suisse");
+  ASSERT_EQ(postings.size(), 1u);
+  EXPECT_EQ(postings[0].table, "organizations");
+  EXPECT_EQ(postings[0].column, "name");
+  EXPECT_EQ(postings[0].value, "Credit Suisse");
+  EXPECT_EQ(postings[0].row_count, 2);  // two rows share the value
+}
+
+TEST_F(InvertedIndexTest, PhraseMustBeConsecutive) {
+  EXPECT_EQ(index_.LookupPhrase("credit suisse").size(), 1u);
+  EXPECT_TRUE(index_.LookupPhrase("suisse credit").empty());
+}
+
+TEST_F(InvertedIndexTest, DiacriticFoldedLookup) {
+  auto postings = index_.LookupPhrase("zurich");
+  ASSERT_EQ(postings.size(), 1u);
+  EXPECT_EQ(postings[0].value, "Zürich");  // original spelling preserved
+}
+
+TEST_F(InvertedIndexTest, MissLookup) {
+  EXPECT_TRUE(index_.LookupPhrase("basel").empty());
+  EXPECT_TRUE(index_.LookupPhrase("").empty());
+  EXPECT_FALSE(index_.ContainsToken("basel"));
+  EXPECT_TRUE(index_.ContainsToken("geneva"));
+}
+
+TEST_F(InvertedIndexTest, NullsAndNonTextColumnsSkipped) {
+  // Only 5 non-null string values were indexed (ids are int columns).
+  EXPECT_EQ(index_.num_records(), 5u);
+  EXPECT_TRUE(index_.LookupPhrase("1").empty());
+}
+
+TEST_F(InvertedIndexTest, IncrementalIndexTable) {
+  Table* extra = *db_.CreateTable(
+      "products", {{"name", ValueType::kString}});
+  ASSERT_TRUE(extra->Append({Value::Str("Gold Certificate")}).ok());
+  index_.IndexTable(*extra);
+  EXPECT_EQ(index_.LookupPhrase("gold certificate").size(), 1u);
+}
+
+// Property sweep: every token of every indexed value must be findable,
+// and the posting must report the original value.
+class IndexCompletenessTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(IndexCompletenessTest, EveryTokenFindsItsValue) {
+  Database db;
+  Table* t = *db.CreateTable("t", {{"v", ValueType::kString}});
+  ASSERT_TRUE(t->Append({Value::Str(GetParam())}).ok());
+  InvertedIndex index;
+  index.Build(db);
+  for (const auto& token : Tokenize(GetParam())) {
+    auto postings = index.LookupPhrase(token);
+    ASSERT_FALSE(postings.empty()) << token;
+    EXPECT_EQ(postings[0].value, GetParam());
+  }
+  // The full phrase also matches.
+  EXPECT_FALSE(index.LookupPhrase(GetParam()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, IndexCompletenessTest,
+    ::testing::Values("Credit Suisse First Boston", "Sara Guttinger",
+                      "Zürich", "Gold Hedging Agreement", "YEN",
+                      "Lehman XYZ", "Müller-Straße 42",
+                      "Global Tech Fund 2011"));
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,132 @@
+// Unit tests for the relational Value type.
+
+#include <gtest/gtest.h>
+
+#include "sql/value.h"
+
+namespace soda {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::Int(1).type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Real(1.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::Str("x").type(), ValueType::kString);
+  EXPECT_EQ(Value::DateV(Date()).type(), ValueType::kDate);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null(), Value::Int(-100));
+  EXPECT_LT(Value::Null(), Value::Str(""));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int(3), Value::Real(3.0));
+  EXPECT_LT(Value::Int(3), Value::Real(3.5));
+  EXPECT_LT(Value::Real(2.9), Value::Int(3));
+  EXPECT_EQ(Value::Bool(true), Value::Int(1));
+}
+
+TEST(ValueTest, LargeIntegersCompareExactly) {
+  // 2^53 + 1 is not representable as double; exact int path must hold.
+  int64_t big = (1LL << 53) + 1;
+  EXPECT_LT(Value::Int(big), Value::Int(big + 1));
+  EXPECT_NE(Value::Int(big), Value::Int(big + 1));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::Str("Sara"), Value::Str("Sarah"));
+  EXPECT_EQ(Value::Str("x"), Value::Str("x"));
+}
+
+TEST(ValueTest, DateComparison) {
+  Value early = Value::DateV(Date::FromYmd(2010, 1, 1));
+  Value late = Value::DateV(Date::FromYmd(2011, 9, 1));
+  EXPECT_LT(early, late);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Real(3.0).Hash());
+  EXPECT_EQ(Value::Str("abc").Hash(), Value::Str("abc").Hash());
+  // Distinct values should (overwhelmingly) hash differently.
+  EXPECT_NE(Value::Int(1).Hash(), Value::Int(2).Hash());
+}
+
+TEST(ValueTest, SqlLiteralRendering) {
+  EXPECT_EQ(Value::Int(42).ToSqlLiteral(), "42");
+  EXPECT_EQ(Value::Bool(false).ToSqlLiteral(), "FALSE");
+  EXPECT_EQ(Value::Str("O'Brien").ToSqlLiteral(), "'O''Brien'");
+  EXPECT_EQ(Value::DateV(Date::FromYmd(2011, 9, 1)).ToSqlLiteral(),
+            "DATE '2011-09-01'");
+}
+
+TEST(ValueTest, DisplayStringOmitsQuotes) {
+  EXPECT_EQ(Value::Str("Zürich").ToDisplayString(), "Zürich");
+  EXPECT_EQ(Value::DateV(Date::FromYmd(2011, 9, 1)).ToDisplayString(),
+            "2011-09-01");
+}
+
+TEST(ValueTest, NumericValuePromotion) {
+  EXPECT_DOUBLE_EQ(Value::Int(7).NumericValue(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).NumericValue(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Bool(true).NumericValue(), 1.0);
+}
+
+// Property sweep: comparison is a total order (antisymmetry and
+// transitivity spot-checked over a representative value set).
+class ValueOrderTest : public ::testing::Test {
+ protected:
+  std::vector<Value> values_ = {
+      Value::Null(),        Value::Bool(false),  Value::Bool(true),
+      Value::Int(-5),       Value::Int(0),       Value::Int(3),
+      Value::Real(-5.5),    Value::Real(3.0),    Value::Real(3.5),
+      Value::Str(""),       Value::Str("Sara"),  Value::Str("Zürich"),
+      Value::DateV(Date::FromYmd(1981, 4, 23)),
+      Value::DateV(Date::FromYmd(2011, 9, 1)),
+  };
+};
+
+TEST_F(ValueOrderTest, Antisymmetry) {
+  for (const auto& a : values_) {
+    for (const auto& b : values_) {
+      EXPECT_EQ(a.Compare(b), -b.Compare(a))
+          << a.ToSqlLiteral() << " vs " << b.ToSqlLiteral();
+    }
+  }
+}
+
+TEST_F(ValueOrderTest, Transitivity) {
+  for (const auto& a : values_) {
+    for (const auto& b : values_) {
+      for (const auto& c : values_) {
+        if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+          EXPECT_LE(a.Compare(c), 0)
+              << a.ToSqlLiteral() << " " << b.ToSqlLiteral() << " "
+              << c.ToSqlLiteral();
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ValueOrderTest, EqualValuesHashEqual) {
+  for (const auto& a : values_) {
+    for (const auto& b : values_) {
+      if (a.Compare(b) == 0) {
+        EXPECT_EQ(a.Hash(), b.Hash())
+            << a.ToSqlLiteral() << " vs " << b.ToSqlLiteral();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soda
