@@ -37,9 +37,15 @@ inline std::unique_ptr<Fixture> BuildFixture(bool execute_snippets = false) {
   fixture->warehouse = std::move(built).value();
   SodaConfig config;
   config.execute_snippets = execute_snippets;
-  fixture->soda = std::make_unique<Soda>(
-      &fixture->warehouse->db, &fixture->warehouse->graph,
-      CreditSuissePatternLibrary(), config);
+  auto created = Soda::Create(&fixture->warehouse->db,
+                              &fixture->warehouse->graph,
+                              CreditSuissePatternLibrary(), config);
+  if (!created.ok()) {
+    std::fprintf(stderr, "failed to build engine: %s\n",
+                 created.status().ToString().c_str());
+    std::exit(1);
+  }
+  fixture->soda = std::move(created).value();
 
   fixture->metadata_only_classification.Build(fixture->warehouse->graph,
                                               /*base_data=*/nullptr);

@@ -1,10 +1,18 @@
 // End-to-end micro benchmarks: full SODA translation (Steps 1-5, no
-// execution) per benchmark-query class, plus executor throughput.
+// execution) per benchmark-query class, executor throughput, and the
+// SodaEngine scaling story — a num_threads sweep over the fan-out of
+// Steps 3-5 plus the LRU cache hit path.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/engine.h"
 #include "core/soda.h"
 #include "datasets/enterprise.h"
+#include "eval/workload.h"
 #include "pattern/library.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
@@ -14,6 +22,9 @@ namespace {
 struct Env {
   std::unique_ptr<soda::EnterpriseWarehouse> warehouse;
   std::unique_ptr<soda::Soda> soda;
+  std::map<std::pair<size_t, size_t>, std::unique_ptr<soda::SodaEngine>>
+      engines;
+  std::string widest_query;  // workload query with the most interpretations
 
   Env() {
     warehouse = std::move(soda::BuildEnterpriseWarehouse()).value();
@@ -22,6 +33,38 @@ struct Env {
     soda = std::make_unique<soda::Soda>(&warehouse->db, &warehouse->graph,
                                         soda::CreditSuissePatternLibrary(),
                                         config);
+    size_t best = 0;
+    for (const soda::BenchmarkQuery& bench : soda::EnterpriseWorkload()) {
+      auto output = soda->Search(bench.keywords);
+      if (output.ok() && output->complexity > best) {
+        best = output->complexity;
+        widest_query = bench.keywords;
+      }
+    }
+    if (widest_query.empty()) widest_query = "private customers family name";
+  }
+
+  /// Engine with `threads` workers and a cold-by-default cache. Built on
+  /// first use so only swept widths pay construction.
+  soda::SodaEngine* engine(size_t threads, size_t cache_capacity = 0) {
+    auto key = std::make_pair(threads, cache_capacity);
+    auto it = engines.find(key);
+    if (it != engines.end()) return it->second.get();
+    soda::SodaConfig config;
+    config.execute_snippets = false;
+    config.num_threads = threads;
+    config.cache_capacity = cache_capacity;
+    auto created = soda::SodaEngine::Create(&warehouse->db, &warehouse->graph,
+                                            soda::CreditSuissePatternLibrary(),
+                                            config);
+    if (!created.ok()) {
+      std::fprintf(stderr, "failed to build engine: %s\n",
+                   created.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto* engine = created.value().get();
+    engines[key] = std::move(created).value();
+    return engine;
   }
 };
 
@@ -84,5 +127,75 @@ void BM_ExecuteGroupByAggregation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExecuteGroupByAggregation);
+
+// ---------------------------------------------------------------------------
+// SodaEngine: num_threads sweep over the Steps 3-5 fan-out. Compare the
+// per-arg times to read the speedup; "interpretations" records how much
+// parallelism the query exposes.
+// ---------------------------------------------------------------------------
+
+void BM_EngineFanoutWidestQuery(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  soda::SodaEngine* engine = env()->engine(threads);
+  const std::string& query = env()->widest_query;
+  size_t interpretations = 0;
+  for (auto _ : state) {
+    auto output = engine->Search(query);
+    benchmark::DoNotOptimize(output);
+    if (output.ok()) interpretations = output->complexity;
+  }
+  state.counters["threads"] = static_cast<double>(engine->num_threads());
+  state.counters["interpretations"] = static_cast<double>(interpretations);
+}
+BENCHMARK(BM_EngineFanoutWidestQuery)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The full 13-query paper workload per iteration — the service-level view
+// of the same sweep.
+void BM_EngineFanoutWorkload(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  soda::SodaEngine* engine = env()->engine(threads);
+  const auto& workload = soda::EnterpriseWorkload();
+  for (auto _ : state) {
+    for (const soda::BenchmarkQuery& bench : workload) {
+      benchmark::DoNotOptimize(engine->Search(bench.keywords));
+    }
+  }
+  state.counters["threads"] = static_cast<double>(engine->num_threads());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+}
+BENCHMARK(BM_EngineFanoutWorkload)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ---------------------------------------------------------------------------
+// SodaEngine: LRU cache hit path and hit rate under dashboard-style
+// repetition (every query repeats after the first round).
+// ---------------------------------------------------------------------------
+
+void BM_EngineCacheHit(benchmark::State& state) {
+  soda::SodaEngine* engine = env()->engine(/*threads=*/2,
+                                           /*cache_capacity=*/64);
+  const std::string& query = env()->widest_query;
+  benchmark::DoNotOptimize(engine->Search(query));  // warm the entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Search(query));
+  }
+  state.counters["hit_rate"] = engine->cache_stats().hit_rate();
+}
+BENCHMARK(BM_EngineCacheHit);
+
+void BM_EngineCachedWorkload(benchmark::State& state) {
+  soda::SodaEngine* engine = env()->engine(/*threads=*/2,
+                                           /*cache_capacity=*/128);
+  const auto& workload = soda::EnterpriseWorkload();
+  for (auto _ : state) {
+    for (const soda::BenchmarkQuery& bench : workload) {
+      benchmark::DoNotOptimize(engine->Search(bench.keywords));
+    }
+  }
+  state.counters["hit_rate"] = engine->cache_stats().hit_rate();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+}
+BENCHMARK(BM_EngineCachedWorkload);
 
 }  // namespace

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, test — exactly what CI runs on every
+# push. Pass BUILD_TYPE=Release to also smoke-run the end-to-end bench.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}"
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE="${BUILD_TYPE}"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+if [[ "${BUILD_TYPE}" == "Release" &&
+      -x "${BUILD_DIR}/bench_micro_end_to_end" ]]; then
+  # Smoke-run: one fast repetition, enough to catch crashes and record
+  # the thread-sweep + cache numbers in CI logs.
+  "${BUILD_DIR}/bench_micro_end_to_end" \
+      --benchmark_min_time=0.05 \
+      --benchmark_counters_tabular=true
+fi

@@ -48,10 +48,16 @@ int main() {
   soda::SodaConfig config;
   config.execute_snippets = false;
   {
-    soda::Soda engine(&(*warehouse)->db, &(*warehouse)->graph,
-                      soda::CreditSuissePatternLibrary(), config);
+    auto engine = soda::Soda::Create(&(*warehouse)->db, &(*warehouse)->graph,
+                                     soda::CreditSuissePatternLibrary(),
+                                     config);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine construction failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
     Run("[1] bridge assoc_empl_td active (paper Q5.0: precision 0.12)",
-        engine);
+        **engine);
   }
 
   // ---- run 2: annotate the bridge joins as ignored -------------------------
@@ -74,10 +80,16 @@ int main() {
   {
     // Rebuild the engine so the join graph re-harvests the annotations
     // (in a deployment this is the metadata-refresh cycle).
-    soda::Soda engine(&(*warehouse)->db, &(*warehouse)->graph,
-                      soda::CreditSuissePatternLibrary(), config);
+    auto engine = soda::Soda::Create(&(*warehouse)->db, &(*warehouse)->graph,
+                                     soda::CreditSuissePatternLibrary(),
+                                     config);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine construction failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
     Run("[2] bridge annotated as ignored — employment joins disappear",
-        engine);
+        **engine);
   }
   return 0;
 }

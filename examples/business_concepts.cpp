@@ -45,8 +45,15 @@ int main() {
                  bank.status().ToString().c_str());
     return 1;
   }
-  soda::Soda engine(&(*bank)->db, &(*bank)->graph,
-                    soda::CreditSuissePatternLibrary(), soda::SodaConfig{});
+  auto created = soda::Soda::Create(&(*bank)->db, &(*bank)->graph,
+                                    soda::CreditSuissePatternLibrary(),
+                                    soda::SodaConfig{});
+  if (!created.ok()) {
+    std::fprintf(stderr, "engine construction failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  soda::Soda& engine = **created;
 
   // The metadata filter "wealthy customers" expands to a salary predicate
   // defined by domain experts — the user never writes the threshold.

@@ -24,9 +24,17 @@ int main() {
   // 2. Construct the search engine over the catalog and metadata graph.
   //    This builds the inverted index over the base data, the
   //    classification index over all metadata labels, and harvests the
-  //    join graph through the Credit Suisse pattern library.
-  soda::Soda engine(&(*bank)->db, &(*bank)->graph,
-                    soda::CreditSuissePatternLibrary(), soda::SodaConfig{});
+  //    join graph through the Credit Suisse pattern library. The factory
+  //    surfaces any index-construction failure immediately.
+  auto created = soda::Soda::Create(&(*bank)->db, &(*bank)->graph,
+                                    soda::CreditSuissePatternLibrary(),
+                                    soda::SodaConfig{});
+  if (!created.ok()) {
+    std::fprintf(stderr, "engine construction failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  soda::Soda& engine = **created;
 
   const char* kQueries[] = {
       "customers Zürich financial instruments",

@@ -69,8 +69,15 @@ int main() {
   }
   soda::SodaConfig config;
   config.execute_snippets = false;
-  soda::Soda engine(&(*warehouse)->db, &(*warehouse)->graph,
-                    soda::CreditSuissePatternLibrary(), config);
+  auto created = soda::Soda::Create(&(*warehouse)->db, &(*warehouse)->graph,
+                                    soda::CreditSuissePatternLibrary(),
+                                    config);
+  if (!created.ok()) {
+    std::fprintf(stderr, "engine construction failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  soda::Soda& engine = **created;
 
   Explore(engine, "private customers");
   Explore(engine, "trade order");

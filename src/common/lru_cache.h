@@ -1,0 +1,115 @@
+// Bounded, thread-safe LRU cache.
+//
+// The SODA engine fronts the whole pipeline with one of these, keyed on
+// the whitespace-normalized query string: business-user workloads repeat
+// a small set of queries (dashboards, saved searches), so a tiny cache
+// absorbs most of the traffic. Values are stored as shared_ptr so the
+// cache itself never copies the payload on a hit and eviction never
+// invalidates a reader.
+
+#ifndef SODA_COMMON_LRU_CACHE_H_
+#define SODA_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace soda {
+
+/// Monotonic hit/miss counters, readable while the cache is in use.
+struct CacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+  size_t size = 0;
+  size_t capacity = 0;
+
+  double hit_rate() const {
+    size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+template <typename K, typename V>
+class LruCache {
+ public:
+  /// A capacity of 0 disables the cache: every Get misses, Put is a no-op.
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Returns the cached value and refreshes its recency, or nullptr.
+  std::shared_ptr<const V> Get(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts (or replaces) a value, evicting the least recently used
+  /// entry when over capacity.
+  void Put(const K& key, std::shared_ptr<const V> value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+    if (map_.size() > capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    order_.clear();
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    CacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.size = map_.size();
+    s.capacity = capacity_;
+    return s;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<K, std::shared_ptr<const V>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> order_;  // front = most recently used
+  std::unordered_map<K, typename std::list<Entry>::iterator> map_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t evictions_ = 0;
+};
+
+}  // namespace soda
+
+#endif  // SODA_COMMON_LRU_CACHE_H_

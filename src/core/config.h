@@ -49,6 +49,16 @@ struct SodaConfig {
   /// they surface as the 0-precision rows of Table 3 — so this defaults
   /// to false.
   bool drop_disconnected = false;
+
+  /// SodaEngine: width of the worker pool that fans ranked
+  /// interpretations out across Steps 3-5. 0 means "use the hardware
+  /// concurrency"; 1 pins the engine to the serial pipeline. The ranked
+  /// result list is byte-identical at any width.
+  size_t num_threads = 0;
+
+  /// SodaEngine: capacity of the LRU result cache, keyed on the
+  /// whitespace-normalized query string. 0 disables caching.
+  size_t cache_capacity = 128;
 };
 
 }  // namespace soda

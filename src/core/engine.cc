@@ -1,0 +1,104 @@
+#include "core/engine.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace soda {
+
+namespace {
+
+size_t ResolveThreads(size_t configured) {
+  if (configured != 0) return configured;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+// Cache key: whitespace runs collapsed — the input tokenizer splits on
+// whitespace, so reformatted repeats are the same query. Case is NOT
+// folded: comparison literals ("family name = Meier") compare
+// case-sensitively in the executor, so differently-cased queries can
+// have genuinely different answers.
+std::string CacheKey(const std::string& query) {
+  return Join(SplitWhitespace(query), " ");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SodaEngine>> SodaEngine::Create(
+    const Database* db, const MetadataGraph* graph, PatternLibrary patterns,
+    SodaConfig config) {
+  SODA_ASSIGN_OR_RETURN(std::unique_ptr<Soda> soda,
+                        Soda::Create(db, graph, std::move(patterns), config));
+  return std::make_unique<SodaEngine>(std::move(soda));
+}
+
+SodaEngine::SodaEngine(std::unique_ptr<Soda> soda)
+    : soda_(std::move(soda)),
+      pool_(ResolveThreads(soda_->config().num_threads)),
+      cache_(soda_->config().cache_capacity) {}
+
+size_t SodaEngine::num_threads() const {
+  return pool_.size() == 0 ? 1 : pool_.size();
+}
+
+Result<SearchOutput> SodaEngine::Search(const std::string& query) const {
+  SODA_RETURN_NOT_OK(soda_->init_status());
+  auto t_start = std::chrono::steady_clock::now();
+
+  const std::string key = CacheKey(query);
+  if (std::shared_ptr<const SearchOutput> cached = cache_.Get(key)) {
+    // Deliberate copy: the payload is bounded (top_n statements x
+    // snippet_rows rows) and the response needs its own counter fields;
+    // measured hit path stays ~100x faster than the pipeline.
+    SearchOutput output = *cached;
+    output.from_cache = true;
+    CacheStats stats = cache_.stats();
+    output.cache_hits = stats.hits;
+    output.cache_misses = stats.misses;
+    output.threads_used = num_threads();
+    output.timings = StepTimings{};  // this response did no pipeline work
+    output.timings.wall_ms = MsSince(t_start);
+    return output;
+  }
+
+  const SodaConfig& config = soda_->config();
+  QueryContext ctx(query);
+  ctx.config = &config;
+  const std::vector<const PipelineStage*>& stages = soda_->stages();
+
+  // Query-level prefix (lookup, rank) runs serially — it is cheap and
+  // produces the independent per-interpretation states.
+  SODA_RETURN_NOT_OK(RunQueryStages(stages, &ctx));
+
+  // Fan Steps 3-5 out across the pool, one task per interpretation. Each
+  // task touches only its own state; the shared context is read-only.
+  pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
+    RunInterpretationStages(stages, ctx, &ctx.states[i]);
+  });
+
+  SearchOutput output = FinalizeOutput(std::move(ctx));
+
+  if (config.execute_snippets && soda_->database() != nullptr) {
+    auto t_exec = std::chrono::steady_clock::now();
+    pool_.ParallelFor(output.results.size(), [&](size_t i) {
+      soda_->ExecuteSnippet(&output.results[i]);
+    });
+    output.timings.execute_ms = MsSince(t_exec);
+  }
+  output.threads_used = num_threads();
+  output.timings.wall_ms = MsSince(t_start);
+
+  // Cache the fully materialized answer (statements + snippets). The
+  // stored copy keeps from_cache=false; hits patch their own counters.
+  cache_.Put(key, std::make_shared<const SearchOutput>(output));
+
+  CacheStats stats = cache_.stats();
+  output.cache_hits = stats.hits;
+  output.cache_misses = stats.misses;
+  return output;
+}
+
+}  // namespace soda

@@ -1,0 +1,73 @@
+// SodaEngine — the concurrent, cached service layer over the pipeline.
+//
+// Soda::Search runs the Figure 4 stage list serially. The engine wraps
+// the same Soda instance for service-style deployments (think Sigma-style
+// interactive query construction over a warehouse, many users hammering
+// the same schema):
+//
+//   1. an LRU result cache keyed on the whitespace-normalized query
+//      string (case is kept: comparison literals are case-sensitive) —
+//      repeated
+//      business queries (dashboards, saved searches) short-circuit the
+//      whole pipeline; hit/miss counters are surfaced on every response;
+//   2. a fixed-size worker pool that fans the ranked interpretations out
+//      across Steps 3-5 (tables/filters/SQL are independent per
+//      interpretation — the serial per-interpretation loop is the latency
+//      bottleneck on multi-interpretation queries) and parallelizes
+//      snippet execution across result candidates;
+//   3. a deterministic merge: states are recombined in ranked order and
+//      deduplicated with CanonicalKey, so the ranked SQL list is
+//      byte-identical whether num_threads is 1 or N.
+//
+// The engine is safe to share across caller threads: Search is const,
+// the cache is internally locked, and the underlying step objects are
+// stateless (the pattern matcher's memoization is mutex-guarded).
+
+#ifndef SODA_CORE_ENGINE_H_
+#define SODA_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/lru_cache.h"
+#include "common/thread_pool.h"
+#include "core/soda.h"
+
+namespace soda {
+
+class SodaEngine {
+ public:
+  /// Builds the underlying Soda (propagating index-construction errors),
+  /// the worker pool (config.num_threads; 0 = hardware concurrency) and
+  /// the result cache (config.cache_capacity; 0 disables).
+  static Result<std::unique_ptr<SodaEngine>> Create(
+      const Database* db, const MetadataGraph* graph, PatternLibrary patterns,
+      SodaConfig config);
+
+  /// Wraps an already-constructed Soda.
+  explicit SodaEngine(std::unique_ptr<Soda> soda);
+
+  /// Cached, concurrent search. On a cache hit the stored output is
+  /// copied with `from_cache` set; on a miss the pipeline runs with
+  /// Steps 3-5 fanned out across the pool. Every response carries the
+  /// engine-lifetime cache counters and the pool width.
+  Result<SearchOutput> Search(const std::string& query) const;
+
+  /// Cache observability and control.
+  CacheStats cache_stats() const { return cache_.stats(); }
+  void ClearCache() const { cache_.Clear(); }
+
+  /// Effective parallelism: worker count, or 1 when running inline.
+  size_t num_threads() const;
+
+  const Soda& soda() const { return *soda_; }
+
+ private:
+  std::unique_ptr<Soda> soda_;
+  mutable ThreadPool pool_;
+  mutable LruCache<std::string, SearchOutput> cache_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_CORE_ENGINE_H_

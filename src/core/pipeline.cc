@@ -1,0 +1,269 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/entry_point.h"
+
+namespace soda {
+
+void StepTimings::Add(std::string_view stage_name, double ms) {
+  if (stage_name == "lookup") {
+    lookup_ms += ms;
+  } else if (stage_name == "rank") {
+    rank_ms += ms;
+  } else if (stage_name == "tables") {
+    tables_ms += ms;
+  } else if (stage_name == "filters") {
+    filters_ms += ms;
+  } else if (stage_name == "sql") {
+    sql_ms += ms;
+  } else if (stage_name == "execute") {
+    execute_ms += ms;
+  }
+}
+
+std::string CanonicalKey(const SelectStatement& stmt) {
+  std::vector<std::string> tables;
+  for (const auto& t : stmt.from) tables.push_back(FoldForMatch(t.table));
+  std::sort(tables.begin(), tables.end());
+  std::vector<std::string> conjuncts;
+  for (const auto& p : stmt.where) {
+    std::string a = p.lhs.ToString(), b = p.rhs.ToString();
+    if (p.op == CompareOp::kEq && b < a) std::swap(a, b);
+    conjuncts.push_back(a + CompareOpSymbol(p.op) + b);
+  }
+  std::sort(conjuncts.begin(), conjuncts.end());
+  std::vector<std::string> items;
+  for (const auto& item : stmt.items) items.push_back(item.ToString());
+  std::sort(items.begin(), items.end());
+  std::string key = Join(tables, ",") + "|" + Join(conjuncts, "&") + "|" +
+                    Join(items, ",");
+  for (const auto& g : stmt.group_by) key += "#" + g.ToString();
+  if (stmt.limit.has_value()) key += "^" + std::to_string(*stmt.limit);
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// PipelineStage defaults
+// ---------------------------------------------------------------------------
+
+Status PipelineStage::Run(QueryContext* ctx) const {
+  if (!per_interpretation()) {
+    return Status::Internal("query-level stage must override Run");
+  }
+  for (InterpretationState& state : ctx->states) {
+    if (state.dropped) continue;
+    SODA_RETURN_NOT_OK(RunOne(*ctx, &state));
+  }
+  return Status::OK();
+}
+
+Status PipelineStage::RunOne(const QueryContext&, InterpretationState*) const {
+  return Status::Unsupported("stage has no per-interpretation entry point");
+}
+
+// ---------------------------------------------------------------------------
+// LookupStage
+// ---------------------------------------------------------------------------
+
+Status LookupStage::Run(QueryContext* ctx) const {
+  SODA_ASSIGN_OR_RETURN(ctx->parsed, ParseInputQuery(ctx->raw_query));
+  SODA_ASSIGN_OR_RETURN(ctx->lookup, step_->Run(ctx->parsed));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// RankStage
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Materializes the chosen entry points of one interpretation: terms with
+// no candidates do not contribute an entry point, and operator bindings
+// are remapped to the compacted entry indexes.
+void MaterializeInterpretation(const LookupOutput& lookup,
+                               InterpretationState* state) {
+  std::vector<size_t> remap(lookup.terms.size(), SIZE_MAX);
+  for (size_t t = 0; t < lookup.terms.size(); ++t) {
+    const LookupTerm& term = lookup.terms[t];
+    if (term.candidates.empty()) continue;
+    remap[t] = state->entries.size();
+    const EntryPoint& ep = term.candidates[state->interpretation.choice[t]];
+    state->entries.push_back(ep);
+    if (!state->explanation.empty()) state->explanation += "; ";
+    state->explanation +=
+        term.phrase + " @ " + std::string(MetadataLayerName(ep.layer));
+  }
+  for (OperatorBinding binding : lookup.operators) {
+    if (binding.term_index < remap.size() &&
+        remap[binding.term_index] != SIZE_MAX) {
+      binding.term_index = remap[binding.term_index];
+      state->operators.push_back(binding);
+    }
+  }
+}
+
+}  // namespace
+
+Status RankStage::Run(QueryContext* ctx) const {
+  std::vector<Interpretation> ranked = RankAndTopN(ctx->lookup, *ctx->config);
+  ctx->states.clear();
+  ctx->states.reserve(ranked.size());
+  for (Interpretation& interpretation : ranked) {
+    InterpretationState state;
+    state.interpretation = std::move(interpretation);
+    MaterializeInterpretation(ctx->lookup, &state);
+    if (state.entries.empty() && !ctx->parsed.HasAggregation()) {
+      state.dropped = true;
+    }
+    ctx->states.push_back(std::move(state));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// TablesStage
+// ---------------------------------------------------------------------------
+
+Status TablesStage::RunOne(const QueryContext&,
+                           InterpretationState* state) const {
+  Result<TablesOutput> tables = step_->Run(state->entries);
+  if (!tables.ok()) {
+    state->dropped = true;
+    return Status::OK();
+  }
+  state->tables = std::move(*tables);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// FiltersStage
+// ---------------------------------------------------------------------------
+
+Status FiltersStage::RunOne(const QueryContext&,
+                            InterpretationState* state) const {
+  Result<std::vector<GeneratedFilter>> filters =
+      step_->Run(state->entries, state->operators, *state->tables);
+  if (!filters.ok()) {
+    state->dropped = true;
+    return Status::OK();
+  }
+  state->filters = std::move(*filters);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SqlStage
+// ---------------------------------------------------------------------------
+
+Status SqlStage::RunOne(const QueryContext& ctx,
+                        InterpretationState* state) const {
+  // Step 5 precondition: drop mutually exclusive inheritance siblings
+  // that no filter or column constrains (see TablesStep).
+  std::vector<PhysicalColumnRef> constrained;
+  for (const GeneratedFilter& filter : state->filters) {
+    constrained.push_back(filter.column);
+  }
+  for (const auto& column : state->tables->entry_columns) {
+    if (column.has_value()) constrained.push_back(*column);
+  }
+  for (const auto& aggregation : state->tables->aggregations) {
+    constrained.push_back(aggregation.column);
+  }
+  tables_step_->PruneUnconstrainedSiblings(&*state->tables, constrained);
+
+  Result<SelectStatement> stmt =
+      generator_->Generate(ctx.parsed, *state->tables, state->filters);
+  if (!stmt.ok()) {
+    state->dropped = true;
+    return Status::OK();
+  }
+  state->fully_connected = state->tables->fully_connected;
+  if (ctx.config->drop_disconnected && !state->fully_connected) {
+    state->dropped = true;
+    return Status::OK();
+  }
+  state->statement = std::move(*stmt);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+void RunInterpretationStages(const std::vector<const PipelineStage*>& stages,
+                             const QueryContext& ctx,
+                             InterpretationState* state) {
+  for (const PipelineStage* stage : stages) {
+    if (!stage->per_interpretation()) continue;
+    if (state->dropped) return;
+    auto t0 = std::chrono::steady_clock::now();
+    Status st = stage->RunOne(ctx, state);
+    double ms = MsSince(t0);
+    if (stage->name() == "tables") {
+      state->tables_ms += ms;
+    } else if (stage->name() == "filters") {
+      state->filters_ms += ms;
+    } else if (stage->name() == "sql") {
+      state->sql_ms += ms;
+    }
+    if (!st.ok()) {
+      // Per-interpretation failures retire the interpretation instead of
+      // failing the query — other interpretations are still good answers.
+      state->dropped = true;
+      return;
+    }
+  }
+}
+
+Status RunQueryStages(const std::vector<const PipelineStage*>& stages,
+                      QueryContext* ctx) {
+  for (const PipelineStage* stage : stages) {
+    if (stage->per_interpretation()) continue;
+    auto t0 = std::chrono::steady_clock::now();
+    SODA_RETURN_NOT_OK(stage->Run(ctx));
+    ctx->timings.Add(stage->name(), MsSince(t0));
+  }
+  return Status::OK();
+}
+
+Status RunPipeline(const std::vector<const PipelineStage*>& stages,
+                   QueryContext* ctx) {
+  SODA_RETURN_NOT_OK(RunQueryStages(stages, ctx));
+  for (InterpretationState& state : ctx->states) {
+    RunInterpretationStages(stages, *ctx, &state);
+  }
+  return Status::OK();
+}
+
+SearchOutput FinalizeOutput(QueryContext&& ctx) {
+  SearchOutput output;
+  output.parsed = std::move(ctx.parsed);
+  output.complexity = ctx.lookup.complexity;
+  output.ignored_words = std::move(ctx.lookup.ignored_words);
+  output.timings = ctx.timings;
+
+  std::set<std::string> seen_sql;
+  for (InterpretationState& state : ctx.states) {
+    output.timings.tables_ms += state.tables_ms;
+    output.timings.filters_ms += state.filters_ms;
+    output.timings.sql_ms += state.sql_ms;
+    if (state.dropped || !state.statement.has_value()) continue;
+    if (!seen_sql.insert(CanonicalKey(*state.statement)).second) continue;
+
+    SodaResult result;
+    result.statement = std::move(*state.statement);
+    result.sql = result.statement.ToSql();
+    result.score = state.interpretation.score;
+    result.explanation = std::move(state.explanation);
+    result.fully_connected = state.fully_connected;
+    output.results.push_back(std::move(result));
+  }
+  return output;
+}
+
+}  // namespace soda

@@ -1,0 +1,263 @@
+// Stage-based pipeline architecture for the SODA translation (Figure 4).
+//
+// The paper's five steps are modeled as an ordered list of PipelineStage
+// objects operating on one QueryContext:
+//
+//   LookupStage   (query level)      parse + Step 1 - lookup
+//   RankStage     (query level)      Step 2 - rank and top N; materializes
+//                                    one InterpretationState per survivor
+//   TablesStage   (per interpretation)  Step 3 - tables and joins
+//   FiltersStage  (per interpretation)  Step 4 - filters
+//   SqlStage      (per interpretation)  Step 5 - SQL generation
+//
+// Query-level stages run exactly once and may touch the whole context.
+// Per-interpretation stages only read the shared context and mutate the
+// single InterpretationState they are handed — that contract is what lets
+// the SodaEngine fan interpretations out across a thread pool while the
+// serial driver (Soda::Search) stays a thin loop over the same stage list.
+// Results are merged deterministically in ranked order and deduplicated
+// with CanonicalKey, so the outcome is byte-identical at any thread count.
+
+#ifndef SODA_CORE_PIPELINE_H_
+#define SODA_CORE_PIPELINE_H_
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/filters_step.h"
+#include "core/input_query.h"
+#include "core/lookup.h"
+#include "core/sql_generator.h"
+#include "core/tables_step.h"
+#include "sql/ast.h"
+#include "sql/result_set.h"
+
+namespace soda {
+
+/// Milliseconds elapsed since `start` — the timing primitive shared by
+/// the pipeline drivers.
+inline double MsSince(std::chrono::steady_clock::time_point start) {
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+/// One ranked candidate: an executable SQL statement with provenance.
+struct SodaResult {
+  SelectStatement statement;
+  std::string sql;          // rendered statement
+  double score = 0.0;       // ranking score of the interpretation
+  std::string explanation;  // entry points, e.g. "customers @ domain ontology"
+  bool fully_connected = true;
+  /// Result snippet (up to config.snippet_rows rows) when execution is on.
+  ResultSet snippet;
+  bool executed = false;
+  Status execution_status;
+};
+
+/// Per-step wall-clock timings in milliseconds (paper Section 5.2.2
+/// splits end-to-end time into lookup, rank, tables, SQL and grouping).
+/// Under the concurrent engine the per-interpretation entries are summed
+/// CPU time across workers; `wall_ms` carries the elapsed time.
+struct StepTimings {
+  double lookup_ms = 0.0;
+  double rank_ms = 0.0;
+  double tables_ms = 0.0;
+  double filters_ms = 0.0;
+  double sql_ms = 0.0;
+  double execute_ms = 0.0;
+  double wall_ms = 0.0;
+
+  double soda_total_ms() const {
+    return lookup_ms + rank_ms + tables_ms + filters_ms + sql_ms;
+  }
+
+  /// Adds `ms` to the slot named by a stage ("lookup", "rank", "tables",
+  /// "filters", "sql", "execute"). Unknown names are ignored.
+  void Add(std::string_view stage_name, double ms);
+};
+
+/// Everything a search produced.
+struct SearchOutput {
+  InputQuery parsed;
+  size_t complexity = 1;  // lookup combinatorics (paper Table 4)
+  std::vector<std::string> ignored_words;
+  std::vector<SodaResult> results;
+  StepTimings timings;
+
+  /// Engine-level observability. Plain Soda::Search leaves the defaults;
+  /// SodaEngine::Search fills them in.
+  bool from_cache = false;
+  size_t cache_hits = 0;    // engine-lifetime counters at response time
+  size_t cache_misses = 0;
+  size_t threads_used = 1;  // pool width that produced this answer
+};
+
+/// Canonical form of a statement for result deduplication: FROM order,
+/// the operand order of symmetric `=` predicates, and conjunct/item order
+/// are all normalized, while GROUP BY and LIMIT stay discriminating.
+/// Different entry-point choices that collapse to the same logical
+/// statement therefore produce one result. Exposed for tests.
+std::string CanonicalKey(const SelectStatement& stmt);
+
+/// The per-interpretation slice of the pipeline state. Per-interpretation
+/// stages own exactly one of these; nothing else of theirs is shared.
+struct InterpretationState {
+  Interpretation interpretation;
+
+  /// Materialized by RankStage: the chosen entry point per non-empty term,
+  /// the operator bindings remapped to the compacted entry indexes, and
+  /// the human-readable provenance string.
+  std::vector<EntryPoint> entries;
+  std::vector<OperatorBinding> operators;
+  std::string explanation;
+
+  /// Stage outputs.
+  std::optional<TablesOutput> tables;
+  std::vector<GeneratedFilter> filters;
+  std::optional<SelectStatement> statement;
+  bool fully_connected = true;
+
+  /// Set by any stage to retire the interpretation (no entry points, no
+  /// join cover, generation failure, ...). Later stages skip it.
+  bool dropped = false;
+
+  /// Per-stage time spent on this interpretation, summed into
+  /// StepTimings by the drivers.
+  double tables_ms = 0.0;
+  double filters_ms = 0.0;
+  double sql_ms = 0.0;
+};
+
+/// All state of one query's trip through the pipeline.
+struct QueryContext {
+  explicit QueryContext(std::string query) : raw_query(std::move(query)) {}
+
+  std::string raw_query;
+  const SodaConfig* config = nullptr;
+
+  InputQuery parsed;
+  LookupOutput lookup;
+  std::vector<InterpretationState> states;
+  StepTimings timings;
+};
+
+/// One step of the pipeline. Implementations must be stateless with
+/// respect to queries: Run/RunOne are const and called concurrently for
+/// different contexts/states by the SodaEngine worker pool.
+class PipelineStage {
+ public:
+  virtual ~PipelineStage() = default;
+
+  /// Stable stage name; also selects the StepTimings slot.
+  virtual std::string_view name() const = 0;
+
+  /// True for stages that process one InterpretationState at a time.
+  virtual bool per_interpretation() const { return false; }
+
+  /// Query-level entry point. The default implementation of a
+  /// per-interpretation stage loops RunOne over all live states.
+  virtual Status Run(QueryContext* ctx) const;
+
+  /// Per-interpretation entry point. `ctx` is shared and read-only;
+  /// `state` is exclusively owned by the caller. Query-level stages
+  /// return kUnsupported.
+  virtual Status RunOne(const QueryContext& ctx,
+                        InterpretationState* state) const;
+};
+
+/// Parse + Step 1 - Lookup. Fails the pipeline on malformed input.
+class LookupStage : public PipelineStage {
+ public:
+  explicit LookupStage(const LookupStep* step) : step_(step) {}
+  std::string_view name() const override { return "lookup"; }
+  Status Run(QueryContext* ctx) const override;
+
+ private:
+  const LookupStep* step_;
+};
+
+/// Step 2 - Rank and top N. Creates ctx->states, one per surviving
+/// interpretation, with entry points materialized and operator bindings
+/// remapped; interpretations with no entry points (and no aggregation to
+/// carry them) are created already dropped.
+class RankStage : public PipelineStage {
+ public:
+  std::string_view name() const override { return "rank"; }
+  Status Run(QueryContext* ctx) const override;
+};
+
+/// Step 3 - Tables.
+class TablesStage : public PipelineStage {
+ public:
+  explicit TablesStage(const TablesStep* step) : step_(step) {}
+  std::string_view name() const override { return "tables"; }
+  bool per_interpretation() const override { return true; }
+  Status RunOne(const QueryContext& ctx,
+                InterpretationState* state) const override;
+
+ private:
+  const TablesStep* step_;
+};
+
+/// Step 4 - Filters.
+class FiltersStage : public PipelineStage {
+ public:
+  explicit FiltersStage(const FiltersStep* step) : step_(step) {}
+  std::string_view name() const override { return "filters"; }
+  bool per_interpretation() const override { return true; }
+  Status RunOne(const QueryContext& ctx,
+                InterpretationState* state) const override;
+
+ private:
+  const FiltersStep* step_;
+};
+
+/// Step 5 - SQL: prunes unconstrained inheritance siblings, generates the
+/// statement, and applies the drop_disconnected policy.
+class SqlStage : public PipelineStage {
+ public:
+  SqlStage(const TablesStep* tables_step, const SqlGenerator* generator)
+      : tables_step_(tables_step), generator_(generator) {}
+  std::string_view name() const override { return "sql"; }
+  bool per_interpretation() const override { return true; }
+  Status RunOne(const QueryContext& ctx,
+                InterpretationState* state) const override;
+
+ private:
+  const TablesStep* tables_step_;
+  const SqlGenerator* generator_;
+};
+
+/// Runs the query-level prefix of `stages` (lookup, rank) once, in
+/// order, recording per-stage timings. Per-interpretation stages in the
+/// list are skipped. Both drivers start with this.
+Status RunQueryStages(const std::vector<const PipelineStage*>& stages,
+                      QueryContext* ctx);
+
+/// Runs the per-interpretation suffix of `stages` on one state, in order,
+/// accumulating stage times into the state. Query-level stages in the
+/// list are skipped. This is the unit of work the SodaEngine fans out.
+void RunInterpretationStages(const std::vector<const PipelineStage*>& stages,
+                             const QueryContext& ctx,
+                             InterpretationState* state);
+
+/// Serial driver: query-level stages once, per-interpretation stages over
+/// every state, with per-stage timings recorded into ctx->timings. This
+/// is exactly the paper's Figure 4 loop.
+Status RunPipeline(const std::vector<const PipelineStage*>& stages,
+                   QueryContext* ctx);
+
+/// Merges the finished context into a SearchOutput: copies query-level
+/// fields, folds per-state timings into the totals, and walks the states
+/// in ranked order deduplicating statements by CanonicalKey. Ranked-order
+/// merging makes the result list independent of execution schedule.
+SearchOutput FinalizeOutput(QueryContext&& ctx);
+
+}  // namespace soda
+
+#endif  // SODA_CORE_PIPELINE_H_

@@ -1,46 +1,18 @@
 #include "core/soda.h"
 
-#include <algorithm>
 #include <chrono>
-#include <set>
-
-#include "common/strings.h"
+#include <utility>
 
 namespace soda {
 
-namespace {
-
-double MsSince(std::chrono::steady_clock::time_point start) {
-  auto elapsed = std::chrono::steady_clock::now() - start;
-  return std::chrono::duration<double, std::milli>(elapsed).count();
+Result<std::unique_ptr<Soda>> Soda::Create(const Database* db,
+                                           const MetadataGraph* graph,
+                                           PatternLibrary patterns,
+                                           SodaConfig config) {
+  auto soda = std::make_unique<Soda>(db, graph, std::move(patterns), config);
+  SODA_RETURN_NOT_OK(soda->init_status());
+  return soda;
 }
-
-// Canonical form for deduplication: different entry-point choices often
-// collapse to the same logical statement, possibly with different FROM
-// order (e.g. the conceptual vs the logical "financial instruments"
-// interpretation). Sorting tables and conjuncts makes them compare equal.
-std::string CanonicalKey(const SelectStatement& stmt) {
-  std::vector<std::string> tables;
-  for (const auto& t : stmt.from) tables.push_back(FoldForMatch(t.table));
-  std::sort(tables.begin(), tables.end());
-  std::vector<std::string> conjuncts;
-  for (const auto& p : stmt.where) {
-    std::string a = p.lhs.ToString(), b = p.rhs.ToString();
-    if (p.op == CompareOp::kEq && b < a) std::swap(a, b);
-    conjuncts.push_back(a + CompareOpSymbol(p.op) + b);
-  }
-  std::sort(conjuncts.begin(), conjuncts.end());
-  std::vector<std::string> items;
-  for (const auto& item : stmt.items) items.push_back(item.ToString());
-  std::sort(items.begin(), items.end());
-  std::string key = Join(tables, ",") + "|" + Join(conjuncts, "&") + "|" +
-                    Join(items, ",");
-  for (const auto& g : stmt.group_by) key += "#" + g.ToString();
-  if (stmt.limit.has_value()) key += "^" + std::to_string(*stmt.limit);
-  return key;
-}
-
-}  // namespace
 
 Soda::Soda(const Database* db, const MetadataGraph* graph,
            PatternLibrary patterns, SodaConfig config)
@@ -49,9 +21,7 @@ Soda::Soda(const Database* db, const MetadataGraph* graph,
   if (db_ != nullptr) inverted_index_.Build(*db_);
   classification_.Build(*graph_, db_ != nullptr ? &inverted_index_ : nullptr);
   matcher_ = std::make_unique<PatternMatcher>(graph_, &patterns_);
-  Status st = join_graph_.Build(*matcher_);
-  (void)st;  // join harvesting can only fail on malformed patterns,
-             // which the pattern-library unit tests rule out
+  init_status_ = join_graph_.Build(*matcher_);
   lookup_step_ = std::make_unique<LookupStep>(&classification_, &config_);
   tables_step_ =
       std::make_unique<TablesStep>(matcher_.get(), &join_graph_, &config_);
@@ -59,121 +29,44 @@ Soda::Soda(const Database* db, const MetadataGraph* graph,
   generator_ = std::make_unique<SqlGenerator>(
       matcher_.get(), &join_graph_, &classification_, &config_);
   executor_ = std::make_unique<Executor>(db_);
+
+  lookup_stage_ = std::make_unique<LookupStage>(lookup_step_.get());
+  rank_stage_ = std::make_unique<RankStage>();
+  tables_stage_ = std::make_unique<TablesStage>(tables_step_.get());
+  filters_stage_ = std::make_unique<FiltersStage>(filters_step_.get());
+  sql_stage_ = std::make_unique<SqlStage>(tables_step_.get(),
+                                          generator_.get());
+  stages_ = {lookup_stage_.get(), rank_stage_.get(), tables_stage_.get(),
+             filters_stage_.get(), sql_stage_.get()};
+}
+
+void Soda::ExecuteSnippet(SodaResult* result) const {
+  SelectStatement limited = result->statement;
+  if (!limited.limit.has_value() ||
+      *limited.limit > static_cast<int64_t>(config_.snippet_rows)) {
+    limited.limit = static_cast<int64_t>(config_.snippet_rows);
+  }
+  Result<ResultSet> rs = executor_->Execute(limited);
+  result->executed = rs.ok();
+  result->execution_status = rs.status();
+  if (rs.ok()) result->snippet = std::move(*rs);
 }
 
 Result<SearchOutput> Soda::Search(const std::string& query) const {
-  SearchOutput output;
+  SODA_RETURN_NOT_OK(init_status_);
 
-  // ---- parse + Step 1: lookup -------------------------------------------
-  auto t0 = std::chrono::steady_clock::now();
-  SODA_ASSIGN_OR_RETURN(output.parsed, ParseInputQuery(query));
-  SODA_ASSIGN_OR_RETURN(LookupOutput lookup, lookup_step_->Run(output.parsed));
-  output.complexity = lookup.complexity;
-  output.ignored_words = lookup.ignored_words;
-  output.timings.lookup_ms = MsSince(t0);
+  auto t_start = std::chrono::steady_clock::now();
+  QueryContext ctx(query);
+  ctx.config = &config_;
+  SODA_RETURN_NOT_OK(RunPipeline(stages_, &ctx));
+  SearchOutput output = FinalizeOutput(std::move(ctx));
 
-  // ---- Step 2: rank and top N ---------------------------------------------
-  t0 = std::chrono::steady_clock::now();
-  std::vector<Interpretation> ranked = RankAndTopN(lookup, config_);
-  output.timings.rank_ms = MsSince(t0);
-
-  // ---- Steps 3-5 per interpretation ---------------------------------------
-  std::set<std::string> seen_sql;
-  for (const Interpretation& interpretation : ranked) {
-    // Materialize the chosen entry points (skip empty terms).
-    std::vector<EntryPoint> entries;
-    std::vector<OperatorBinding> operators = lookup.operators;
-    std::string explanation;
-    {
-      // Terms with no candidates do not contribute an entry point; remap
-      // the operator bindings to the compacted indexes.
-      std::vector<size_t> remap(lookup.terms.size(), SIZE_MAX);
-      for (size_t t = 0; t < lookup.terms.size(); ++t) {
-        const LookupTerm& term = lookup.terms[t];
-        if (term.candidates.empty()) continue;
-        remap[t] = entries.size();
-        const EntryPoint& ep = term.candidates[interpretation.choice[t]];
-        entries.push_back(ep);
-        if (!explanation.empty()) explanation += "; ";
-        explanation += term.phrase + " @ " +
-                       std::string(MetadataLayerName(ep.layer));
-      }
-      std::vector<OperatorBinding> remapped;
-      for (OperatorBinding binding : operators) {
-        if (binding.term_index < remap.size() &&
-            remap[binding.term_index] != SIZE_MAX) {
-          binding.term_index = remap[binding.term_index];
-          remapped.push_back(binding);
-        }
-      }
-      operators = std::move(remapped);
-    }
-    if (entries.empty() && !output.parsed.HasAggregation()) continue;
-
-    auto t_tables = std::chrono::steady_clock::now();
-    Result<TablesOutput> tables = tables_step_->Run(entries);
-    output.timings.tables_ms += MsSince(t_tables);
-    if (!tables.ok()) continue;
-
-    auto t_filters = std::chrono::steady_clock::now();
-    Result<std::vector<GeneratedFilter>> filters =
-        filters_step_->Run(entries, operators, *tables);
-    output.timings.filters_ms += MsSince(t_filters);
-    if (!filters.ok()) continue;
-
-    // Step 5 precondition: drop mutually exclusive inheritance siblings
-    // that no filter or column constrains (see TablesStep).
-    {
-      std::vector<PhysicalColumnRef> constrained;
-      for (const GeneratedFilter& filter : *filters) {
-        constrained.push_back(filter.column);
-      }
-      for (const auto& column : tables->entry_columns) {
-        if (column.has_value()) constrained.push_back(*column);
-      }
-      for (const auto& aggregation : tables->aggregations) {
-        constrained.push_back(aggregation.column);
-      }
-      tables_step_->PruneUnconstrainedSiblings(&tables.value(), constrained);
-    }
-
-    auto t_sql = std::chrono::steady_clock::now();
-    Result<SelectStatement> stmt =
-        generator_->Generate(output.parsed, *tables, *filters);
-    output.timings.sql_ms += MsSince(t_sql);
-    if (!stmt.ok()) continue;
-
-    if (config_.drop_disconnected && !tables->fully_connected) continue;
-
-    SodaResult result;
-    result.statement = std::move(*stmt);
-    result.sql = result.statement.ToSql();
-    result.score = interpretation.score;
-    result.explanation = std::move(explanation);
-    result.fully_connected = tables->fully_connected;
-
-    if (!seen_sql.insert(CanonicalKey(result.statement)).second) continue;
-
-    output.results.push_back(std::move(result));
-  }
-
-  // ---- snippets -------------------------------------------------------------
   if (config_.execute_snippets && db_ != nullptr) {
     auto t_exec = std::chrono::steady_clock::now();
-    for (SodaResult& result : output.results) {
-      SelectStatement limited = result.statement;
-      if (!limited.limit.has_value() ||
-          *limited.limit > static_cast<int64_t>(config_.snippet_rows)) {
-        limited.limit = static_cast<int64_t>(config_.snippet_rows);
-      }
-      Result<ResultSet> rs = executor_->Execute(limited);
-      result.executed = rs.ok();
-      result.execution_status = rs.status();
-      if (rs.ok()) result.snippet = std::move(*rs);
-    }
+    for (SodaResult& result : output.results) ExecuteSnippet(&result);
     output.timings.execute_ms = MsSince(t_exec);
   }
-
+  output.timings.wall_ms = MsSince(t_start);
   return output;
 }
 

@@ -4,27 +4,46 @@
 // storage catalog (the base data), the extended metadata graph, the graph
 // pattern library, the inverted index, and the pipeline configuration, and
 // answers keyword + operator queries with a ranked list of executable SQL
-// statements plus result snippets (paper Figure 4):
+// statements plus result snippets.
 //
-//   query: keywords + operators + values
-//     -> lookup: find entry points
-//     -> rank and top N: select best N results
-//     -> tables: determine tables and joins
-//     -> filters: collect filters
-//     -> SQL: generate SQL
-//   result: scored SQL statements
+// Architecture (this layer and up):
 //
-// Typical use:
+//   ┌────────────────────────────────────────────────────────────────┐
+//   │ SodaEngine (core/engine.h)                                     │
+//   │   LRU result cache · fixed-size worker pool · parallel fan-out │
+//   └──────────────────────────┬─────────────────────────────────────┘
+//                              │ shares the stage list of
+//   ┌──────────────────────────▼─────────────────────────────────────┐
+//   │ Soda (this header)        serial driver over the stage list    │
+//   │   owns the indexes (inverted, classification, join graph), the │
+//   │   step objects, and the ordered PipelineStage adapters         │
+//   └──────────────────────────┬─────────────────────────────────────┘
+//                              │ runs
+//   ┌──────────────────────────▼─────────────────────────────────────┐
+//   │ Pipeline (core/pipeline.h) — paper Figure 4 as stages          │
+//   │   LookupStage → RankStage → TablesStage → FiltersStage →       │
+//   │   SqlStage, over one QueryContext; per-interpretation stages   │
+//   │   are independent per InterpretationState, which is what the   │
+//   │   engine exploits for parallelism. FinalizeOutput merges in    │
+//   │   ranked order and dedups via CanonicalKey, so serial and      │
+//   │   concurrent execution produce byte-identical result lists.    │
+//   └────────────────────────────────────────────────────────────────┘
+//
+// Typical use (serial, library-style):
 //
 //   soda::Database db;
 //   soda::MetadataGraph graph;
 //   model.Compile(&graph, &db);          // WarehouseModel
 //   ... populate base data ...
-//   soda::Soda soda(&db, &graph, soda::CreditSuissePatternLibrary(), {});
-//   auto output = soda.Search("customers Zürich financial instruments");
+//   auto soda = soda::Soda::Create(&db, &graph,
+//                                  soda::CreditSuissePatternLibrary(), {});
+//   auto output = (*soda)->Search("customers Zürich financial instruments");
 //   for (const auto& result : output->results) {
 //     std::cout << result.sql << "\n" << result.snippet.ToAsciiTable();
 //   }
+//
+// For a service-style deployment (shared across threads, cached), wrap the
+// same arguments in a soda::SodaEngine instead — see core/engine.h.
 
 #ifndef SODA_CORE_SODA_H_
 #define SODA_CORE_SODA_H_
@@ -39,6 +58,7 @@
 #include "core/input_query.h"
 #include "core/join_graph.h"
 #include "core/lookup.h"
+#include "core/pipeline.h"
 #include "core/sql_generator.h"
 #include "core/tables_step.h"
 #include "pattern/library.h"
@@ -49,54 +69,41 @@
 
 namespace soda {
 
-/// One ranked candidate: an executable SQL statement with provenance.
-struct SodaResult {
-  SelectStatement statement;
-  std::string sql;          // rendered statement
-  double score = 0.0;       // ranking score of the interpretation
-  std::string explanation;  // entry points, e.g. "customers @ domain ontology"
-  bool fully_connected = true;
-  /// Result snippet (up to config.snippet_rows rows) when execution is on.
-  ResultSet snippet;
-  bool executed = false;
-  Status execution_status;
-};
-
-/// Per-step wall-clock timings in milliseconds (paper Section 5.2.2
-/// splits end-to-end time into lookup, rank, tables, SQL and grouping).
-struct StepTimings {
-  double lookup_ms = 0.0;
-  double rank_ms = 0.0;
-  double tables_ms = 0.0;
-  double filters_ms = 0.0;
-  double sql_ms = 0.0;
-  double execute_ms = 0.0;
-
-  double soda_total_ms() const {
-    return lookup_ms + rank_ms + tables_ms + filters_ms + sql_ms;
-  }
-};
-
-/// Everything a search produced.
-struct SearchOutput {
-  InputQuery parsed;
-  size_t complexity = 1;  // lookup combinatorics (paper Table 4)
-  std::vector<std::string> ignored_words;
-  std::vector<SodaResult> results;
-  StepTimings timings;
-};
-
 class Soda {
  public:
-  /// Builds the search engine over an existing catalog + metadata graph.
-  /// The inverted index over `db` and the classification index are built
-  /// here (the paper reports index construction separately from query
-  /// processing). `db` and `graph` must outlive the Soda instance.
+  /// Builds the search engine over an existing catalog + metadata graph,
+  /// propagating any index-construction failure (e.g. a malformed join
+  /// pattern) instead of deferring it. `db` and `graph` must outlive the
+  /// returned instance. This is the preferred way to construct a Soda.
+  static Result<std::unique_ptr<Soda>> Create(const Database* db,
+                                              const MetadataGraph* graph,
+                                              PatternLibrary patterns,
+                                              SodaConfig config);
+
+  /// Direct construction. The inverted index over `db` and the
+  /// classification index are built here (the paper reports index
+  /// construction separately from query processing). Construction-time
+  /// failures are stored and returned by the first Search call; prefer
+  /// Create, which surfaces them immediately.
   Soda(const Database* db, const MetadataGraph* graph,
        PatternLibrary patterns, SodaConfig config);
 
-  /// Runs the five-step pipeline on a query string.
+  /// Runs the five-step pipeline on a query string: the ordered stage
+  /// list from stages(), executed serially, followed by snippet
+  /// execution. Thread-safe: Search is const and all mutable state lives
+  /// in the per-call QueryContext.
   Result<SearchOutput> Search(const std::string& query) const;
+
+  /// The ordered stage list (lookup, rank, tables, filters, sql). The
+  /// SodaEngine drives these same stages concurrently.
+  const std::vector<const PipelineStage*>& stages() const { return stages_; }
+
+  /// OK when construction fully succeeded.
+  const Status& init_status() const { return init_status_; }
+
+  /// Executes `statement` with the snippet row limit and stores the
+  /// outcome on `result`. Used by both drivers after the merge.
+  void ExecuteSnippet(SodaResult* result) const;
 
   /// Exposed internals for benches, tests and the example applications.
   const ClassificationIndex& classification() const {
@@ -105,7 +112,11 @@ class Soda {
   const InvertedIndex& inverted_index() const { return inverted_index_; }
   const JoinGraph& join_graph() const { return join_graph_; }
   const PatternMatcher& matcher() const { return *matcher_; }
+  const LookupStep& lookup_step() const { return *lookup_step_; }
   const TablesStep& tables_step() const { return *tables_step_; }
+  const FiltersStep& filters_step() const { return *filters_step_; }
+  const SqlGenerator& generator() const { return *generator_; }
+  const Executor& executor() const { return *executor_; }
   const SodaConfig& config() const { return config_; }
   const Database* database() const { return db_; }
   const MetadataGraph* graph() const { return graph_; }
@@ -115,6 +126,7 @@ class Soda {
   const MetadataGraph* graph_;
   PatternLibrary patterns_;
   SodaConfig config_;
+  Status init_status_;
 
   InvertedIndex inverted_index_;
   ClassificationIndex classification_;
@@ -125,6 +137,15 @@ class Soda {
   std::unique_ptr<FiltersStep> filters_step_;
   std::unique_ptr<SqlGenerator> generator_;
   std::unique_ptr<Executor> executor_;
+
+  // The stage adapters, in pipeline order, and the list handed to the
+  // drivers. Stages only hold pointers to the step objects above.
+  std::unique_ptr<LookupStage> lookup_stage_;
+  std::unique_ptr<RankStage> rank_stage_;
+  std::unique_ptr<TablesStage> tables_stage_;
+  std::unique_ptr<FiltersStage> filters_stage_;
+  std::unique_ptr<SqlStage> sql_stage_;
+  std::vector<const PipelineStage*> stages_;
 };
 
 }  // namespace soda

@@ -4,15 +4,6 @@
 
 namespace soda {
 
-namespace {
-
-double MsSince(std::chrono::steady_clock::time_point start) {
-  auto elapsed = std::chrono::steady_clock::now() - start;
-  return std::chrono::duration<double, std::milli>(elapsed).count();
-}
-
-}  // namespace
-
 Result<QueryEvaluation> EvaluateQuery(const Soda& soda,
                                       const BenchmarkQuery& query) {
   QueryEvaluation evaluation;

@@ -171,9 +171,16 @@ void Solve(SearchContext* ctx, size_t triple_index, MatchBinding* binding) {
 
 Result<const GraphPattern*> PatternMatcher::Expanded(
     const std::string& name) const {
-  auto it = expansion_cache_.find(name);
-  if (it != expansion_cache_.end()) return &it->second;
+  {
+    std::lock_guard<std::mutex> lock(expansion_mu_);
+    auto it = expansion_cache_.find(name);
+    if (it != expansion_cache_.end()) return &it->second;
+  }
+  // Expand outside the lock — expansion walks the library and can be
+  // slow; a racing thread at worst expands the same pattern twice and
+  // the loser's copy is discarded by emplace.
   SODA_ASSIGN_OR_RETURN(GraphPattern expanded, library_->Expand(name));
+  std::lock_guard<std::mutex> lock(expansion_mu_);
   auto [inserted, ok] = expansion_cache_.emplace(name, std::move(expanded));
   (void)ok;
   return &inserted->second;

@@ -12,6 +12,7 @@
 #define SODA_PATTERN_MATCHER_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,11 @@ class PatternMatcher {
 
   const MetadataGraph* graph_;
   const PatternLibrary* library_;
+  /// Guards the expansion cache: MatchAt/MatchAll are const and called
+  /// concurrently by the SodaEngine worker pool. std::map node pointers
+  /// are stable across inserts, so returned GraphPattern* stay valid
+  /// after the lock is released.
+  mutable std::mutex expansion_mu_;
   mutable std::map<std::string, GraphPattern> expansion_cache_;
 };
 

@@ -21,7 +21,10 @@
 
 namespace soda {
 
-/// Stateless query executor bound to a catalog.
+/// Stateless query executor bound to a catalog. Execute/ExecuteSql are
+/// const and keep all evaluation state on the stack, so one Executor is
+/// safe to share across threads — the SodaEngine runs concurrent snippet
+/// execution through a single instance.
 class Executor {
  public:
   explicit Executor(const Database* db) : db_(db) {}

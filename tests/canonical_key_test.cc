@@ -1,0 +1,70 @@
+// Deduplication semantics of CanonicalKey (core/pipeline.h): different
+// entry-point choices that collapse to the same logical statement must map
+// to one key, while genuinely different statements must stay distinct.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "sql/parser.h"
+
+namespace soda {
+namespace {
+
+std::string KeyOf(const char* sql) {
+  auto stmt = ParseSql(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status() << " for: " << sql;
+  return CanonicalKey(*stmt);
+}
+
+TEST(CanonicalKeyTest, FromOrderInvariant) {
+  EXPECT_EQ(KeyOf("SELECT a.x FROM a, b WHERE a.id = b.id"),
+            KeyOf("SELECT a.x FROM b, a WHERE a.id = b.id"));
+}
+
+TEST(CanonicalKeyTest, FromTableCaseInvariant) {
+  // SQL identifiers compare case-insensitively; the FROM list is folded.
+  EXPECT_EQ(KeyOf("SELECT a.x FROM Accounts a"),
+            KeyOf("SELECT a.x FROM accounts a"));
+}
+
+TEST(CanonicalKeyTest, SymmetricEqualityPredicates) {
+  EXPECT_EQ(KeyOf("SELECT a.x FROM a, b WHERE a.id = b.id"),
+            KeyOf("SELECT a.x FROM a, b WHERE b.id = a.id"));
+}
+
+TEST(CanonicalKeyTest, AsymmetricComparisonIsDirectional) {
+  EXPECT_NE(KeyOf("SELECT a.x FROM a WHERE a.v > 10"),
+            KeyOf("SELECT a.x FROM a WHERE a.v < 10"));
+}
+
+TEST(CanonicalKeyTest, ConjunctOrderInvariant) {
+  EXPECT_EQ(KeyOf("SELECT a.x FROM a WHERE a.v > 1 AND a.w < 2"),
+            KeyOf("SELECT a.x FROM a WHERE a.w < 2 AND a.v > 1"));
+}
+
+TEST(CanonicalKeyTest, SelectItemOrderInvariant) {
+  EXPECT_EQ(KeyOf("SELECT a.x, a.y FROM a"), KeyOf("SELECT a.y, a.x FROM a"));
+}
+
+TEST(CanonicalKeyTest, DifferentFiltersDiffer) {
+  EXPECT_NE(KeyOf("SELECT a.x FROM a WHERE a.v = 1"),
+            KeyOf("SELECT a.x FROM a WHERE a.v = 2"));
+}
+
+TEST(CanonicalKeyTest, GroupByDiscriminates) {
+  EXPECT_NE(KeyOf("SELECT sum(a.v), a.g FROM a GROUP BY a.g"),
+            KeyOf("SELECT sum(a.v), a.g FROM a"));
+}
+
+TEST(CanonicalKeyTest, LimitDiscriminates) {
+  EXPECT_NE(KeyOf("SELECT a.x FROM a LIMIT 5"),
+            KeyOf("SELECT a.x FROM a LIMIT 6"));
+  EXPECT_NE(KeyOf("SELECT a.x FROM a LIMIT 5"), KeyOf("SELECT a.x FROM a"));
+}
+
+TEST(CanonicalKeyTest, ExtraTableDiffers) {
+  EXPECT_NE(KeyOf("SELECT a.x FROM a"), KeyOf("SELECT a.x FROM a, b"));
+}
+
+}  // namespace
+}  // namespace soda

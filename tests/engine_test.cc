@@ -1,0 +1,211 @@
+// Tests for the SodaEngine service layer: deterministic results under the
+// concurrent fan-out (same query -> byte-identical ranked SQL list at 1 vs
+// N threads), LRU cache behavior, and construction-error propagation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/soda.h"
+#include "datasets/enterprise.h"
+#include "datasets/minibank.h"
+#include "eval/workload.h"
+#include "pattern/library.h"
+
+namespace soda {
+namespace {
+
+// Serializes everything rank-relevant about an output, snippets included,
+// so "byte-identical" is literal.
+std::string Fingerprint(const SearchOutput& output) {
+  std::string fp = "complexity=" + std::to_string(output.complexity) + "\n";
+  for (const std::string& word : output.ignored_words) {
+    fp += "ignored=" + word + "\n";
+  }
+  for (const SodaResult& result : output.results) {
+    fp += result.sql + "\n";
+    fp += "score=" + std::to_string(result.score) + "\n";
+    fp += "explanation=" + result.explanation + "\n";
+    fp += "connected=" + std::to_string(result.fully_connected) + "\n";
+    fp += "executed=" + std::to_string(result.executed) + "\n";
+    if (result.executed) fp += result.snippet.ToAsciiTable() + "\n";
+  }
+  return fp;
+}
+
+std::vector<std::string> MiniBankQueries() {
+  return {
+      "customers Zürich financial instruments",
+      "trading volume transaction date between date(2010-01-01) "
+      "date(2011-12-31)",
+      "addresses Sara Guttinger",
+      "sum(investments) group by (currency)",
+      "private customers family name",
+  };
+}
+
+class EngineMiniBankTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto built = BuildMiniBank();
+    ASSERT_TRUE(built.ok()) << built.status();
+    bank_ = built.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bank_;
+    bank_ = nullptr;
+  }
+
+  static std::unique_ptr<SodaEngine> MakeEngine(size_t threads,
+                                                size_t cache_capacity) {
+    SodaConfig config;
+    config.num_threads = threads;
+    config.cache_capacity = cache_capacity;
+    auto engine = SodaEngine::Create(&bank_->db, &bank_->graph,
+                                     CreditSuissePatternLibrary(), config);
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    return std::move(engine).value();
+  }
+
+  static MiniBank* bank_;
+};
+
+MiniBank* EngineMiniBankTest::bank_ = nullptr;
+
+TEST_F(EngineMiniBankTest, ConcurrentEngineMatchesSerialPipeline) {
+  Soda serial(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
+              SodaConfig{});
+  auto engine = MakeEngine(/*threads=*/4, /*cache_capacity=*/0);
+  EXPECT_EQ(engine->num_threads(), 4u);
+  for (const std::string& query : MiniBankQueries()) {
+    auto expected = serial.Search(query);
+    auto actual = engine->Search(query);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    ASSERT_TRUE(actual.ok()) << actual.status();
+    EXPECT_EQ(Fingerprint(*expected), Fingerprint(*actual)) << query;
+  }
+}
+
+TEST_F(EngineMiniBankTest, OneVsManyThreadsByteIdentical) {
+  auto one = MakeEngine(/*threads=*/1, /*cache_capacity=*/0);
+  auto many = MakeEngine(/*threads=*/8, /*cache_capacity=*/0);
+  for (const std::string& query : MiniBankQueries()) {
+    auto lhs = one->Search(query);
+    auto rhs = many->Search(query);
+    ASSERT_TRUE(lhs.ok()) << lhs.status();
+    ASSERT_TRUE(rhs.ok()) << rhs.status();
+    EXPECT_EQ(Fingerprint(*lhs), Fingerprint(*rhs)) << query;
+  }
+}
+
+TEST_F(EngineMiniBankTest, RepeatedSearchesAreStable) {
+  // The fan-out schedule is nondeterministic; the answer must not be.
+  auto engine = MakeEngine(/*threads=*/4, /*cache_capacity=*/0);
+  const std::string query = MiniBankQueries()[0];
+  auto first = engine->Search(query);
+  ASSERT_TRUE(first.ok()) << first.status();
+  for (int round = 0; round < 5; ++round) {
+    auto again = engine->Search(query);
+    ASSERT_TRUE(again.ok()) << again.status();
+    EXPECT_EQ(Fingerprint(*first), Fingerprint(*again)) << "round " << round;
+  }
+}
+
+TEST_F(EngineMiniBankTest, CacheHitShortCircuitsAndCounts) {
+  auto engine = MakeEngine(/*threads=*/2, /*cache_capacity=*/8);
+  const std::string query = MiniBankQueries()[0];
+
+  auto miss = engine->Search(query);
+  ASSERT_TRUE(miss.ok()) << miss.status();
+  EXPECT_FALSE(miss->from_cache);
+  EXPECT_EQ(miss->cache_hits, 0u);
+  EXPECT_EQ(miss->cache_misses, 1u);
+
+  auto hit = engine->Search(query);
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  EXPECT_TRUE(hit->from_cache);
+  EXPECT_EQ(hit->cache_hits, 1u);
+  EXPECT_EQ(hit->cache_misses, 1u);
+  EXPECT_EQ(Fingerprint(*miss), Fingerprint(*hit));
+
+  // The key collapses whitespace (the tokenizer splits on it anyway)...
+  auto respaced = engine->Search("  customers   Zürich financial instruments ");
+  ASSERT_TRUE(respaced.ok()) << respaced.status();
+  EXPECT_TRUE(respaced->from_cache);
+
+  // ...but keeps case: comparison literals compare case-sensitively, so
+  // a differently-cased query may have a different answer and must miss.
+  auto recased = engine->Search("CUSTOMERS Zürich financial instruments");
+  ASSERT_TRUE(recased.ok()) << recased.status();
+  EXPECT_FALSE(recased->from_cache);
+
+  engine->ClearCache();
+  auto after_clear = engine->Search(query);
+  ASSERT_TRUE(after_clear.ok()) << after_clear.status();
+  EXPECT_FALSE(after_clear->from_cache);
+}
+
+TEST_F(EngineMiniBankTest, ZeroCapacityDisablesCache) {
+  auto engine = MakeEngine(/*threads=*/2, /*cache_capacity=*/0);
+  const std::string query = MiniBankQueries()[0];
+  ASSERT_TRUE(engine->Search(query).ok());
+  auto second = engine->Search(query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->from_cache);
+  EXPECT_EQ(engine->cache_stats().size, 0u);
+}
+
+TEST_F(EngineMiniBankTest, CreateFailsOnBrokenPatternLibrary) {
+  // An empty library cannot harvest the join graph: Create must surface
+  // the failure instead of silently swallowing it.
+  auto broken = Soda::Create(&bank_->db, &bank_->graph, PatternLibrary{},
+                             SodaConfig{});
+  ASSERT_FALSE(broken.ok());
+
+  auto engine = SodaEngine::Create(&bank_->db, &bank_->graph,
+                                   PatternLibrary{}, SodaConfig{});
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), broken.status().code());
+
+  // The legacy constructor stores the failure and fails Search with it.
+  Soda legacy(&bank_->db, &bank_->graph, PatternLibrary{}, SodaConfig{});
+  EXPECT_FALSE(legacy.init_status().ok());
+  auto search = legacy.Search("customers");
+  ASSERT_FALSE(search.ok());
+  EXPECT_EQ(search.status().code(), broken.status().code());
+}
+
+// The enterprise workload (paper Table 2) is the multi-interpretation
+// stress: every query must come back byte-identical at 1 vs N threads.
+TEST(EngineEnterpriseTest, WorkloadByteIdenticalAcrossThreadCounts) {
+  auto built = BuildEnterpriseWarehouse();
+  ASSERT_TRUE(built.ok()) << built.status();
+  auto warehouse = std::move(built).value();
+
+  SodaConfig config;
+  config.execute_snippets = false;  // translation determinism is the point
+  config.cache_capacity = 0;
+
+  config.num_threads = 1;
+  auto one = SodaEngine::Create(&warehouse->db, &warehouse->graph,
+                                CreditSuissePatternLibrary(), config);
+  ASSERT_TRUE(one.ok()) << one.status();
+  config.num_threads = 4;
+  auto four = SodaEngine::Create(&warehouse->db, &warehouse->graph,
+                                 CreditSuissePatternLibrary(), config);
+  ASSERT_TRUE(four.ok()) << four.status();
+
+  for (const BenchmarkQuery& bench : EnterpriseWorkload()) {
+    auto lhs = (*one)->Search(bench.keywords);
+    auto rhs = (*four)->Search(bench.keywords);
+    ASSERT_TRUE(lhs.ok()) << bench.id << ": " << lhs.status();
+    ASSERT_TRUE(rhs.ok()) << bench.id << ": " << rhs.status();
+    EXPECT_EQ(Fingerprint(*lhs), Fingerprint(*rhs)) << "query " << bench.id;
+  }
+}
+
+}  // namespace
+}  // namespace soda
