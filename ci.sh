@@ -1,22 +1,83 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, test — exactly what CI runs on every
-# push. Pass BUILD_TYPE=Release to also smoke-run the end-to-end bench.
+# push.
+#
+# Knobs:
+#   BUILD_TYPE={RelWithDebInfo,Release,Debug}   (default RelWithDebInfo)
+#   SANITIZE={tsan,asan}  sanitizer leg: Debug build with TSan or
+#       ASan+UBSan, running the concurrency-facing suites (thread pool,
+#       cache, engine, batch/async streaming, metrics, pipeline) under
+#       the sanitizer runtime.
+#   BUILD_DIR, JOBS       as usual.
+#
+# BUILD_TYPE=Release additionally smoke-runs the end-to-end bench, tees
+# its output to ${BUILD_DIR}/bench_smoke.txt (uploaded as a CI artifact)
+# and fails if the bench crashed or any required counter is missing from
+# the output — the guard for the engine's metrics/batch counters.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}"
-BUILD_DIR="${BUILD_DIR:-build}"
+SANITIZE="${SANITIZE:-}"
 JOBS="${JOBS:-$(nproc)}"
 
-cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE="${BUILD_TYPE}"
+CMAKE_ARGS=()
+CTEST_ARGS=()
+case "${SANITIZE}" in
+  "")
+    BUILD_DIR="${BUILD_DIR:-build}"
+    ;;
+  tsan)
+    BUILD_TYPE=Debug
+    BUILD_DIR="${BUILD_DIR:-build-tsan}"
+    CMAKE_ARGS+=(-DSODA_SANITIZE=thread)
+    # The concurrency surface is what TSan is here for; the serial suites
+    # (and the slow property-based sweep) run in the plain legs.
+    CTEST_ARGS+=(-R 'concurrency|engine|batch_async|metrics|pipeline')
+    export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+    ;;
+  asan)
+    BUILD_TYPE=Debug
+    BUILD_DIR="${BUILD_DIR:-build-asan}"
+    CMAKE_ARGS+=(-DSODA_SANITIZE=address,undefined)
+    CTEST_ARGS+=(-R 'concurrency|engine|batch_async|metrics|pipeline')
+    export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}"
+    ;;
+  *)
+    echo "unknown SANITIZE='${SANITIZE}' (want tsan or asan)" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE="${BUILD_TYPE}" \
+      "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+# --timeout: a deadlocked async/barrier test fails in 2 minutes instead
+# of hanging the runner until the job-level timeout. --no-tests=error:
+# a sanitizer leg whose -R filter matches nothing (or a tree configured
+# without GTest) must fail loudly, not pass vacuously.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
+      --timeout 120 --no-tests=error "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
 
 if [[ "${BUILD_TYPE}" == "Release" &&
       -x "${BUILD_DIR}/bench_micro_end_to_end" ]]; then
   # Smoke-run: one fast repetition, enough to catch crashes and record
-  # the thread-sweep + cache numbers in CI logs.
+  # the thread-sweep + cache + batch/async numbers in CI logs.
+  BENCH_OUT="${BUILD_DIR}/bench_smoke.txt"
   "${BUILD_DIR}/bench_micro_end_to_end" \
       --benchmark_min_time=0.05 \
-      --benchmark_counters_tabular=true
+      --benchmark_counters_tabular=true 2>&1 | tee "${BENCH_OUT}"
+
+  # Counter guard: the sweep and the new batch/async/metrics surfaces
+  # must all have reported. A missing counter means a bench silently
+  # stopped exercising (or exporting) that path.
+  for counter in threads interpretations hit_rate batch_queries \
+                 dedup_hits snippets_streamed cache_hits stage_samples; do
+    if ! grep -q "${counter}" "${BENCH_OUT}"; then
+      echo "bench smoke-run output is missing counter '${counter}'" >&2
+      exit 1
+    fi
+  done
+  echo "bench smoke-run OK: all required counters present"
 fi

@@ -75,6 +75,17 @@ class LruCache {
     }
   }
 
+  /// Counts `n` extra hits without probing the map. The engine's batch
+  /// path dedups identical normalized queries before touching the cache,
+  /// so repeats of one key inside a batch are served from the in-flight
+  /// computed entry; this keeps the books right — one miss (the unique
+  /// probe) plus N-1 hits per batch. No-op when the cache is disabled.
+  void RecordDedupHits(size_t n) {
+    if (capacity_ == 0 || n == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    hits_ += n;
+  }
+
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();

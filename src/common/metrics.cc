@@ -1,0 +1,102 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace soda {
+
+namespace {
+
+size_t BucketIndex(double value) {
+  auto it = std::lower_bound(kHistogramBounds.begin(), kHistogramBounds.end(),
+                             value);
+  return static_cast<size_t>(it - kHistogramBounds.begin());
+}
+
+}  // namespace
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 *
+                                        static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      return b < kHistogramBounds.size() ? kHistogramBounds[b] : max;
+    }
+  }
+  return max;
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const& {
+  auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "counter %-32s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "histogram %-30s count=%llu mean=%.3f min=%.3f max=%.3f "
+                  "p50<=%.3f p99<=%.3f\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean(), h.min, h.max, h.Percentile(50), h.Percentile(99));
+    out += line;
+  }
+  return out;
+}
+
+void InMemoryMetricsSink::IncrementCounter(std::string_view name,
+                                           uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void InMemoryMetricsSink::Observe(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), HistogramSnapshot{}).first;
+  }
+  HistogramSnapshot& h = it->second;
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  ++h.count;
+  h.sum += value;
+  ++h.buckets[BucketIndex(value)];
+}
+
+MetricsSnapshot InMemoryMetricsSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, value] : counters_) snapshot.counters[name] = value;
+  for (const auto& [name, h] : histograms_) snapshot.histograms[name] = h;
+  return snapshot;
+}
+
+void InMemoryMetricsSink::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+}  // namespace soda

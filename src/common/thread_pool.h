@@ -49,6 +49,14 @@ class ThreadPool {
   /// Number of worker threads (0 when execution is inline).
   size_t size() const { return workers_.size(); }
 
+  /// Tasks queued but not yet claimed by a worker. A sampled gauge for
+  /// the engine's metrics (backlog under bursty batch traffic); always 0
+  /// for inline pools.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
   /// Enqueues a task. Runs it inline when the pool has no workers.
   void Submit(std::function<void()> task) {
     if (workers_.empty()) {
@@ -132,7 +140,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable wake_;
   bool stopping_ = false;
 };

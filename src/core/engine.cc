@@ -1,7 +1,9 @@
 #include "core/engine.h"
 
+#include <atomic>
 #include <chrono>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "common/strings.h"
@@ -27,6 +29,54 @@ std::string CacheKey(const std::string& query) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// SnippetBarrier
+// ---------------------------------------------------------------------------
+
+void SnippetBarrier::Expect(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expected_ += n;
+}
+
+void SnippetBarrier::Deliver(std::exception_ptr exception) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++delivered_;
+  if (exception) {
+    ++exceptions_;
+    if (!first_exception_) first_exception_ = std::move(exception);
+  }
+  if (delivered_ >= expected_) done_.notify_all();
+}
+
+void SnippetBarrier::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [&] { return delivered_ >= expected_; });
+}
+
+size_t SnippetBarrier::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return expected_ - delivered_;
+}
+
+size_t SnippetBarrier::delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+size_t SnippetBarrier::callback_exceptions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exceptions_;
+}
+
+std::exception_ptr SnippetBarrier::first_exception() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_exception_;
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
 Result<std::unique_ptr<SodaEngine>> SodaEngine::Create(
     const Database* db, const MetadataGraph* graph, PatternLibrary patterns,
     SodaConfig config) {
@@ -37,22 +87,34 @@ Result<std::unique_ptr<SodaEngine>> SodaEngine::Create(
 
 SodaEngine::SodaEngine(std::unique_ptr<Soda> soda)
     : soda_(std::move(soda)),
-      pool_(ResolveThreads(soda_->config().num_threads)),
-      cache_(soda_->config().cache_capacity) {}
+      cache_(soda_->config().cache_capacity),
+      default_sink_(std::make_shared<InMemoryMetricsSink>()),
+      sink_(default_sink_),
+      pool_(ResolveThreads(soda_->config().num_threads)) {}
+
+void SodaEngine::set_metrics_sink(std::shared_ptr<MetricsSink> sink) {
+  sink_ = sink != nullptr ? std::move(sink) : default_sink_;
+}
 
 size_t SodaEngine::num_threads() const {
   return pool_.size() == 0 ? 1 : pool_.size();
 }
 
+// ---------------------------------------------------------------------------
+// Single-query path
+// ---------------------------------------------------------------------------
+
 Result<SearchOutput> SodaEngine::Search(const std::string& query) const {
   SODA_RETURN_NOT_OK(soda_->init_status());
   auto t_start = std::chrono::steady_clock::now();
+  sink_->IncrementCounter("engine.search", 1);
 
   const std::string key = CacheKey(query);
   if (std::shared_ptr<const SearchOutput> cached = cache_.Get(key)) {
     // Deliberate copy: the payload is bounded (top_n statements x
     // snippet_rows rows) and the response needs its own counter fields;
     // measured hit path stays ~100x faster than the pipeline.
+    sink_->IncrementCounter("cache.hit", 1);
     SearchOutput output = *cached;
     output.from_cache = true;
     CacheStats stats = cache_.stats();
@@ -61,12 +123,15 @@ Result<SearchOutput> SodaEngine::Search(const std::string& query) const {
     output.threads_used = num_threads();
     output.timings = StepTimings{};  // this response did no pipeline work
     output.timings.wall_ms = MsSince(t_start);
+    sink_->Observe("search.wall.ms", output.timings.wall_ms);
     return output;
   }
+  sink_->IncrementCounter("cache.miss", 1);
 
   const SodaConfig& config = soda_->config();
   QueryContext ctx(query);
   ctx.config = &config;
+  ctx.metrics = sink_.get();
   const std::vector<const PipelineStage*>& stages = soda_->stages();
 
   // Query-level prefix (lookup, rank) runs serially — it is cheap and
@@ -75,6 +140,8 @@ Result<SearchOutput> SodaEngine::Search(const std::string& query) const {
 
   // Fan Steps 3-5 out across the pool, one task per interpretation. Each
   // task touches only its own state; the shared context is read-only.
+  sink_->Observe("pool.queue_depth",
+                 static_cast<double>(pool_.queue_depth()));
   pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
     RunInterpretationStages(stages, ctx, &ctx.states[i]);
   });
@@ -84,12 +151,17 @@ Result<SearchOutput> SodaEngine::Search(const std::string& query) const {
   if (config.execute_snippets && soda_->database() != nullptr) {
     auto t_exec = std::chrono::steady_clock::now();
     pool_.ParallelFor(output.results.size(), [&](size_t i) {
-      soda_->ExecuteSnippet(&output.results[i]);
+      soda_->ExecuteSnippet(&output.results[i], sink_.get());
+      sink_->IncrementCounter(
+          output.results[i].executed ? "snippet.executed" : "snippet.failed",
+          1);
     });
     output.timings.execute_ms = MsSince(t_exec);
+    sink_->Observe("stage.execute.ms", output.timings.execute_ms);
   }
   output.threads_used = num_threads();
   output.timings.wall_ms = MsSince(t_start);
+  sink_->Observe("search.wall.ms", output.timings.wall_ms);
 
   // Cache the fully materialized answer (statements + snippets). The
   // stored copy keeps from_cache=false; hits patch their own counters.
@@ -99,6 +171,352 @@ Result<SearchOutput> SodaEngine::Search(const std::string& query) const {
   output.cache_hits = stats.hits;
   output.cache_misses = stats.misses;
   return output;
+}
+
+// ---------------------------------------------------------------------------
+// Batch translation core
+// ---------------------------------------------------------------------------
+
+struct SodaEngine::BatchItem {
+  std::string key;                  // normalized query (the cache key)
+  std::vector<size_t> occurrences;  // input indices, ascending
+  bool from_cache = false;
+  Result<SearchOutput> output{Status::Internal("batch item not computed")};
+};
+
+std::vector<SodaEngine::BatchItem> SodaEngine::TranslateBatch(
+    std::span<const std::string> queries, bool execute) const {
+  auto t_start = std::chrono::steady_clock::now();
+
+  // Dedup identical normalized queries *before* the cache is probed, so
+  // repeats inside one batch cost one pipeline run and one miss.
+  std::vector<BatchItem> items;
+  std::unordered_map<std::string, size_t> item_of_key;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::string key = CacheKey(queries[i]);
+    auto [it, inserted] = item_of_key.emplace(std::move(key), items.size());
+    if (inserted) {
+      BatchItem item;
+      item.key = it->first;
+      items.push_back(std::move(item));
+    }
+    items[it->second].occurrences.push_back(i);
+  }
+  sink_->IncrementCounter("batch.queries", queries.size());
+  sink_->IncrementCounter("batch.unique", items.size());
+
+  // Probe the cache once per unique key.
+  std::vector<size_t> misses;  // item indices that must run the pipeline
+  for (size_t it_idx = 0; it_idx < items.size(); ++it_idx) {
+    BatchItem& item = items[it_idx];
+    if (std::shared_ptr<const SearchOutput> cached = cache_.Get(item.key)) {
+      sink_->IncrementCounter("cache.hit", 1);
+      item.from_cache = true;
+      item.output = *cached;
+    } else {
+      sink_->IncrementCounter("cache.miss", 1);
+      misses.push_back(it_idx);
+    }
+  }
+
+  const SodaConfig& config = soda_->config();
+  const std::vector<const PipelineStage*>& stages = soda_->stages();
+
+  // Steps 1-2 once per unique miss, fanned across the pool: query
+  // contexts are independent and the step objects are stateless.
+  std::vector<std::unique_ptr<QueryContext>> contexts;
+  std::vector<Status> prefix_status(misses.size(), Status::OK());
+  contexts.reserve(misses.size());
+  for (size_t miss_idx : misses) {
+    auto ctx =
+        std::make_unique<QueryContext>(queries[items[miss_idx].occurrences[0]]);
+    ctx->config = &config;
+    ctx->metrics = sink_.get();
+    contexts.push_back(std::move(ctx));
+  }
+  sink_->Observe("pool.queue_depth",
+                 static_cast<double>(pool_.queue_depth()));
+  pool_.ParallelFor(contexts.size(), [&](size_t i) {
+    prefix_status[i] = RunQueryStages(stages, contexts[i].get());
+  });
+
+  // Steps 3-5 over one flat (query, interpretation) task list: a batch
+  // of narrow queries load-balances exactly like one wide query.
+  std::vector<std::pair<size_t, size_t>> units;  // (context idx, state idx)
+  for (size_t c = 0; c < contexts.size(); ++c) {
+    if (!prefix_status[c].ok()) continue;
+    for (size_t s = 0; s < contexts[c]->states.size(); ++s) {
+      units.emplace_back(c, s);
+    }
+  }
+  sink_->IncrementCounter("batch.interpretations", units.size());
+  pool_.ParallelFor(units.size(), [&](size_t u) {
+    auto [c, s] = units[u];
+    RunInterpretationStages(stages, *contexts[c], &contexts[c]->states[s]);
+  });
+
+  // Deterministic per-query merge, in miss order.
+  for (size_t c = 0; c < contexts.size(); ++c) {
+    BatchItem& item = items[misses[c]];
+    if (!prefix_status[c].ok()) {
+      item.output = prefix_status[c];
+      continue;
+    }
+    item.output = FinalizeOutput(std::move(*contexts[c]));
+  }
+
+  // Snippet execution for the sync path: again one flat task list across
+  // every (miss item, result) pair.
+  if (execute && config.execute_snippets && soda_->database() != nullptr) {
+    auto t_exec = std::chrono::steady_clock::now();
+    std::vector<std::pair<size_t, size_t>> snips;  // (item idx, result idx)
+    for (size_t miss_idx : misses) {
+      BatchItem& item = items[miss_idx];
+      if (!item.output.ok()) continue;
+      for (size_t r = 0; r < item.output->results.size(); ++r) {
+        snips.emplace_back(miss_idx, r);
+      }
+    }
+    pool_.ParallelFor(snips.size(), [&](size_t i) {
+      auto [it_idx, r] = snips[i];
+      SodaResult& result = items[it_idx].output->results[r];
+      soda_->ExecuteSnippet(&result, sink_.get());
+      sink_->IncrementCounter(
+          result.executed ? "snippet.executed" : "snippet.failed", 1);
+    });
+    double exec_ms = MsSince(t_exec);
+    sink_->Observe("stage.execute.ms", exec_ms);
+    // Per-item attribution of a shared fan-out is ill-defined; every
+    // computed output carries the batch-level execution wall time.
+    for (size_t miss_idx : misses) {
+      BatchItem& item = items[miss_idx];
+      if (item.output.ok()) item.output->timings.execute_ms = exec_ms;
+    }
+  }
+
+  double wall_ms = MsSince(t_start);
+  for (size_t miss_idx : misses) {
+    BatchItem& item = items[miss_idx];
+    if (!item.output.ok()) continue;
+    item.output->threads_used = num_threads();
+    item.output->timings.wall_ms = wall_ms;
+  }
+  sink_->Observe("batch.wall.ms", wall_ms);
+  return items;
+}
+
+std::vector<Result<SearchOutput>> SodaEngine::ExpandBatch(
+    std::vector<BatchItem> items, size_t query_count,
+    bool mark_dedup_as_cached,
+    std::chrono::steady_clock::time_point batch_start) const {
+  const bool cache_enabled = cache_.capacity() > 0;
+
+  // Book the in-batch repeats: the unique probe already counted one
+  // miss (or hit); each further occurrence of the same normalized query
+  // is a hit against the entry the batch itself materialized.
+  for (const BatchItem& item : items) {
+    if (!item.output.ok() || item.occurrences.size() <= 1) continue;
+    size_t repeats = item.occurrences.size() - 1;
+    cache_.RecordDedupHits(repeats);
+    sink_->IncrementCounter("batch.dedup_hits", repeats);
+  }
+
+  CacheStats stats = cache_.stats();
+  std::vector<Result<SearchOutput>> outputs(
+      query_count, Result<SearchOutput>(Status::Internal("unmapped query")));
+  for (const BatchItem& item : items) {
+    for (size_t occ = 0; occ < item.occurrences.size(); ++occ) {
+      size_t input_idx = item.occurrences[occ];
+      if (!item.output.ok()) {
+        outputs[input_idx] = item.output.status();
+        continue;
+      }
+      SearchOutput output = *item.output;
+      // from_cache promises the payload was served materialized (snippets
+      // included). That holds for probe hits always, and for in-batch
+      // repeats only on the sync path — async repeats are copies of the
+      // still-unexecuted translation, so the async caller keeps
+      // mark_dedup_as_cached off.
+      bool served_from_cache =
+          occ == 0 ? item.from_cache
+                   : (item.from_cache ||
+                      (cache_enabled && mark_dedup_as_cached));
+      output.from_cache = served_from_cache;
+      if (served_from_cache) {
+        // Like the single-query hit path: this response did no pipeline
+        // work of its own, and the stored entry's cold-run wall time is
+        // not this response's latency — stamp this call's elapsed time.
+        output.timings = StepTimings{};
+        output.timings.wall_ms = MsSince(batch_start);
+      }
+      output.cache_hits = stats.hits;
+      output.cache_misses = stats.misses;
+      output.threads_used = num_threads();
+      outputs[input_idx] = std::move(output);
+    }
+  }
+  return outputs;
+}
+
+// ---------------------------------------------------------------------------
+// SearchAll (sync batch)
+// ---------------------------------------------------------------------------
+
+std::vector<Result<SearchOutput>> SodaEngine::SearchAll(
+    std::span<const std::string> queries) const {
+  if (queries.empty()) return {};
+  if (!soda_->init_status().ok()) {
+    return std::vector<Result<SearchOutput>>(
+        queries.size(), Result<SearchOutput>(soda_->init_status()));
+  }
+  auto t_start = std::chrono::steady_clock::now();
+  sink_->IncrementCounter("engine.search_all", 1);
+
+  std::vector<BatchItem> items = TranslateBatch(queries, /*execute=*/true);
+
+  // Insert the fully materialized computed entries, keyed on the
+  // normalized query after dedup — one Put per unique miss. The stored
+  // copy keeps from_cache=false and unset counters, exactly like the
+  // single-query path.
+  for (const BatchItem& item : items) {
+    if (item.from_cache || !item.output.ok()) continue;
+    cache_.Put(item.key, std::make_shared<const SearchOutput>(*item.output));
+  }
+  return ExpandBatch(std::move(items), queries.size(),
+                     /*mark_dedup_as_cached=*/true, t_start);
+}
+
+// ---------------------------------------------------------------------------
+// Async snippet streaming
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared state of one unique query's snippet stream. Result slots are
+/// written by exactly one task each; the task that drops `remaining` to
+/// zero observes all earlier writes through the acq_rel decrement and
+/// owns the cache insertion.
+struct StreamState {
+  SearchOutput output;
+  std::vector<size_t> occurrences;
+  std::string key;
+  SnippetCallback on_snippet;  // one copy per unique query, not per task
+  bool run_execution = false;  // false when served from cache (or disabled)
+  bool cache_insert = false;   // insert the materialized output when done
+  std::atomic<size_t> remaining{0};
+};
+
+}  // namespace
+
+std::vector<Result<SearchOutput>> SodaEngine::SearchAllAsync(
+    std::span<const std::string> queries, SnippetCallback on_snippet,
+    SnippetBarrier* barrier) const {
+  if (queries.empty()) return {};
+  if (!soda_->init_status().ok()) {
+    return std::vector<Result<SearchOutput>>(
+        queries.size(), Result<SearchOutput>(soda_->init_status()));
+  }
+  auto t_start = std::chrono::steady_clock::now();
+  sink_->IncrementCounter("engine.search_all_async", 1);
+
+  const SodaConfig& config = soda_->config();
+  const bool can_execute =
+      config.execute_snippets && soda_->database() != nullptr;
+
+  std::vector<BatchItem> items = TranslateBatch(queries, /*execute=*/false);
+
+  // Snapshot the per-unique stream states before the items are consumed
+  // by ExpandBatch, and register every expected callback up front so the
+  // barrier can never observe a transient zero while later items are
+  // still being scheduled.
+  std::vector<std::shared_ptr<StreamState>> streams;
+  size_t expected_callbacks = 0;
+  for (const BatchItem& item : items) {
+    if (!item.output.ok()) continue;
+    if (item.output->results.empty()) {
+      // Nothing to stream, so no task will ever do the deferred cache
+      // insert — cache the (empty) answer now, like the sync paths do.
+      if (!item.from_cache) {
+        cache_.Put(item.key,
+                   std::make_shared<const SearchOutput>(*item.output));
+      }
+      continue;
+    }
+    auto stream = std::make_shared<StreamState>();
+    stream->output = *item.output;
+    stream->occurrences = item.occurrences;
+    stream->key = item.key;
+    stream->on_snippet = on_snippet;
+    stream->run_execution = can_execute && !item.from_cache;
+    stream->cache_insert = !item.from_cache;
+    stream->remaining.store(stream->output.results.size(),
+                            std::memory_order_relaxed);
+    expected_callbacks +=
+        stream->output.results.size() * stream->occurrences.size();
+    streams.push_back(std::move(stream));
+  }
+  if (barrier != nullptr) barrier->Expect(expected_callbacks);
+
+  std::vector<Result<SearchOutput>> outputs =
+      ExpandBatch(std::move(items), queries.size(),
+                  /*mark_dedup_as_cached=*/false, t_start);
+
+  // One task per (unique query, result): execute the snippet, then fan
+  // the callback out to every occurrence of that query in the batch —
+  // exactly one delivery per (query_index, result_index) pair.
+  for (const std::shared_ptr<StreamState>& stream : streams) {
+    for (size_t r = 0; r < stream->output.results.size(); ++r) {
+      pool_.Submit([this, stream, barrier, r] {
+        SodaResult& result = stream->output.results[r];
+        if (stream->run_execution) {
+          soda_->ExecuteSnippet(&result, sink_.get());
+          sink_->IncrementCounter(
+              result.executed ? "snippet.executed" : "snippet.failed", 1);
+        }
+        std::vector<std::exception_ptr> exceptions;
+        exceptions.reserve(stream->occurrences.size());
+        for (size_t query_index : stream->occurrences) {
+          std::exception_ptr exception;
+          if (stream->on_snippet) {
+            try {
+              stream->on_snippet(query_index, r, result);
+            } catch (...) {
+              exception = std::current_exception();
+              sink_->IncrementCounter("snippet.callback_exception", 1);
+            }
+          }
+          sink_->IncrementCounter("snippet.streamed", 1);
+          exceptions.push_back(std::move(exception));
+        }
+        if (stream->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+            stream->cache_insert) {
+          // Last snippet of this query: cache the materialized answer.
+          cache_.Put(stream->key,
+                     std::make_shared<const SearchOutput>(stream->output));
+        }
+        // Deliver last: once the barrier reports drained, the cache
+        // insertion (done by whichever task decremented to zero) has
+        // already happened — Wait() is a true completion point.
+        if (barrier != nullptr) {
+          for (std::exception_ptr& exception : exceptions) {
+            barrier->Deliver(std::move(exception));
+          }
+        }
+      });
+    }
+  }
+  sink_->Observe("pool.queue_depth",
+                 static_cast<double>(pool_.queue_depth()));
+  return outputs;
+}
+
+Result<SearchOutput> SodaEngine::SearchAsync(const std::string& query,
+                                             SnippetCallback on_snippet,
+                                             SnippetBarrier* barrier) const {
+  std::vector<Result<SearchOutput>> outputs =
+      SearchAllAsync(std::span<const std::string>(&query, 1),
+                     std::move(on_snippet), barrier);
+  return std::move(outputs[0]);
 }
 
 }  // namespace soda

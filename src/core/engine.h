@@ -1,4 +1,5 @@
-// SodaEngine — the concurrent, cached service layer over the pipeline.
+// SodaEngine — the concurrent, cached, observable service layer over the
+// pipeline.
 //
 // Soda::Search runs the Figure 4 stage list serially. The engine wraps
 // the same Soda instance for service-style deployments (think Sigma-style
@@ -7,33 +8,104 @@
 //
 //   1. an LRU result cache keyed on the whitespace-normalized query
 //      string (case is kept: comparison literals are case-sensitive) —
-//      repeated
-//      business queries (dashboards, saved searches) short-circuit the
-//      whole pipeline; hit/miss counters are surfaced on every response;
+//      repeated business queries (dashboards, saved searches)
+//      short-circuit the whole pipeline; hit/miss counters are surfaced
+//      on every response;
 //   2. a fixed-size worker pool that fans the ranked interpretations out
 //      across Steps 3-5 (tables/filters/SQL are independent per
-//      interpretation — the serial per-interpretation loop is the latency
-//      bottleneck on multi-interpretation queries) and parallelizes
-//      snippet execution across result candidates;
+//      interpretation) and parallelizes snippet execution across result
+//      candidates;
 //   3. a deterministic merge: states are recombined in ranked order and
 //      deduplicated with CanonicalKey, so the ranked SQL list is
-//      byte-identical whether num_threads is 1 or N.
+//      byte-identical whether num_threads is 1 or N;
+//   4. a batched front door — SearchAll admits a whole dashboard refresh
+//      at once, dedups identical normalized queries inside the batch
+//      (Steps 1-5 run once per unique query; repeats cost one cache hit),
+//      and flattens every (query, interpretation) pair into one shared
+//      task list so the pool load-balances across the batch;
+//   5. async snippet streaming — SearchAsync/SearchAllAsync return the
+//      translated, ranked SQL immediately and deliver each executed
+//      snippet through a SnippetCallback as the pool finishes it, with a
+//      SnippetBarrier as the deterministic completion point;
+//   6. pluggable observability — every stage latency, cache hit/miss,
+//      batch dedup, snippet outcome and queue-depth sample flows into a
+//      MetricsSink (default: in-memory counters + histograms, snapshot
+//      via metrics_snapshot()).
 //
-// The engine is safe to share across caller threads: Search is const,
-// the cache is internally locked, and the underlying step objects are
-// stateless (the pattern matcher's memoization is mutex-guarded).
+// The engine is safe to share across caller threads: all entry points are
+// const, the cache and sink are internally locked, and the underlying
+// step objects are stateless (the pattern matcher's memoization is
+// mutex-guarded).
 
 #ifndef SODA_CORE_ENGINE_H_
 #define SODA_CORE_ENGINE_H_
 
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <initializer_list>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/lru_cache.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/soda.h"
 
 namespace soda {
+
+/// Delivered once per (query_index, result_index) pair by the async entry
+/// points, after that result's snippet finished executing (or was skipped
+/// because execution is disabled — check result.executed). Invoked from
+/// pool threads (or the caller's thread on inline pools); implementations
+/// must be thread-safe across results. Exceptions thrown by the callback
+/// are caught, counted on the barrier, and never abort the stream.
+using SnippetCallback = std::function<void(
+    size_t query_index, size_t result_index, const SodaResult& result)>;
+
+/// Completion barrier for async snippet streaming. One barrier can span
+/// several SearchAsync/SearchAllAsync submissions; Wait() returns once
+/// every expected callback has been delivered (including ones that
+/// threw). The barrier must outlive the engine calls it was passed to and
+/// must not be destroyed before Wait() has returned.
+class SnippetBarrier {
+ public:
+  SnippetBarrier() = default;
+  SnippetBarrier(const SnippetBarrier&) = delete;
+  SnippetBarrier& operator=(const SnippetBarrier&) = delete;
+
+  /// Blocks until every expected snippet callback has been delivered.
+  /// Deterministic: after Wait() returns, no further callbacks fire for
+  /// the submissions registered so far.
+  void Wait();
+
+  /// Callbacks registered but not yet delivered.
+  size_t pending() const;
+  /// Callbacks delivered so far (throwing ones included).
+  size_t delivered() const;
+  /// Callbacks that exited via an exception. The stream keeps draining;
+  /// the first exception is retained for inspection.
+  size_t callback_exceptions() const;
+  std::exception_ptr first_exception() const;
+
+ private:
+  friend class SodaEngine;
+
+  void Expect(size_t n);
+  void Deliver(std::exception_ptr exception);
+
+  mutable std::mutex mu_;
+  std::condition_variable done_;
+  size_t expected_ = 0;
+  size_t delivered_ = 0;
+  size_t exceptions_ = 0;
+  std::exception_ptr first_exception_;
+};
 
 class SodaEngine {
  public:
@@ -53,9 +125,65 @@ class SodaEngine {
   /// engine-lifetime cache counters and the pool width.
   Result<SearchOutput> Search(const std::string& query) const;
 
+  /// Batched search: one dashboard refresh in, per-query outputs out, in
+  /// input order. Identical normalized queries inside the batch are
+  /// deduplicated before the cache is touched — the pipeline runs once
+  /// per unique query and repeats are booked as one miss + N-1 hits.
+  /// Step-1/2 lookup runs once per unique query across the pool, then
+  /// every (query, interpretation) pair joins one flat task list, so a
+  /// batch of narrow queries parallelizes as well as one wide query.
+  /// Per-query failures (e.g. a malformed query) error only their own
+  /// slot. Results are byte-identical to N independent Search calls at
+  /// any thread count.
+  std::vector<Result<SearchOutput>> SearchAll(
+      std::span<const std::string> queries) const;
+
+  /// Brace-list convenience: engine.SearchAll({"a", "b"}).
+  std::vector<Result<SearchOutput>> SearchAll(
+      std::initializer_list<std::string> queries) const {
+    return SearchAll(
+        std::span<const std::string>(queries.begin(), queries.size()));
+  }
+
+  /// Async search: returns the translated, ranked SQL immediately —
+  /// results carry executed=false and empty snippets (unless served from
+  /// cache, which already holds them) — then executes snippets on the
+  /// pool, delivering each through `on_snippet` exactly once per result.
+  /// `barrier` (required) is the completion point; once the last snippet
+  /// of a query lands, the fully materialized output is inserted into
+  /// the result cache. query_index is always 0 for this entry point.
+  Result<SearchOutput> SearchAsync(const std::string& query,
+                                   SnippetCallback on_snippet,
+                                   SnippetBarrier* barrier) const;
+
+  /// Batched async search: SearchAll's dedup/amortization for the
+  /// translation phase, snippet streaming for the execution phase. Each
+  /// input index receives exactly one callback per result in its output;
+  /// deduplicated repeats share one snippet execution but still get
+  /// their own callbacks (with their own query_index).
+  std::vector<Result<SearchOutput>> SearchAllAsync(
+      std::span<const std::string> queries, SnippetCallback on_snippet,
+      SnippetBarrier* barrier) const;
+
   /// Cache observability and control.
   CacheStats cache_stats() const { return cache_.stats(); }
   void ClearCache() const { cache_.Clear(); }
+
+  /// Replaces the metrics sink (statsd/Prometheus exporters plug in
+  /// here). Not thread-safe with respect to in-flight searches — install
+  /// the sink before serving traffic. Passing nullptr restores the
+  /// built-in in-memory sink.
+  void set_metrics_sink(std::shared_ptr<MetricsSink> sink);
+
+  /// The active sink.
+  MetricsSink* metrics_sink() const { return sink_.get(); }
+
+  /// Snapshot of the built-in in-memory sink. When a custom sink is
+  /// installed the built-in one stops receiving events and this freezes;
+  /// snapshot the custom sink through its own interface instead.
+  MetricsSnapshot metrics_snapshot() const {
+    return default_sink_->Snapshot();
+  }
 
   /// Effective parallelism: worker count, or 1 when running inline.
   size_t num_threads() const;
@@ -63,9 +191,37 @@ class SodaEngine {
   const Soda& soda() const { return *soda_; }
 
  private:
+  struct BatchItem;
+
+  /// Shared translation core of the batch entry points: normalize +
+  /// dedup, probe the cache per unique key, then run Steps 1-2 per miss
+  /// and Steps 3-5 over the flattened (miss, interpretation) task list.
+  /// Outputs are translated but not executed (`execute` extends the flat
+  /// fan-out to snippet execution for the sync path); nothing is written
+  /// to the cache — callers insert when their snippets are materialized.
+  std::vector<BatchItem> TranslateBatch(std::span<const std::string> queries,
+                                        bool execute) const;
+
+  /// Expands per-unique BatchItems into per-input-index outputs, booking
+  /// dedup repeats as cache hits and stamping the lifetime counters.
+  /// `mark_dedup_as_cached` sets from_cache on in-batch repeats — true
+  /// for the sync path (repeats are materialized), false for async
+  /// (repeats are still-unexecuted translations).
+  /// `batch_start` stamps cache-served responses with this call's own
+  /// elapsed wall time (computed outputs already carry the batch wall).
+  std::vector<Result<SearchOutput>> ExpandBatch(
+      std::vector<BatchItem> items, size_t query_count,
+      bool mark_dedup_as_cached,
+      std::chrono::steady_clock::time_point batch_start) const;
+
   std::unique_ptr<Soda> soda_;
-  mutable ThreadPool pool_;
   mutable LruCache<std::string, SearchOutput> cache_;
+  std::shared_ptr<InMemoryMetricsSink> default_sink_;
+  std::shared_ptr<MetricsSink> sink_;
+  // Declared last: the pool's destructor drains queued async snippet
+  // tasks, which still touch the cache and the sink above — they must
+  // outlive the workers.
+  mutable ThreadPool pool_;
 };
 
 }  // namespace soda

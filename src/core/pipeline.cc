@@ -10,6 +10,22 @@
 
 namespace soda {
 
+namespace {
+
+// One "stage.<name>.ms" latency sample. The small concatenation is the
+// only allocation on the metrics path; stage names are short enough for
+// SSO-adjacent cheapness and the sample itself is mutex-bounded anyway.
+void ObserveStage(MetricsSink* metrics, std::string_view stage_name,
+                  double ms) {
+  if (metrics == nullptr) return;
+  std::string name = "stage.";
+  name += stage_name;
+  name += ".ms";
+  metrics->Observe(name, ms);
+}
+
+}  // namespace
+
 void StepTimings::Add(std::string_view stage_name, double ms) {
   if (stage_name == "lookup") {
     lookup_ms += ms;
@@ -204,6 +220,7 @@ void RunInterpretationStages(const std::vector<const PipelineStage*>& stages,
     auto t0 = std::chrono::steady_clock::now();
     Status st = stage->RunOne(ctx, state);
     double ms = MsSince(t0);
+    ObserveStage(ctx.metrics, stage->name(), ms);
     if (stage->name() == "tables") {
       state->tables_ms += ms;
     } else if (stage->name() == "filters") {
@@ -226,7 +243,9 @@ Status RunQueryStages(const std::vector<const PipelineStage*>& stages,
     if (stage->per_interpretation()) continue;
     auto t0 = std::chrono::steady_clock::now();
     SODA_RETURN_NOT_OK(stage->Run(ctx));
-    ctx->timings.Add(stage->name(), MsSince(t0));
+    double ms = MsSince(t0);
+    ctx->timings.Add(stage->name(), ms);
+    ObserveStage(ctx->metrics, stage->name(), ms);
   }
   return Status::OK();
 }

@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/config.h"
 #include "core/filters_step.h"
@@ -139,6 +140,12 @@ struct QueryContext {
 
   std::string raw_query;
   const SodaConfig* config = nullptr;
+
+  /// Optional observability sink. When set, the drivers observe one
+  /// "stage.<name>.ms" latency sample per stage execution (query-level
+  /// stages once, per-interpretation stages once per state). Must be
+  /// thread-safe: the engine observes from worker threads.
+  MetricsSink* metrics = nullptr;
 
   InputQuery parsed;
   LookupOutput lookup;

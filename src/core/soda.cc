@@ -40,33 +40,53 @@ Soda::Soda(const Database* db, const MetadataGraph* graph,
              filters_stage_.get(), sql_stage_.get()};
 }
 
-void Soda::ExecuteSnippet(SodaResult* result) const {
+void Soda::ExecuteSnippet(SodaResult* result, MetricsSink* metrics) const {
   SelectStatement limited = result->statement;
   if (!limited.limit.has_value() ||
       *limited.limit > static_cast<int64_t>(config_.snippet_rows)) {
     limited.limit = static_cast<int64_t>(config_.snippet_rows);
   }
-  Result<ResultSet> rs = executor_->Execute(limited);
+  ExecStats stats;
+  Result<ResultSet> rs = executor_->Execute(limited, &stats);
   result->executed = rs.ok();
   result->execution_status = rs.status();
   if (rs.ok()) result->snippet = std::move(*rs);
+  if (metrics != nullptr && rs.ok()) {
+    metrics->Observe("executor.rows", static_cast<double>(stats.rows_output));
+    metrics->Observe("executor.tables", static_cast<double>(stats.tables));
+  }
 }
 
-Result<SearchOutput> Soda::Search(const std::string& query) const {
+Result<SearchOutput> Soda::Search(const std::string& query,
+                                  MetricsSink* metrics) const {
   SODA_RETURN_NOT_OK(init_status_);
 
   auto t_start = std::chrono::steady_clock::now();
   QueryContext ctx(query);
   ctx.config = &config_;
+  ctx.metrics = metrics;
   SODA_RETURN_NOT_OK(RunPipeline(stages_, &ctx));
   SearchOutput output = FinalizeOutput(std::move(ctx));
 
   if (config_.execute_snippets && db_ != nullptr) {
     auto t_exec = std::chrono::steady_clock::now();
-    for (SodaResult& result : output.results) ExecuteSnippet(&result);
+    for (SodaResult& result : output.results) {
+      ExecuteSnippet(&result, metrics);
+      if (metrics != nullptr) {
+        metrics->IncrementCounter(
+            result.executed ? "snippet.executed" : "snippet.failed", 1);
+      }
+    }
     output.timings.execute_ms = MsSince(t_exec);
+    if (metrics != nullptr) {
+      metrics->Observe("stage.execute.ms", output.timings.execute_ms);
+    }
   }
   output.timings.wall_ms = MsSince(t_start);
+  if (metrics != nullptr) {
+    metrics->IncrementCounter("soda.search", 1);
+    metrics->Observe("search.wall.ms", output.timings.wall_ms);
+  }
   return output;
 }
 

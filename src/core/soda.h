@@ -92,7 +92,18 @@ class Soda {
   /// list from stages(), executed serially, followed by snippet
   /// execution. Thread-safe: Search is const and all mutable state lives
   /// in the per-call QueryContext.
-  Result<SearchOutput> Search(const std::string& query) const;
+  Result<SearchOutput> Search(const std::string& query) const {
+    return Search(query, nullptr);
+  }
+
+  /// As Search, additionally streaming per-stage latency samples
+  /// ("stage.<name>.ms", including "stage.execute.ms") and snippet
+  /// outcome counters into `metrics`. nullptr disables observation. This
+  /// is the library-style hook for deployments that want fleet metrics
+  /// without the engine; the SodaEngine wires the same sink through its
+  /// own concurrent drivers.
+  Result<SearchOutput> Search(const std::string& query,
+                              MetricsSink* metrics) const;
 
   /// The ordered stage list (lookup, rank, tables, filters, sql). The
   /// SodaEngine drives these same stages concurrently.
@@ -102,8 +113,11 @@ class Soda {
   const Status& init_status() const { return init_status_; }
 
   /// Executes `statement` with the snippet row limit and stores the
-  /// outcome on `result`. Used by both drivers after the merge.
-  void ExecuteSnippet(SodaResult* result) const;
+  /// outcome on `result`. Used by both drivers after the merge. When
+  /// `metrics` is set, executor-level distributions ("executor.rows",
+  /// "executor.tables") are observed per executed statement.
+  void ExecuteSnippet(SodaResult* result,
+                      MetricsSink* metrics = nullptr) const;
 
   /// Exposed internals for benches, tests and the example applications.
   const ClassificationIndex& classification() const {

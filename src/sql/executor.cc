@@ -738,9 +738,15 @@ bool SqlLikeMatch(const std::string& text, const std::string& pattern) {
   return p == pattern.size();
 }
 
-Result<ResultSet> Executor::Execute(const SelectStatement& stmt) const {
+Result<ResultSet> Executor::Execute(const SelectStatement& stmt,
+                                    ExecStats* stats) const {
   Evaluation eval(db_, stmt);
-  return eval.Run();
+  Result<ResultSet> rs = eval.Run();
+  if (stats != nullptr && rs.ok()) {
+    stats->rows_output = rs->rows.size();
+    stats->tables = stmt.from.size();
+  }
+  return rs;
 }
 
 Result<ResultSet> Executor::ExecuteSql(std::string_view sql) const {

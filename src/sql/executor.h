@@ -21,6 +21,15 @@
 
 namespace soda {
 
+/// Per-statement execution statistics. The engine's snippet path feeds
+/// these into its MetricsSink ("executor.rows" / "executor.tables"
+/// distributions) to make runaway generated statements — the paper's
+/// cross-product candidates — visible at the fleet level.
+struct ExecStats {
+  size_t rows_output = 0;  // result rows before the caller's snippet cut
+  size_t tables = 0;       // FROM entries the statement touched
+};
+
 /// Stateless query executor bound to a catalog. Execute/ExecuteSql are
 /// const and keep all evaluation state on the stack, so one Executor is
 /// safe to share across threads — the SodaEngine runs concurrent snippet
@@ -29,8 +38,10 @@ class Executor {
  public:
   explicit Executor(const Database* db) : db_(db) {}
 
-  /// Runs `stmt` and materializes the full result.
-  Result<ResultSet> Execute(const SelectStatement& stmt) const;
+  /// Runs `stmt` and materializes the full result. `stats` (optional)
+  /// receives execution statistics on success.
+  Result<ResultSet> Execute(const SelectStatement& stmt,
+                            ExecStats* stats = nullptr) const;
 
   /// Convenience: parse + execute.
   Result<ResultSet> ExecuteSql(std::string_view sql) const;

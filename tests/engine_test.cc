@@ -178,6 +178,9 @@ TEST_F(EngineMiniBankTest, CreateFailsOnBrokenPatternLibrary) {
   EXPECT_EQ(search.status().code(), broken.status().code());
 }
 
+// SearchAll batch determinism (vs independent Search calls, dedup
+// accounting, async streaming) lives in tests/batch_async_test.cc.
+
 // The enterprise workload (paper Table 2) is the multi-interpretation
 // stress: every query must come back byte-identical at 1 vs N threads.
 TEST(EngineEnterpriseTest, WorkloadByteIdenticalAcrossThreadCounts) {
