@@ -1,13 +1,14 @@
-// Service demo: the SodaEngine as a shared, concurrent, cached query-
-// construction service — many user threads firing the paper's queries at
-// one engine, the way a BI front end would (interactive query building
-// over a warehouse à la Sigma Worksheet).
+// Service demo: the sharded SODA service — a folded-hash query router
+// over replicated SodaEngines, many user threads firing the paper's
+// queries at it, the way a BI front end would (interactive query
+// building over a warehouse à la Sigma Worksheet).
 //
-// Shows: worker-pool fan-out of Steps 3-5, the batched SearchAll front
-// door (one dashboard refresh = one batch, with in-batch dedup), async
-// snippet streaming behind a SnippetBarrier, the LRU result cache
-// absorbing repeated traffic, and the engine's metrics snapshot
-// (per-stage latency histograms + service counters).
+// Shows: the router splitting one dashboard refresh across shards (each
+// with its own worker pool and LRU cache, byte-identical merge back into
+// input order), async snippet streaming behind a SnippetBarrier, keyed
+// cache invalidation fanning out to every shard after a base-data
+// update, and the fleet-level metrics snapshot (per-stage histograms +
+// service counters merged across shards, plus router.* samples).
 
 #include <atomic>
 #include <cstdio>
@@ -15,7 +16,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/engine.h"
+#include "core/sharded_engine.h"
 #include "datasets/minibank.h"
 #include "pattern/library.h"
 
@@ -28,19 +29,22 @@ int main() {
   }
 
   soda::SodaConfig config;
-  config.num_threads = 4;
+  config.num_shards = 2;
+  config.num_threads = 2;
   config.cache_capacity = 32;
-  auto created = soda::SodaEngine::Create(&(*bank)->db, &(*bank)->graph,
-                                          soda::CreditSuissePatternLibrary(),
-                                          config);
+  auto created = soda::ShardedSodaEngine::Create(
+      &(*bank)->db, &(*bank)->graph, soda::CreditSuissePatternLibrary(),
+      config);
   if (!created.ok()) {
     std::fprintf(stderr, "engine construction failed: %s\n",
                  created.status().ToString().c_str());
     return 1;
   }
-  soda::SodaEngine& engine = **created;
-  std::printf("engine up: %zu worker thread(s), cache capacity %zu\n\n",
-              engine.num_threads(), engine.cache_stats().capacity);
+  soda::ShardedSodaEngine& engine = **created;
+  std::printf("router up: %zu shard(s) x %zu worker thread(s), "
+              "fleet cache capacity %zu\n\n",
+              engine.num_shards(), engine.num_threads(),
+              engine.cache_stats().capacity);
 
   // A small "dashboard" of queries every simulated user keeps refreshing.
   const std::vector<std::string> dashboard = {
@@ -93,11 +97,25 @@ int main() {
   auto warm = engine.Search(dashboard[0]);
   if (warm.ok()) {
     std::printf("\nwarm '%s':\n  from_cache=%d wall=%.3f ms "
-                "(lifetime: %zu hits / %zu misses, %zu threads)\n",
+                "(owning shard: %zu hits / %zu misses, %zu threads)\n",
                 dashboard[0].c_str(), warm->from_cache ? 1 : 0,
                 warm->timings.wall_ms, warm->cache_hits, warm->cache_misses,
                 warm->threads_used);
   }
+
+  // Base-data update: the investments table changed, so evict exactly the
+  // cached answers that mention it — on whichever shard they live — and
+  // leave the rest of the fleet's cache warm.
+  size_t evicted = engine.InvalidateWhere([](const std::string& key) {
+    return key.find("investments") != std::string::npos;
+  });
+  auto recomputed = engine.Search(dashboard[1]);
+  std::printf("---- keyed invalidation ---------------------------------\n"
+              "  InvalidateWhere(\"investments\") evicted %zu entr%s; "
+              "'%s' now served from %s\n",
+              evicted, evicted == 1 ? "y" : "ies", dashboard[1].c_str(),
+              recomputed.ok() && recomputed->from_cache ? "cache"
+                                                        : "pipeline");
 
   // Async snippet streaming: translated, ranked SQL comes back at once;
   // snippets arrive through the callback as the pool executes them, and

@@ -23,13 +23,26 @@ namespace soda {
 struct CacheStats {
   size_t hits = 0;
   size_t misses = 0;
-  size_t evictions = 0;
+  size_t evictions = 0;      // capacity-driven LRU evictions
+  size_t invalidations = 0;  // keyed evictions via EraseIf
   size_t size = 0;
   size_t capacity = 0;
 
   double hit_rate() const {
     size_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+
+  /// Elementwise sum — how a sharded deployment aggregates its replicas'
+  /// books into one view (capacity sums too: it is the fleet's total).
+  CacheStats& operator+=(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    invalidations += other.invalidations;
+    size += other.size;
+    capacity += other.capacity;
+    return *this;
   }
 };
 
@@ -92,12 +105,36 @@ class LruCache {
     order_.clear();
   }
 
+  /// Keyed eviction: drops every entry whose key satisfies `pred` and
+  /// returns how many were dropped. This is the cache-invalidation hook —
+  /// when base data changes, the engine evicts exactly the answers the
+  /// change can affect instead of nuking the whole cache. The predicate
+  /// runs under the cache lock, so it must be cheap and must not touch
+  /// the cache; in-flight readers keep their shared_ptr payloads alive.
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t erased = 0;
+    for (auto it = order_.begin(); it != order_.end();) {
+      if (pred(it->first)) {
+        map_.erase(it->first);
+        it = order_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    invalidations_ += erased;
+    return erased;
+  }
+
   CacheStats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     CacheStats s;
     s.hits = hits_;
     s.misses = misses_;
     s.evictions = evictions_;
+    s.invalidations = invalidations_;
     s.size = map_.size();
     s.capacity = capacity_;
     return s;
@@ -119,6 +156,7 @@ class LruCache {
   size_t hits_ = 0;
   size_t misses_ = 0;
   size_t evictions_ = 0;
+  size_t invalidations_ = 0;
 };
 
 }  // namespace soda

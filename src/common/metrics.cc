@@ -30,6 +30,22 @@ double HistogramSnapshot::Percentile(double p) const {
   return max;
 }
 
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0 || other.min < min) min = other.min;
+  if (count == 0 || other.max > max) max = other.max;
+  count += other.count;
+  sum += other.sum;
+  for (size_t b = 0; b < buckets.size(); ++b) buckets[b] += other.buckets[b];
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, h] : other.histograms) {
+    histograms[name].MergeFrom(h);
+  }
+}
+
 uint64_t MetricsSnapshot::counter(const std::string& name) const {
   auto it = counters.find(name);
   return it == counters.end() ? 0 : it->second;

@@ -64,6 +64,12 @@ struct HistogramSnapshot {
   /// the upper bound of the bucket holding that rank — an upper bound on
   /// the true value, exact enough for dashboard-style latency reporting.
   double Percentile(double p) const;
+
+  /// Folds `other` into this distribution. Exact for count/sum/min/max
+  /// and, because every sink shares the fixed kHistogramBounds grid, for
+  /// the buckets too — merging N shard histograms loses nothing over
+  /// observing every sample into one sink.
+  void MergeFrom(const HistogramSnapshot& other);
 };
 
 /// Point-in-time copy of everything a sink has aggregated. Ordered maps
@@ -83,6 +89,11 @@ struct MetricsSnapshot {
   /// Human-readable dump, one metric per line — what service_demo and the
   /// bench smoke-run print (CI greps this output for required counters).
   std::string ToString() const;
+
+  /// Folds `other` into this snapshot: counters add, histograms merge
+  /// bucket-by-bucket. The sharded router uses this to present N replica
+  /// sinks (plus its own router.* samples) as one fleet-level view.
+  void MergeFrom(const MetricsSnapshot& other);
 };
 
 /// Default sink: counters + fixed-bucket histograms behind one mutex.

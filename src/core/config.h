@@ -59,6 +59,16 @@ struct SodaConfig {
   /// SodaEngine: capacity of the LRU result cache, keyed on the
   /// whitespace-normalized query string. 0 disables caching.
   size_t cache_capacity = 128;
+
+  /// ShardedSodaEngine: how many SodaEngine replicas the router fronts.
+  /// Each shard gets its own worker pool (num_threads wide; with
+  /// num_threads=0 the router divides the hardware concurrency across
+  /// shards so the fleet's worker count roughly matches the machine) and
+  /// its own LRU cache (cache_capacity entries); a query's cache entry
+  /// lives on exactly one shard, picked by a folded hash of the
+  /// normalized query string. 0 and 1 both mean a single shard. Plain
+  /// SodaEngine ignores this knob.
+  size_t num_shards = 1;
 };
 
 }  // namespace soda

@@ -18,16 +18,15 @@ size_t ResolveThreads(size_t configured) {
   return hw == 0 ? 1 : hw;
 }
 
-// Cache key: whitespace runs collapsed — the input tokenizer splits on
-// whitespace, so reformatted repeats are the same query. Case is NOT
-// folded: comparison literals ("family name = Meier") compare
-// case-sensitively in the executor, so differently-cased queries can
-// have genuinely different answers.
-std::string CacheKey(const std::string& query) {
+}  // namespace
+
+// Whitespace runs collapsed — the input tokenizer splits on whitespace,
+// so reformatted repeats are the same query (see the header for why case
+// is kept). The single definition shared by the cache, the sharded
+// router and the invalidation hooks.
+std::string NormalizedQueryKey(const std::string& query) {
   return Join(SplitWhitespace(query), " ");
 }
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // SnippetBarrier
@@ -100,6 +99,13 @@ size_t SodaEngine::num_threads() const {
   return pool_.size() == 0 ? 1 : pool_.size();
 }
 
+size_t SodaEngine::InvalidateWhere(
+    const std::function<bool(const std::string&)>& pred) const {
+  size_t erased = cache_.EraseIf(pred);
+  sink_->IncrementCounter("cache.invalidated", erased);
+  return erased;
+}
+
 // ---------------------------------------------------------------------------
 // Single-query path
 // ---------------------------------------------------------------------------
@@ -109,7 +115,7 @@ Result<SearchOutput> SodaEngine::Search(const std::string& query) const {
   auto t_start = std::chrono::steady_clock::now();
   sink_->IncrementCounter("engine.search", 1);
 
-  const std::string key = CacheKey(query);
+  const std::string key = NormalizedQueryKey(query);
   if (std::shared_ptr<const SearchOutput> cached = cache_.Get(key)) {
     // Deliberate copy: the payload is bounded (top_n statements x
     // snippet_rows rows) and the response needs its own counter fields;
@@ -193,7 +199,7 @@ std::vector<SodaEngine::BatchItem> SodaEngine::TranslateBatch(
   std::vector<BatchItem> items;
   std::unordered_map<std::string, size_t> item_of_key;
   for (size_t i = 0; i < queries.size(); ++i) {
-    std::string key = CacheKey(queries[i]);
+    std::string key = NormalizedQueryKey(queries[i]);
     auto [it, inserted] = item_of_key.emplace(std::move(key), items.size());
     if (inserted) {
       BatchItem item;

@@ -59,6 +59,15 @@
 
 namespace soda {
 
+/// The engine's cache key and the sharded router's routing key:
+/// whitespace runs collapsed to single spaces, ends trimmed. Case is NOT
+/// folded — comparison literals ("family name = Meier") compare
+/// case-sensitively in the executor, so differently-cased queries can
+/// have genuinely different answers. Exposed so the router, the
+/// invalidation predicates handed to InvalidateWhere, and the tests all
+/// agree on exactly the bytes that get hashed and cached.
+std::string NormalizedQueryKey(const std::string& query);
+
 /// Delivered once per (query_index, result_index) pair by the async entry
 /// points, after that result's snippet finished executing (or was skipped
 /// because execution is disabled — check result.executed). Invoked from
@@ -168,6 +177,19 @@ class SodaEngine {
   /// Cache observability and control.
   CacheStats cache_stats() const { return cache_.stats(); }
   void ClearCache() const { cache_.Clear(); }
+
+  /// Keyed cache invalidation: evicts every cached answer whose
+  /// normalized query key (see NormalizedQueryKey) satisfies `pred`, and
+  /// returns how many entries were dropped. This is the base-data update
+  /// hook for mutable warehouses — on a table refresh, evict the queries
+  /// that mention it instead of clearing the whole cache. Safe to call
+  /// concurrently with Search traffic: the predicate runs under the
+  /// cache lock (keep it cheap; it must not call back into the engine),
+  /// and in-flight readers keep their payloads alive. Note async
+  /// streaming inserts into the cache after its barrier drains, so
+  /// invalidate after Wait() to cover in-flight async answers.
+  size_t InvalidateWhere(
+      const std::function<bool(const std::string&)>& pred) const;
 
   /// Replaces the metrics sink (statsd/Prometheus exporters plug in
   /// here). Not thread-safe with respect to in-flight searches — install

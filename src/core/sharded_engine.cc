@@ -1,0 +1,230 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+namespace soda {
+
+namespace {
+
+// 64-bit FNV-1a over the key bytes. Deliberately not std::hash: the
+// router's shard map must be identical across standard libraries and
+// runs, so tests (and any external placement logic) can rely on it.
+uint64_t Fnv1a64(const std::string& key) {
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  for (unsigned char c : key) {
+    hash ^= static_cast<uint64_t>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+}  // namespace
+
+size_t ShardOfKey(const std::string& normalized_key, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  uint64_t hash = Fnv1a64(normalized_key);
+  // Fold to 32 bits: FNV's low bits mix slowly for short keys, so xor
+  // the halves before the modulo to keep small shard counts balanced.
+  uint32_t folded = static_cast<uint32_t>(hash >> 32) ^
+                    static_cast<uint32_t>(hash & 0xffffffffull);
+  return static_cast<size_t>(folded % num_shards);
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<ShardedSodaEngine>> ShardedSodaEngine::Create(
+    const Database* db, const MetadataGraph* graph, PatternLibrary patterns,
+    SodaConfig config) {
+  size_t num_shards = config.num_shards == 0 ? 1 : config.num_shards;
+  // num_threads=0 means "use the hardware" — for a fleet that must mean
+  // the hardware divided across shards, not multiplied by them (8 shards
+  // on a 64-core box should build ~64 workers, not 512).
+  if (config.num_threads == 0 && num_shards > 1) {
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    config.num_threads = std::max<size_t>(1, hw / num_shards);
+  }
+  std::vector<std::unique_ptr<SodaEngine>> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    SODA_ASSIGN_OR_RETURN(
+        std::unique_ptr<SodaEngine> shard,
+        SodaEngine::Create(db, graph, patterns, config));
+    shards.push_back(std::move(shard));
+  }
+  return std::make_unique<ShardedSodaEngine>(std::move(shards));
+}
+
+ShardedSodaEngine::ShardedSodaEngine(
+    std::vector<std::unique_ptr<SodaEngine>> shards)
+    : shards_(std::move(shards)),
+      router_sink_(std::make_shared<InMemoryMetricsSink>()),
+      dispatch_pool_(shards_.size()) {
+  assert(!shards_.empty() && "router needs at least one shard");
+  for (const std::unique_ptr<SodaEngine>& shard : shards_) {
+    assert(shard != nullptr && "null shard");
+    (void)shard;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Routed entry points
+// ---------------------------------------------------------------------------
+
+Result<SearchOutput> ShardedSodaEngine::Search(const std::string& query) const {
+  size_t shard = ShardOfKey(NormalizedQueryKey(query), shards_.size());
+  router_sink_->IncrementCounter("router.shard_queries", 1);
+  return shards_[shard]->Search(query);
+}
+
+std::vector<Result<SearchOutput>> ShardedSodaEngine::SearchAll(
+    std::span<const std::string> queries) const {
+  return DispatchBatch(queries, /*async=*/false, nullptr, nullptr);
+}
+
+std::vector<Result<SearchOutput>> ShardedSodaEngine::SearchAllAsync(
+    std::span<const std::string> queries, SnippetCallback on_snippet,
+    SnippetBarrier* barrier) const {
+  return DispatchBatch(queries, /*async=*/true, std::move(on_snippet),
+                       barrier);
+}
+
+std::vector<Result<SearchOutput>> ShardedSodaEngine::DispatchBatch(
+    std::span<const std::string> queries, bool async,
+    SnippetCallback on_snippet, SnippetBarrier* barrier) const {
+  if (queries.empty()) return {};
+
+  // Single shard (the config default): no routing to do — delegate on
+  // the caller's span and skip the copy/merge machinery. Callback
+  // indices are already global.
+  if (shards_.size() == 1) {
+    router_sink_->IncrementCounter("router.batches", 1);
+    router_sink_->IncrementCounter("router.shard_queries", queries.size());
+    router_sink_->Observe("router.shard_batch_size",
+                          static_cast<double>(queries.size()));
+    return async ? shards_[0]->SearchAllAsync(queries, std::move(on_snippet),
+                                              barrier)
+                 : shards_[0]->SearchAll(queries);
+  }
+
+  // Split the batch by routing key. Sub-batches keep input order, so a
+  // shard sees its queries exactly as a single engine would have (dedup
+  // keeps first-occurrence semantics).
+  std::vector<std::vector<std::string>> sub_queries(shards_.size());
+  std::vector<std::vector<size_t>> sub_indices(shards_.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    size_t shard = ShardOfKey(NormalizedQueryKey(queries[i]), shards_.size());
+    sub_queries[shard].push_back(queries[i]);
+    sub_indices[shard].push_back(i);
+  }
+
+  router_sink_->IncrementCounter("router.batches", 1);
+  router_sink_->IncrementCounter("router.shard_queries", queries.size());
+  std::vector<size_t> occupied;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (sub_queries[s].empty()) continue;
+    occupied.push_back(s);
+    router_sink_->Observe("router.shard_batch_size",
+                          static_cast<double>(sub_queries[s].size()));
+  }
+
+  // Run every occupied shard's sub-batch concurrently on the router's
+  // persistent dispatch pool (the caller thread participates, so
+  // progress is guaranteed even under concurrent batches). Shards are
+  // shared-nothing (own pool, own cache, own sink), so this is pure
+  // fan-out. For the async path this covers the translation phase only —
+  // each shard registers its callbacks on `barrier` before its SearchAll
+  // returns, so by the time we return the barrier's expectation is
+  // complete and snippets keep streaming from every shard's pool.
+  std::vector<std::vector<Result<SearchOutput>>> sub_outputs(shards_.size());
+  auto run_shard = [&](size_t s) {
+    std::span<const std::string> sub(sub_queries[s]);
+    if (async) {
+      SnippetCallback remapped;
+      if (on_snippet) {
+        // By value: the callback outlives this call — snippets stream
+        // from the shard's pool long after the sub-batch vectors die.
+        remapped = [to_global = sub_indices[s], callback = on_snippet](
+                       size_t query_index, size_t result_index,
+                       const SodaResult& result) {
+          callback(to_global[query_index], result_index, result);
+        };
+      }
+      sub_outputs[s] =
+          shards_[s]->SearchAllAsync(sub, std::move(remapped), barrier);
+    } else {
+      sub_outputs[s] = shards_[s]->SearchAll(sub);
+    }
+  };
+  dispatch_pool_.ParallelFor(occupied.size(),
+                             [&](size_t k) { run_shard(occupied[k]); });
+
+  // Re-merge into input order.
+  std::vector<Result<SearchOutput>> outputs(
+      queries.size(), Result<SearchOutput>(Status::Internal("unrouted query")));
+  for (size_t s : occupied) {
+    for (size_t k = 0; k < sub_indices[s].size(); ++k) {
+      outputs[sub_indices[s][k]] = std::move(sub_outputs[s][k]);
+    }
+  }
+  return outputs;
+}
+
+Result<SearchOutput> ShardedSodaEngine::SearchAsync(
+    const std::string& query, SnippetCallback on_snippet,
+    SnippetBarrier* barrier) const {
+  size_t shard = ShardOfKey(NormalizedQueryKey(query), shards_.size());
+  router_sink_->IncrementCounter("router.shard_queries", 1);
+  return shards_[shard]->SearchAsync(query, std::move(on_snippet), barrier);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregated surfaces
+// ---------------------------------------------------------------------------
+
+CacheStats ShardedSodaEngine::cache_stats() const {
+  CacheStats total;
+  for (const std::unique_ptr<SodaEngine>& shard : shards_) {
+    total += shard->cache_stats();
+  }
+  return total;
+}
+
+void ShardedSodaEngine::ClearCache() const {
+  for (const std::unique_ptr<SodaEngine>& shard : shards_) {
+    shard->ClearCache();
+  }
+}
+
+size_t ShardedSodaEngine::InvalidateWhere(
+    const std::function<bool(const std::string&)>& pred) const {
+  size_t erased = 0;
+  for (const std::unique_ptr<SodaEngine>& shard : shards_) {
+    erased += shard->InvalidateWhere(pred);
+  }
+  router_sink_->IncrementCounter("router.invalidations", erased);
+  return erased;
+}
+
+void ShardedSodaEngine::set_metrics_sink(
+    const std::shared_ptr<MetricsSink>& sink) {
+  for (const std::unique_ptr<SodaEngine>& shard : shards_) {
+    shard->set_metrics_sink(sink);
+  }
+}
+
+MetricsSnapshot ShardedSodaEngine::metrics_snapshot() const {
+  MetricsSnapshot merged = router_sink_->Snapshot();
+  for (const std::unique_ptr<SodaEngine>& shard : shards_) {
+    merged.MergeFrom(shard->metrics_snapshot());
+  }
+  return merged;
+}
+
+}  // namespace soda

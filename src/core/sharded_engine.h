@@ -1,0 +1,166 @@
+// ShardedSodaEngine — a query router over N replicated SodaEngines.
+//
+// The SODA pipeline is embarrassingly parallel across queries: every
+// engine is shared-nothing over the same `const Database*` + metadata
+// graph, so scaling past one worker pool is a routing problem, not an
+// algorithm problem. This tier fronts N SodaEngine replicas (each with
+// its own pool and its own LRU result cache) behind one engine-shaped
+// surface:
+//
+//   1. routing — every query is assigned to exactly one shard by a
+//      folded 64-bit FNV-1a hash of its whitespace-normalized string
+//      (NormalizedQueryKey). Deterministic and platform-independent, so
+//      a query's cache entry lives on exactly one shard, repeats always
+//      hit the shard that computed them, and the shard map is stable
+//      across runs and machines;
+//   2. batched admission — SearchAll splits a batch into per-shard
+//      sub-batches, runs them concurrently on a persistent router-side
+//      dispatch pool, and re-merges the per-query Results into input
+//      order. Each shard still applies its own in-batch dedup and cache,
+//      so the ranked output is byte-identical to a single engine at any
+//      shard count × thread count;
+//   3. aggregated observability — metrics_snapshot() merges every
+//      shard's sink plus the router's own samples
+//      (router.shard_batch_size, router.shard_queries, router.batches)
+//      into one fleet view; cache_stats() sums the per-shard books;
+//   4. invalidation fan-out — ClearCache() and InvalidateWhere(pred)
+//      forward to every shard, so base-data update notifications keep
+//      working when the cache is spread over N replicas.
+//
+// Thread-safety matches SodaEngine: all entry points are const and safe
+// to call from many caller threads at once.
+
+#ifndef SODA_CORE_SHARDED_ENGINE_H_
+#define SODA_CORE_SHARDED_ENGINE_H_
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+
+namespace soda {
+
+/// The router's shard choice for a *normalized* query key (callers hash
+/// NormalizedQueryKey(query), not the raw string): 64-bit FNV-1a folded
+/// to 32 bits (high xor low) before the modulo, so short keys still
+/// spread over the full shard range. Exposed for tests and for external
+/// placement logic (e.g. cache warmers) that must agree with the router.
+size_t ShardOfKey(const std::string& normalized_key, size_t num_shards);
+
+class ShardedSodaEngine {
+ public:
+  /// Builds config.num_shards SodaEngine replicas over the same catalog
+  /// and graph (each replica copies the pattern library and builds its
+  /// own indexes). Construction failures of any replica propagate.
+  /// num_shards 0 and 1 both build a single shard. With num_threads=0
+  /// ("use the hardware"), each shard gets hardware_concurrency /
+  /// num_shards workers (min 1), so the fleet's pool roughly matches the
+  /// machine instead of oversubscribing it num_shards-fold.
+  static Result<std::unique_ptr<ShardedSodaEngine>> Create(
+      const Database* db, const MetadataGraph* graph, PatternLibrary patterns,
+      SodaConfig config);
+
+  /// Wraps already-constructed replicas. `shards` must be non-empty and
+  /// hold no nulls (asserted): every routing path indexes into it.
+  explicit ShardedSodaEngine(std::vector<std::unique_ptr<SodaEngine>> shards);
+
+  /// Routes the query to its shard and delegates. Same contract as
+  /// SodaEngine::Search; repeats of one query always land on the same
+  /// shard, so its cache behaves exactly like a single engine's.
+  Result<SearchOutput> Search(const std::string& query) const;
+
+  /// Batched admission point: splits the batch by shard, runs the
+  /// occupied shards' SearchAll concurrently, and merges the per-query
+  /// outputs back into input order. Byte-identical ranked results to a
+  /// single engine; in-batch dedup still applies (identical normalized
+  /// queries route identically, so they meet in one sub-batch).
+  std::vector<Result<SearchOutput>> SearchAll(
+      std::span<const std::string> queries) const;
+
+  /// Brace-list convenience: router.SearchAll({"a", "b"}).
+  std::vector<Result<SearchOutput>> SearchAll(
+      std::initializer_list<std::string> queries) const {
+    return SearchAll(
+        std::span<const std::string>(queries.begin(), queries.size()));
+  }
+
+  /// Async admission: per-shard SearchAllAsync with the callback's
+  /// query_index remapped to the caller's batch position. All shards'
+  /// translations complete before this returns (so `barrier` has its
+  /// full expectation registered); snippets stream afterwards from every
+  /// shard's pool concurrently.
+  std::vector<Result<SearchOutput>> SearchAllAsync(
+      std::span<const std::string> queries, SnippetCallback on_snippet,
+      SnippetBarrier* barrier) const;
+
+  /// Single-query async, routed to its shard.
+  Result<SearchOutput> SearchAsync(const std::string& query,
+                                   SnippetCallback on_snippet,
+                                   SnippetBarrier* barrier) const;
+
+  /// Sum of every shard's cache books (hits/misses/dedup/invalidations;
+  /// capacity and size sum too — they describe the fleet).
+  CacheStats cache_stats() const;
+
+  /// Fans out to every shard.
+  void ClearCache() const;
+
+  /// Keyed invalidation fan-out: forwards `pred` (over normalized query
+  /// keys) to every shard and returns the total number of evicted
+  /// entries. Each key lives on exactly one shard, so the total equals
+  /// what a single engine would have evicted.
+  size_t InvalidateWhere(
+      const std::function<bool(const std::string&)>& pred) const;
+
+  /// Installs `sink` on every shard — the exporter hook for fleet
+  /// deployments (MetricsSink implementations are thread-safe, so one
+  /// instance may serve all shards). Same caveat as
+  /// SodaEngine::set_metrics_sink: install before serving traffic.
+  /// nullptr restores each shard's built-in sink. The router's own
+  /// router.* samples stay in its internal sink either way and keep
+  /// appearing in metrics_snapshot().
+  void set_metrics_sink(const std::shared_ptr<MetricsSink>& sink);
+
+  /// Fleet view: every shard's snapshot merged (counters add, histograms
+  /// merge on the shared bucket grid) plus the router's own
+  /// router.shard_batch_size / router.shard_queries / router.batches.
+  /// Shards whose built-in sink was replaced via set_metrics_sink stop
+  /// contributing new samples here — snapshot the custom sink instead.
+  MetricsSnapshot metrics_snapshot() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Per-shard worker width (all shards share one config).
+  size_t num_threads() const { return shards_.front()->num_threads(); }
+
+  /// Direct access to one replica, for tests and per-shard inspection.
+  const SodaEngine& shard(size_t i) const { return *shards_[i]; }
+
+ private:
+  /// Shared split/route/merge core of SearchAll and SearchAllAsync.
+  std::vector<Result<SearchOutput>> DispatchBatch(
+      std::span<const std::string> queries, bool async,
+      SnippetCallback on_snippet, SnippetBarrier* barrier) const;
+
+  std::vector<std::unique_ptr<SodaEngine>> shards_;
+  std::shared_ptr<InMemoryMetricsSink> router_sink_;
+  // Dispatches per-shard sub-batches (the caller thread participates in
+  // ParallelFor, so a single-shard router's pool stays inline and
+  // workerless). Persistent: no per-batch thread create/join on the
+  // serving hot path, and no std::terminate if thread creation fails
+  // mid-batch. Declared last so in-flight dispatches drain before the
+  // members they touch are destroyed.
+  mutable ThreadPool dispatch_pool_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_CORE_SHARDED_ENGINE_H_

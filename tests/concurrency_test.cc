@@ -159,6 +159,75 @@ TEST(LruCacheTest, EvictionDoesNotInvalidateReaders) {
   EXPECT_EQ(*held, 42);  // reader's shared_ptr keeps the value alive
 }
 
+TEST(LruCacheTest, EraseIfDropsExactlyMatchingKeys) {
+  LruCache<std::string, int> cache(8);
+  cache.Put("orders today", std::make_shared<const int>(1));
+  cache.Put("orders open", std::make_shared<const int>(2));
+  cache.Put("customers Zürich", std::make_shared<const int>(3));
+  size_t erased = cache.EraseIf([](const std::string& key) {
+    return key.rfind("orders", 0) == 0;
+  });
+  EXPECT_EQ(erased, 2u);
+  EXPECT_EQ(cache.Get("orders today"), nullptr);
+  EXPECT_EQ(cache.Get("orders open"), nullptr);
+  EXPECT_NE(cache.Get("customers Zürich"), nullptr);
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_EQ(stats.evictions, 0u);  // keyed eviction is booked separately
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(LruCacheTest, EraseIfPreservesRecencyOrderOfSurvivors) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", std::make_shared<const int>(1));
+  cache.Put("b", std::make_shared<const int>(2));
+  cache.Put("c", std::make_shared<const int>(3));  // evicts a; order c,b
+  EXPECT_EQ(cache.EraseIf([](const std::string& key) { return key == "x"; }),
+            0u);
+  cache.Put("d", std::make_shared<const int>(4));  // must evict b, not c
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+}
+
+TEST(LruCacheTest, EraseIfDoesNotInvalidateReaders) {
+  LruCache<std::string, int> cache(4);
+  cache.Put("a", std::make_shared<const int>(42));
+  auto held = cache.Get("a");
+  EXPECT_EQ(cache.EraseIf([](const std::string&) { return true; }), 1u);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(*held, 42);
+}
+
+TEST(LruCacheTest, ConcurrentEraseIfAgainstMixedTraffic) {
+  LruCache<std::string, int> cache(16);
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        std::string key = "k" + std::to_string((i * 7 + t) % 32);
+        if (i % 3 == 0) {
+          cache.Put(key, std::make_shared<const int>(i));
+        } else {
+          auto hit = cache.Get(key);
+          if (hit && (*hit < 0 || *hit >= 2000)) failed.store(true);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 200; ++i) {
+      cache.EraseIf([i](const std::string& key) {
+        return key == "k" + std::to_string(i % 32);
+      });
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  CacheStats stats = cache.stats();
+  EXPECT_LE(stats.size, 16u);
+}
+
 TEST(LruCacheTest, ConcurrentMixedTraffic) {
   LruCache<std::string, int> cache(16);
   std::vector<std::thread> threads;
