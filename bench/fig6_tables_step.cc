@@ -3,11 +3,30 @@
 // points (parties, individuals, organizations, addresses, and the three
 // financial-instrument tables).
 
+#include <chrono>
 #include <cstdio>
 
 #include "core/soda.h"
 #include "datasets/minibank.h"
 #include "pattern/library.h"
+
+namespace {
+
+// Per-op microseconds for TablesStep::Run over `entries`.
+double MicrosPerRun(const soda::Soda& engine,
+                    const std::vector<soda::EntryPoint>& entries,
+                    int iterations) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    auto out = engine.tables_step().Run(entries);
+    if (!out.ok()) return -1.0;
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::micro>(elapsed).count() /
+         iterations;
+}
+
+}  // namespace
 
 int main() {
   auto bank = soda::BuildMiniBank();
@@ -68,5 +87,21 @@ int main() {
   std::printf("\n%zu tables (paper: 7 — parties, individuals, organizations,"
               "\naddresses, financial_instruments, fi_contains_sec, "
               "securities)\n", total);
+
+  // Closure ablation (PR 4): the same step with the compiled closure
+  // layer (entry-point traversal memo + APSP join paths) on vs off.
+  soda::SodaConfig no_closures = config;
+  no_closures.enable_closures = false;
+  soda::Soda engine_off(&(*bank)->db, &(*bank)->graph,
+                        soda::CreditSuissePatternLibrary(), no_closures);
+  constexpr int kIterations = 2000;
+  double us_on = MicrosPerRun(engine, entries, kIterations);
+  double us_off = MicrosPerRun(engine_off, entries, kIterations);
+  std::printf("\nTables step, %d runs (identical output):\n", kIterations);
+  std::printf("  compiled closures ON    %8.2f us/run\n", us_on);
+  std::printf("  compiled closures OFF   %8.2f us/run\n", us_off);
+  if (us_on > 0.0 && us_off > 0.0) {
+    std::printf("  speedup                 %8.2fx\n", us_off / us_on);
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -337,6 +338,136 @@ BENCHMARK(BM_ShardedSearchAll)
     ->Args({2, 4})
     ->Args({4, 1})
     ->Args({4, 4});
+
+// ---------------------------------------------------------------------------
+// Compiled closures (PR 4): the full workload translated with the
+// closure layer on vs off — entry-point traversal memo, APSP join-path
+// matrices, integer-interned adjacency. Per-op CPU time is the number to
+// read (1-vCPU caveat as above); "closure_traverse_hits" and
+// "closure_path_lookups" feed the CI counter guard.
+// ---------------------------------------------------------------------------
+
+void BM_EngineClosure(benchmark::State& state) {
+  bool closures = state.range(0) != 0;
+  static std::map<bool, std::unique_ptr<soda::SodaEngine>> engines;
+  auto it = engines.find(closures);
+  if (it == engines.end()) {
+    soda::SodaConfig config;
+    config.execute_snippets = false;
+    config.enable_closures = closures;
+    config.num_threads = 1;  // serial: isolate the closure effect
+    config.cache_capacity = 0;
+    auto created = soda::SodaEngine::Create(&env()->warehouse->db,
+                                            &env()->warehouse->graph,
+                                            soda::CreditSuissePatternLibrary(),
+                                            config);
+    if (!created.ok()) {
+      std::fprintf(stderr, "failed to build closure engine: %s\n",
+                   created.status().ToString().c_str());
+      std::exit(1);
+    }
+    it = engines.emplace(closures, std::move(created).value()).first;
+  }
+  soda::SodaEngine* engine = it->second.get();
+  const auto& workload = soda::EnterpriseWorkload();
+  for (auto _ : state) {
+    for (const soda::BenchmarkQuery& bench : workload) {
+      benchmark::DoNotOptimize(engine->Search(bench.keywords));
+    }
+  }
+  soda::MetricsSnapshot snapshot = engine->metrics_snapshot();
+  state.counters["closures"] = closures ? 1.0 : 0.0;
+  state.counters["closure_traverse_hits"] =
+      static_cast<double>(snapshot.counter("closure.traverse_hits"));
+  state.counters["closure_path_lookups"] =
+      static_cast<double>(snapshot.counter("closure.path_lookups"));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+}
+BENCHMARK(BM_EngineClosure)->Arg(0)->Arg(1);
+
+// Step 3 in isolation (the Figure 6 path): one fixed entry-point set,
+// translated through TablesStep::Run with the traversal memo + APSP
+// closure on vs off.
+void BM_TablesStepClosure(benchmark::State& state) {
+  bool closures = state.range(0) != 0;
+  static std::map<bool, std::unique_ptr<soda::Soda>> sodas;
+  auto it = sodas.find(closures);
+  if (it == sodas.end()) {
+    soda::SodaConfig config;
+    config.execute_snippets = false;
+    config.enable_closures = closures;
+    auto soda = std::make_unique<soda::Soda>(
+        &env()->warehouse->db, &env()->warehouse->graph,
+        soda::CreditSuissePatternLibrary(), config);
+    it = sodas.emplace(closures, std::move(soda)).first;
+  }
+  const soda::Soda& translator = *it->second;
+  std::vector<soda::EntryPoint> entries;
+  for (const char* phrase :
+       {"private customers", "family name", "organizations"}) {
+    auto candidates = translator.classification().Lookup(phrase);
+    if (!candidates.empty()) entries.push_back(candidates.front());
+  }
+  if (entries.empty()) {
+    state.SkipWithError("no entry points resolved");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translator.tables_step().Run(entries));
+  }
+  state.counters["closures"] = closures ? 1.0 : 0.0;
+  state.counters["entry_points"] = static_cast<double>(entries.size());
+}
+BENCHMARK(BM_TablesStepClosure)->Arg(0)->Arg(1);
+
+// Join-path discovery in isolation (the Figure 9 path): DirectPath over
+// every ordered pair of the first tables of the harvested edge list —
+// matrix min-scan + reconstruction vs per-call BFS.
+void BM_JoinPathClosure(benchmark::State& state) {
+  bool closures = state.range(0) != 0;
+  static std::map<bool, std::unique_ptr<soda::Soda>> sodas;
+  auto it = sodas.find(closures);
+  if (it == sodas.end()) {
+    soda::SodaConfig config;
+    config.execute_snippets = false;
+    config.enable_closures = closures;
+    auto soda = std::make_unique<soda::Soda>(
+        &env()->warehouse->db, &env()->warehouse->graph,
+        soda::CreditSuissePatternLibrary(), config);
+    it = sodas.emplace(closures, std::move(soda)).first;
+  }
+  const soda::JoinGraph& join_graph = it->second->join_graph();
+  std::vector<std::string> tables;
+  for (const soda::JoinEdge& edge : join_graph.all_edges()) {
+    for (const std::string& table : {edge.from.table, edge.to.table}) {
+      if (std::find(tables.begin(), tables.end(), table) == tables.end()) {
+        tables.push_back(table);
+      }
+    }
+    if (tables.size() >= 12) break;
+  }
+  size_t paths = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      for (size_t j = 0; j < tables.size(); ++j) {
+        if (i == j) continue;
+        std::vector<soda::JoinEdge> path;
+        std::vector<std::string> path_tables;
+        if (join_graph.DirectPath({tables[i]}, {tables[j]}, &path,
+                                  &path_tables)) {
+          ++paths;
+        }
+        benchmark::DoNotOptimize(path);
+      }
+    }
+  }
+  state.counters["closures"] = closures ? 1.0 : 0.0;
+  state.counters["path_pairs"] =
+      static_cast<double>(tables.size() * (tables.size() - 1));
+  benchmark::DoNotOptimize(paths);
+}
+BENCHMARK(BM_JoinPathClosure)->Arg(0)->Arg(1);
 
 void BM_EngineCacheHit(benchmark::State& state) {
   soda::SodaEngine* engine = env()->engine(/*threads=*/2,

@@ -72,12 +72,16 @@ void BM_BridgeTablePatternMatchAll(benchmark::State& state) {
 }
 BENCHMARK(BM_BridgeTablePatternMatchAll);
 
+// Arg 0: pattern harvest only (comparable with pre-closure recordings).
+// Arg 1: harvest + the APSP path-closure precompute added in PR 4.
 void BM_JoinGraphBuild(benchmark::State& state) {
+  bool precompute_paths = state.range(0) != 0;
   for (auto _ : state) {
     soda::JoinGraph graph;
-    benchmark::DoNotOptimize(graph.Build(*env()->matcher));
+    benchmark::DoNotOptimize(graph.Build(*env()->matcher, precompute_paths));
   }
+  state.counters["precompute_paths"] = precompute_paths ? 1.0 : 0.0;
 }
-BENCHMARK(BM_JoinGraphBuild);
+BENCHMARK(BM_JoinGraphBuild)->Arg(0)->Arg(1);
 
 }  // namespace

@@ -210,7 +210,8 @@ if [[ "${BUILD_TYPE}" == "Release" &&
   # stopped exercising (or exporting) that path.
   for counter in threads interpretations hit_rate batch_queries \
                  dedup_hits snippets_streamed cache_hits stage_samples \
-                 shards router_shard_queries router_shard_batches; do
+                 shards router_shard_queries router_shard_batches \
+                 closure_traverse_hits closure_path_lookups; do
     if ! grep -q "${counter}" "${BENCH_OUT}"; then
       echo "bench smoke-run output is missing counter '${counter}'" >&2
       exit 1

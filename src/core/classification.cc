@@ -91,14 +91,21 @@ std::vector<EntryPoint> ClassificationIndex::Lookup(
   return result;
 }
 
+size_t ClassificationIndex::CountMatches(const std::string& phrase) const {
+  std::string key = PhraseKey(phrase);
+  if (key.empty()) return 0;
+  size_t count = 0;
+  auto it = metadata_.find(key);
+  if (it != metadata_.end()) count += it->second.size();
+  if (base_data_ != nullptr) count += base_data_->CountPhrase(key);
+  return count;
+}
+
 bool ClassificationIndex::Matches(const std::string& phrase) const {
   std::string key = PhraseKey(phrase);
   if (key.empty()) return false;
   if (metadata_.count(key) > 0) return true;
-  if (base_data_ != nullptr && !base_data_->LookupPhrase(key).empty()) {
-    return true;
-  }
-  return false;
+  return base_data_ != nullptr && base_data_->ContainsPhrase(key);
 }
 
 std::vector<std::string> ClassificationIndex::SegmentKeywords(

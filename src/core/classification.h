@@ -33,7 +33,12 @@ class ClassificationIndex {
   /// Metadata matches come first, base-data matches after.
   std::vector<EntryPoint> Lookup(const std::string& phrase) const;
 
-  /// True when the phrase matches at least one entry point.
+  /// Lookup(phrase).size() without materializing the entry points — the
+  /// complexity accounting only needs candidate counts.
+  size_t CountMatches(const std::string& phrase) const;
+
+  /// True when the phrase matches at least one entry point. Early-exits
+  /// on the first base-data hit instead of building the postings list.
   bool Matches(const std::string& phrase) const;
 
   /// Longest-word-combination segmentation (paper Section 4.2.2,

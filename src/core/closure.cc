@@ -1,0 +1,50 @@
+#include "core/closure.h"
+
+#include <cassert>
+
+namespace soda {
+
+EntryPointClosure::EntryPointClosure(size_t num_nodes) : slots_(num_nodes) {
+  for (auto& slot : slots_) {
+    slot.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+EntryPointClosure::~EntryPointClosure() {
+  for (auto& slot : slots_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+const TraverseClosure* EntryPointClosure::Find(NodeId node) const {
+  if (node < 0 || static_cast<size_t>(node) >= slots_.size()) return nullptr;
+  return slots_[static_cast<size_t>(node)].load(std::memory_order_acquire);
+}
+
+const TraverseClosure* EntryPointClosure::Publish(
+    NodeId node, std::unique_ptr<TraverseClosure> value) const {
+  assert(node >= 0 && static_cast<size_t>(node) < slots_.size());
+  std::atomic<const TraverseClosure*>& slot =
+      slots_[static_cast<size_t>(node)];
+  const TraverseClosure* expected = nullptr;
+  const TraverseClosure* fresh = value.get();
+  if (slot.compare_exchange_strong(expected, fresh,
+                                   std::memory_order_release,
+                                   std::memory_order_acquire)) {
+    value.release();  // the slot owns it now
+    return fresh;
+  }
+  // Lost a racing fill: the winner's closure is identical — use it and
+  // let `value` free the duplicate.
+  return expected;
+}
+
+size_t EntryPointClosure::filled() const {
+  size_t count = 0;
+  for (const auto& slot : slots_) {
+    if (slot.load(std::memory_order_relaxed) != nullptr) ++count;
+  }
+  return count;
+}
+
+}  // namespace soda

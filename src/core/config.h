@@ -44,6 +44,13 @@ struct SodaConfig {
   /// Execute the generated statements to produce result snippets.
   bool execute_snippets = true;
 
+  /// Compiled closures over the immutable metadata graph: the APSP
+  /// join-path matrices (JoinGraph) and the per-node Step-3 traversal
+  /// memo (EntryPointClosure). Output is byte-identical either way; off
+  /// is the escape hatch that trades the precompute time and memory for
+  /// per-query BFS work. Default on.
+  bool enable_closures = true;
+
   /// Drop result candidates whose tables cannot be connected by any join
   /// path (they would execute as cross products). The paper keeps them —
   /// they surface as the 0-precision rows of Table 3 — so this defaults

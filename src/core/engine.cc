@@ -78,9 +78,11 @@ std::exception_ptr SnippetBarrier::first_exception() const {
 
 Result<std::unique_ptr<SodaEngine>> SodaEngine::Create(
     const Database* db, const MetadataGraph* graph, PatternLibrary patterns,
-    SodaConfig config) {
-  SODA_ASSIGN_OR_RETURN(std::unique_ptr<Soda> soda,
-                        Soda::Create(db, graph, std::move(patterns), config));
+    SodaConfig config, std::shared_ptr<EntryPointClosure> shared_closure) {
+  SODA_ASSIGN_OR_RETURN(
+      std::unique_ptr<Soda> soda,
+      Soda::Create(db, graph, std::move(patterns), config,
+                   std::move(shared_closure)));
   return std::make_unique<SodaEngine>(std::move(soda));
 }
 

@@ -121,9 +121,12 @@ class SodaEngine {
   /// Builds the underlying Soda (propagating index-construction errors),
   /// the worker pool (config.num_threads; 0 = hardware concurrency) and
   /// the result cache (config.cache_capacity; 0 disables).
+  /// `shared_closure` (optional) is forwarded to Soda::Create — the
+  /// sharded router hands every replica the same traversal memo.
   static Result<std::unique_ptr<SodaEngine>> Create(
       const Database* db, const MetadataGraph* graph, PatternLibrary patterns,
-      SodaConfig config);
+      SodaConfig config,
+      std::shared_ptr<EntryPointClosure> shared_closure = nullptr);
 
   /// Wraps an already-constructed Soda.
   explicit SodaEngine(std::unique_ptr<Soda> soda);

@@ -1,8 +1,23 @@
 #include "core/graph_utils.h"
 
+#include "common/strings.h"
 #include "graph/vocab.h"
 
 namespace soda {
+
+TableId TableCatalog::Intern(const std::string& table) {
+  std::string key = FoldForMatch(table);
+  auto it = id_of_.find(key);
+  if (it != id_of_.end()) return it->second;
+  TableId id = static_cast<TableId>(id_of_.size());
+  id_of_.emplace(std::move(key), id);
+  return id;
+}
+
+TableId TableCatalog::Find(std::string_view table) const {
+  auto it = id_of_.find(FoldForMatch(table));
+  return it == id_of_.end() ? kInvalidTableId : it->second;
+}
 
 std::optional<std::string> TableNameOf(const MetadataGraph& graph,
                                        NodeId table_node) {

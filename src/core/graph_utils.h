@@ -3,8 +3,11 @@
 #ifndef SODA_CORE_GRAPH_UTILS_H_
 #define SODA_CORE_GRAPH_UTILS_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 
 #include "graph/metadata_graph.h"
 
@@ -17,6 +20,31 @@ struct PhysicalColumnRef {
 
   std::string ToString() const { return table + "." + column; }
   bool operator==(const PhysicalColumnRef&) const = default;
+};
+
+/// Dense id of a physical table inside one compiled search session.
+using TableId = uint32_t;
+inline constexpr TableId kInvalidTableId = UINT32_MAX;
+
+/// Interner mapping folded table names <-> dense TableIds. The warehouse
+/// table set is immutable during a search session, so the catalog is
+/// built once (during Soda::Create / JoinGraph::Build) and read-only
+/// afterwards — integer ids replace folded-string comparisons on every
+/// hot path that walks tables (join-path search, adjacency, APSP).
+class TableCatalog {
+ public:
+  /// Returns the id for `table` (folding it first), interning on first
+  /// use. Build-time only: not safe to call concurrently with Find.
+  TableId Intern(const std::string& table);
+
+  /// The id for `table`, or kInvalidTableId when it was never interned.
+  TableId Find(std::string_view table) const;
+
+  /// Number of interned tables (ids are 0..size()-1, dense).
+  size_t size() const { return id_of_.size(); }
+
+ private:
+  std::unordered_map<std::string, TableId> id_of_;  // folded name -> id
 };
 
 /// The table name of a physical-table node (its `tablename` label).

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <deque>
-#include <set>
+#include <utility>
 
 #include "common/strings.h"
 #include "graph/vocab.h"
@@ -10,14 +10,6 @@
 namespace soda {
 
 const std::vector<JoinEdge> JoinGraph::kEmpty;
-
-namespace {
-
-// Folded table name for adjacency keys (SQL identifiers compare
-// case-insensitively).
-std::string Key(const std::string& table) { return FoldForMatch(table); }
-
-}  // namespace
 
 void JoinGraph::AddEdge(JoinEdge edge) {
   // Deduplicate (both orientations describe the same condition).
@@ -27,12 +19,26 @@ void JoinGraph::AddEdge(JoinEdge edge) {
       return;
     }
   }
-  edges_.push_back(edge);
-  adjacency_[Key(edge.from.table)].push_back(edge);
-  adjacency_[Key(edge.to.table)].push_back(edge);
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  TableId from_id = catalog_.Intern(edge.from.table);
+  TableId to_id = catalog_.Intern(edge.to.table);
+  size_t tables = catalog_.size();
+  if (adjacency_.size() < tables) {
+    adjacency_.resize(tables);
+    edges_of_.resize(tables);
+  }
+  // Registered on both endpoints (twice on the same list for a self
+  // join), in insertion order — the order every path search iterates.
+  adjacency_[from_id].push_back(id);
+  adjacency_[to_id].push_back(id);
+  edges_of_[from_id].push_back(edge);
+  edges_of_[to_id].push_back(edge);
+  edge_ends_.emplace_back(from_id, to_id);
+  edges_.push_back(std::move(edge));
 }
 
-Status JoinGraph::Build(const PatternMatcher& matcher) {
+Status JoinGraph::Build(const PatternMatcher& matcher,
+                        bool precompute_paths) {
   const MetadataGraph& graph = *matcher.graph();
 
   // Direct foreign_key edges: pattern "foreign_key" binds x (fk column)
@@ -102,78 +108,154 @@ Status JoinGraph::Build(const PatternMatcher& matcher) {
                                      "c2", "p2"));
   SODA_RETURN_NOT_OK(harvest_bridges(patterns::kBridgeTableJoin, "c1", "p1",
                                      "c2", "p2"));
+
+  if (precompute_paths) BuildPathClosure();
   return Status::OK();
 }
 
 const std::vector<JoinEdge>& JoinGraph::EdgesOf(
     const std::string& table) const {
-  auto it = adjacency_.find(Key(table));
-  return it == adjacency_.end() ? kEmpty : it->second;
+  TableId id = catalog_.Find(table);
+  return id == kInvalidTableId ? kEmpty : edges_of_[id];
+}
+
+void JoinGraph::BfsFrom(TableId source, std::vector<uint32_t>* dist,
+                        std::vector<EdgeId>* parent) const {
+  dist->assign(catalog_.size(), kUnreachable);
+  parent->assign(catalog_.size(), kInvalidEdgeId);
+  (*dist)[source] = 0;
+  std::deque<TableId> queue;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    TableId current = queue.front();
+    queue.pop_front();
+    for (EdgeId edge_id : adjacency_[current]) {
+      if (edges_[edge_id].ignored) continue;
+      const auto& [from_id, to_id] = edge_ends_[edge_id];
+      TableId other = from_id == current ? to_id : from_id;
+      if ((*dist)[other] != kUnreachable) continue;
+      (*dist)[other] = (*dist)[current] + 1;
+      (*parent)[other] = edge_id;
+      queue.push_back(other);
+    }
+  }
+}
+
+void JoinGraph::BuildPathClosure() {
+  size_t tables = catalog_.size();
+  if (tables == 0) return;
+  dist_.assign(tables * tables, kUnreachable);
+  parent_edge_.assign(tables * tables, kInvalidEdgeId);
+  std::vector<uint32_t> dist;
+  std::vector<EdgeId> parent;
+  for (TableId source = 0; source < tables; ++source) {
+    BfsFrom(source, &dist, &parent);
+    std::copy(dist.begin(), dist.end(), dist_.begin() + source * tables);
+    std::copy(parent.begin(), parent.end(),
+              parent_edge_.begin() + source * tables);
+  }
+}
+
+void JoinGraph::EmitPath(const EdgeId* parent, TableId source, TableId target,
+                         std::vector<JoinEdge>* path_edges,
+                         std::vector<std::string>* path_tables) const {
+  // Walk back to the source, emitting in the backward order the original
+  // BFS walk produced (edges are reversed afterwards, tables are not).
+  TableId cursor = target;
+  while (cursor != source) {
+    EdgeId edge_id = parent[cursor];
+    const JoinEdge& edge = edges_[edge_id];
+    if (path_edges != nullptr) path_edges->push_back(edge);
+    if (path_tables != nullptr) {
+      path_tables->push_back(edge.from.table);
+      path_tables->push_back(edge.to.table);
+    }
+    const auto& [from_id, to_id] = edge_ends_[edge_id];
+    cursor = from_id == cursor ? to_id : from_id;
+  }
+  if (path_edges != nullptr) {
+    std::reverse(path_edges->begin(), path_edges->end());
+  }
 }
 
 bool JoinGraph::DirectPath(const std::vector<std::string>& from_set,
                            const std::vector<std::string>& to_set,
                            std::vector<JoinEdge>* path_edges,
                            std::vector<std::string>* path_tables) const {
-  std::set<std::string> targets;
-  for (const auto& t : to_set) targets.insert(Key(t));
-
-  // Multi-source BFS from from_set.
-  struct Visit {
-    std::string table;      // folded
-    std::string display;    // original casing for output
-  };
-  std::map<std::string, std::pair<std::string, JoinEdge>> parent;  // child->(parent, edge)
-  std::set<std::string> visited;
-  std::deque<Visit> queue;
+  // Overlapping sets: already connected, nothing to add. Compared on
+  // folded names (not ids) so tables the catalog never saw still match.
+  std::vector<std::string> target_keys;
+  target_keys.reserve(to_set.size());
+  for (const auto& t : to_set) target_keys.push_back(FoldForMatch(t));
   for (const auto& t : from_set) {
-    std::string k = Key(t);
-    if (visited.insert(k).second) queue.push_back(Visit{k, t});
-    if (targets.count(k) > 0) {
-      // Overlapping sets: already connected, nothing to add.
-      if (path_tables != nullptr) path_tables->push_back(t);
-      return true;
-    }
-  }
-
-  std::string reached;
-  while (!queue.empty() && reached.empty()) {
-    Visit current = queue.front();
-    queue.pop_front();
-    auto it = adjacency_.find(current.table);
-    if (it == adjacency_.end()) continue;
-    for (const JoinEdge& edge : it->second) {
-      if (edge.ignored) continue;
-      // The neighbor is whichever side is not the current table.
-      const PhysicalColumnRef& other =
-          Key(edge.from.table) == current.table ? edge.to : edge.from;
-      std::string other_key = Key(other.table);
-      if (visited.count(other_key) > 0) continue;
-      visited.insert(other_key);
-      parent[other_key] = {current.table, edge};
-      if (targets.count(other_key) > 0) {
-        reached = other_key;
-        break;
+    std::string key = FoldForMatch(t);
+    for (const auto& target : target_keys) {
+      if (key == target) {
+        if (path_tables != nullptr) path_tables->push_back(t);
+        return true;
       }
-      queue.push_back(Visit{other_key, other.table});
     }
   }
-  if (reached.empty()) return false;
 
-  // Walk back to a source.
-  std::string cursor = reached;
-  while (parent.count(cursor) > 0) {
-    const auto& [prev, edge] = parent.at(cursor);
-    if (path_edges != nullptr) path_edges->push_back(edge);
-    if (path_tables != nullptr) {
-      path_tables->push_back(edge.from.table);
-      path_tables->push_back(edge.to.table);
+  const size_t tables = catalog_.size();
+  uint32_t best_dist = kUnreachable;
+  TableId best_source = kInvalidTableId;
+  TableId best_target = kInvalidTableId;
+
+  if (has_path_closure()) {
+    // Min-scan over the precomputed distance matrix: strict improvement
+    // keeps the first (source, target) pair in set order on ties.
+    for (const auto& from : from_set) {
+      TableId source = catalog_.Find(from);
+      if (source == kInvalidTableId) continue;
+      const uint32_t* row = dist_.data() + source * tables;
+      for (const auto& to : to_set) {
+        TableId target = catalog_.Find(to);
+        if (target == kInvalidTableId) continue;
+        if (row[target] < best_dist) {
+          best_dist = row[target];
+          best_source = source;
+          best_target = target;
+        }
+      }
     }
-    cursor = prev;
+    if (best_dist == kUnreachable) return false;
+    EmitPath(parent_edge_.data() + best_source * tables, best_source,
+             best_target, path_edges, path_tables);
+    return true;
   }
-  if (path_edges != nullptr) {
-    std::reverse(path_edges->begin(), path_edges->end());
+
+  // Fallback (enable_closures off): the same rule computed per call —
+  // one BFS per distinct source, identical tie-breaking, identical path.
+  std::vector<TableId> seen_sources;
+  std::vector<uint32_t> dist;
+  std::vector<EdgeId> parent;
+  std::vector<EdgeId> best_parent;
+  for (const auto& from : from_set) {
+    TableId source = catalog_.Find(from);
+    if (source == kInvalidTableId) continue;
+    if (std::find(seen_sources.begin(), seen_sources.end(), source) !=
+        seen_sources.end()) {
+      continue;
+    }
+    seen_sources.push_back(source);
+    BfsFrom(source, &dist, &parent);
+    bool improved = false;
+    for (const auto& to : to_set) {
+      TableId target = catalog_.Find(to);
+      if (target == kInvalidTableId) continue;
+      if (dist[target] < best_dist) {
+        best_dist = dist[target];
+        best_source = source;
+        best_target = target;
+        improved = true;
+      }
+    }
+    if (improved) best_parent = parent;
   }
+  if (best_dist == kUnreachable) return false;
+  EmitPath(best_parent.data(), best_source, best_target, path_edges,
+           path_tables);
   return true;
 }
 

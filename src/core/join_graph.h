@@ -8,11 +8,21 @@
 // materialize them once into a table-level graph and run the per-query
 // direct-path computation on it. Bridge tables (two outgoing foreign keys,
 // Section 4.2.1) are detected with the bridge patterns.
+//
+// The same immutability argument is applied one level deeper: tables are
+// interned into dense TableIds (TableCatalog), adjacency is a flat
+// vector-of-EdgeId-vectors instead of a string map, and — since the
+// warehouse has only a few hundred tables (paper: 472) — all-pairs
+// shortest join paths are precomputed at Build time (one BFS per table,
+// distance + parent-edge matrices; O(T·E) build, O(path) reconstruct).
+// DirectPath then needs no per-query BFS at all: it min-scans the
+// distance matrix over the (source, target) pairs and walks the stored
+// parent chain. The string-keyed API is preserved as a thin shim.
 
 #ifndef SODA_CORE_JOIN_GRAPH_H_
 #define SODA_CORE_JOIN_GRAPH_H_
 
-#include <map>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,6 +44,10 @@ struct JoinEdge {
   bool operator==(const JoinEdge&) const = default;
 };
 
+/// Dense id of a harvested join edge (index into all_edges()).
+using EdgeId = uint32_t;
+inline constexpr EdgeId kInvalidEdgeId = UINT32_MAX;
+
 /// A bridge table with the two foreign keys that make it one.
 struct BridgeInfo {
   std::string bridge_table;
@@ -44,8 +58,11 @@ struct BridgeInfo {
 class JoinGraph {
  public:
   /// Harvests all join conditions and bridge tables from the graph using
-  /// the Foreign-Key, Join-Relationship and Bridge-Table patterns.
-  Status Build(const PatternMatcher& matcher);
+  /// the Foreign-Key, Join-Relationship and Bridge-Table patterns. With
+  /// `precompute_paths` (the default, SodaConfig::enable_closures) the
+  /// all-pairs shortest-path closure is built here too; without it
+  /// DirectPath falls back to per-call BFS with identical results.
+  Status Build(const PatternMatcher& matcher, bool precompute_paths = true);
 
   /// All join edges touching `table`.
   const std::vector<JoinEdge>& EdgesOf(const std::string& table) const;
@@ -54,6 +71,13 @@ class JoinGraph {
   /// any table in `to_set`. Ignored edges are not used. Returns the edges
   /// of the path and appends tables on the path (including endpoints) to
   /// `path_tables`. Empty result + false when no path exists.
+  ///
+  /// Deterministic pair choice: among all (from, to) pairs the one with
+  /// the fewest joins wins, ties broken by from_set order then to_set
+  /// order; the path itself is the BFS tree chain of the winning source
+  /// (fixed edge-insertion adjacency order). The closure and the BFS
+  /// fallback implement exactly the same rule, so the answer is
+  /// byte-identical whether the APSP matrices were precomputed or not.
   bool DirectPath(const std::vector<std::string>& from_set,
                   const std::vector<std::string>& to_set,
                   std::vector<JoinEdge>* path_edges,
@@ -63,12 +87,46 @@ class JoinGraph {
   const std::vector<JoinEdge>& all_edges() const { return edges_; }
   size_t num_edges() const { return edges_.size(); }
 
+  /// The table interner populated by Build (folded name -> dense id).
+  const TableCatalog& catalog() const { return catalog_; }
+  size_t num_tables() const { return catalog_.size(); }
+
+  /// True when Build precomputed the APSP distance/parent matrices and
+  /// DirectPath serves lookups without a BFS.
+  bool has_path_closure() const { return !dist_.empty(); }
+
  private:
+  /// BFS from `source` over non-ignored edges in adjacency order,
+  /// filling distances and the parent edge of every reached table.
+  /// This single routine defines the path tie-breaking: the closure
+  /// build runs it per table, the fallback runs it per call.
+  void BfsFrom(TableId source, std::vector<uint32_t>* dist,
+               std::vector<EdgeId>* parent) const;
+
+  /// Walks the parent chain target -> source, appending output exactly
+  /// like the original backward walk did.
+  void EmitPath(const EdgeId* parent, TableId source, TableId target,
+                std::vector<JoinEdge>* path_edges,
+                std::vector<std::string>* path_tables) const;
+
   void AddEdge(JoinEdge edge);
+  void BuildPathClosure();
 
   std::vector<JoinEdge> edges_;
-  std::map<std::string, std::vector<JoinEdge>> adjacency_;  // folded name
+  std::vector<std::pair<TableId, TableId>> edge_ends_;  // per EdgeId
+  TableCatalog catalog_;
+  std::vector<std::vector<EdgeId>> adjacency_;       // per TableId
+  std::vector<std::vector<JoinEdge>> edges_of_;      // EdgesOf() shim
   std::vector<BridgeInfo> bridges_;
+
+  // APSP closure (empty when Build ran with precompute_paths=false):
+  // row-major [source * num_tables + target]. dist_ counts joins
+  // (kUnreachable when disconnected); parent_edge_ is the edge that
+  // discovered `target` in BfsFrom(source).
+  static constexpr uint32_t kUnreachable = UINT32_MAX;
+  std::vector<uint32_t> dist_;
+  std::vector<EdgeId> parent_edge_;
+
   static const std::vector<JoinEdge> kEmpty;
 };
 

@@ -149,11 +149,13 @@ Result<LookupOutput> LookupStep::Run(const InputQuery& query) const {
   for (const InputElement& element : query.elements) {
     if (element.kind == InputElement::Kind::kAggregation &&
         !element.agg_argument.empty()) {
-      account(index_->Lookup(element.agg_argument).size());
+      // Count-only probe: the accounting needs the candidate count, not
+      // the (potentially large) materialized entry-point vectors.
+      account(index_->CountMatches(element.agg_argument));
     }
     if (element.kind == InputElement::Kind::kGroupBy) {
       for (const std::string& phrase : element.group_by_phrases) {
-        account(index_->Lookup(phrase).size());
+        account(index_->CountMatches(phrase));
       }
     }
   }

@@ -145,9 +145,9 @@ Status RankStage::Run(QueryContext* ctx) const {
 // TablesStage
 // ---------------------------------------------------------------------------
 
-Status TablesStage::RunOne(const QueryContext&,
+Status TablesStage::RunOne(const QueryContext& ctx,
                            InterpretationState* state) const {
-  Result<TablesOutput> tables = step_->Run(state->entries);
+  Result<TablesOutput> tables = step_->Run(state->entries, ctx.metrics);
   if (!tables.ok()) {
     state->dropped = true;
     return Status::OK();
@@ -192,8 +192,8 @@ Status SqlStage::RunOne(const QueryContext& ctx,
   }
   tables_step_->PruneUnconstrainedSiblings(&*state->tables, constrained);
 
-  Result<SelectStatement> stmt =
-      generator_->Generate(ctx.parsed, *state->tables, state->filters);
+  Result<SelectStatement> stmt = generator_->Generate(
+      ctx.parsed, *state->tables, state->filters, ctx.metrics);
   if (!stmt.ok()) {
     state->dropped = true;
     return Status::OK();

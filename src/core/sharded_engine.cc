@@ -50,12 +50,19 @@ Result<std::unique_ptr<ShardedSodaEngine>> ShardedSodaEngine::Create(
     if (hw == 0) hw = 1;
     config.num_threads = std::max<size_t>(1, hw / num_shards);
   }
+  // One traversal memo for the whole fleet: the closure depends only on
+  // the (immutable, shared) metadata graph + config, so replicas can
+  // share it — any shard's traffic warms every shard's entry points.
+  std::shared_ptr<EntryPointClosure> shared_closure;
+  if (config.enable_closures && graph != nullptr) {
+    shared_closure = std::make_shared<EntryPointClosure>(graph->num_nodes());
+  }
   std::vector<std::unique_ptr<SodaEngine>> shards;
   shards.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     SODA_ASSIGN_OR_RETURN(
         std::unique_ptr<SodaEngine> shard,
-        SodaEngine::Create(db, graph, patterns, config));
+        SodaEngine::Create(db, graph, patterns, config, shared_closure));
     shards.push_back(std::move(shard));
   }
   return std::make_unique<ShardedSodaEngine>(std::move(shards));

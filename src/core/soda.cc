@@ -5,26 +5,32 @@
 
 namespace soda {
 
-Result<std::unique_ptr<Soda>> Soda::Create(const Database* db,
-                                           const MetadataGraph* graph,
-                                           PatternLibrary patterns,
-                                           SodaConfig config) {
-  auto soda = std::make_unique<Soda>(db, graph, std::move(patterns), config);
+Result<std::unique_ptr<Soda>> Soda::Create(
+    const Database* db, const MetadataGraph* graph, PatternLibrary patterns,
+    SodaConfig config, std::shared_ptr<EntryPointClosure> shared_closure) {
+  auto soda = std::make_unique<Soda>(db, graph, std::move(patterns), config,
+                                     std::move(shared_closure));
   SODA_RETURN_NOT_OK(soda->init_status());
   return soda;
 }
 
 Soda::Soda(const Database* db, const MetadataGraph* graph,
-           PatternLibrary patterns, SodaConfig config)
+           PatternLibrary patterns, SodaConfig config,
+           std::shared_ptr<EntryPointClosure> shared_closure)
     : db_(db), graph_(graph), patterns_(std::move(patterns)),
       config_(config) {
   if (db_ != nullptr) inverted_index_.Build(*db_);
   classification_.Build(*graph_, db_ != nullptr ? &inverted_index_ : nullptr);
   matcher_ = std::make_unique<PatternMatcher>(graph_, &patterns_);
-  init_status_ = join_graph_.Build(*matcher_);
+  init_status_ = join_graph_.Build(*matcher_, config_.enable_closures);
+  if (config_.enable_closures) {
+    closure_ = shared_closure != nullptr
+                   ? std::move(shared_closure)
+                   : std::make_shared<EntryPointClosure>(graph_->num_nodes());
+  }
   lookup_step_ = std::make_unique<LookupStep>(&classification_, &config_);
-  tables_step_ =
-      std::make_unique<TablesStep>(matcher_.get(), &join_graph_, &config_);
+  tables_step_ = std::make_unique<TablesStep>(matcher_.get(), &join_graph_,
+                                              &config_, closure_.get());
   filters_step_ = std::make_unique<FiltersStep>(db_);
   generator_ = std::make_unique<SqlGenerator>(
       matcher_.get(), &join_graph_, &classification_, &config_);

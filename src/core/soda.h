@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "core/classification.h"
+#include "core/closure.h"
 #include "core/config.h"
 #include "core/filters_step.h"
 #include "core/input_query.h"
@@ -75,10 +76,20 @@ class Soda {
   /// propagating any index-construction failure (e.g. a malformed join
   /// pattern) instead of deferring it. `db` and `graph` must outlive the
   /// returned instance. This is the preferred way to construct a Soda.
-  static Result<std::unique_ptr<Soda>> Create(const Database* db,
-                                              const MetadataGraph* graph,
-                                              PatternLibrary patterns,
-                                              SodaConfig config);
+  ///
+  /// `shared_closure` (optional) supplies an entry-point traversal memo
+  /// shared with other Soda instances — the sharded router passes one
+  /// instance to every replica so any shard's traffic warms the whole
+  /// fleet. Sharers MUST be built over the same metadata graph, the
+  /// same pattern library, and the same traversal config
+  /// (max_traversal_depth): cached closures are keyed by NodeId only,
+  /// so a mismatched sharer would silently serve another instance's
+  /// traversal results. When omitted and config.enable_closures is on,
+  /// a private closure is created here.
+  static Result<std::unique_ptr<Soda>> Create(
+      const Database* db, const MetadataGraph* graph, PatternLibrary patterns,
+      SodaConfig config,
+      std::shared_ptr<EntryPointClosure> shared_closure = nullptr);
 
   /// Direct construction. The inverted index over `db` and the
   /// classification index are built here (the paper reports index
@@ -86,7 +97,8 @@ class Soda {
   /// failures are stored and returned by the first Search call; prefer
   /// Create, which surfaces them immediately.
   Soda(const Database* db, const MetadataGraph* graph,
-       PatternLibrary patterns, SodaConfig config);
+       PatternLibrary patterns, SodaConfig config,
+       std::shared_ptr<EntryPointClosure> shared_closure = nullptr);
 
   /// Runs the five-step pipeline on a query string: the ordered stage
   /// list from stages(), executed serially, followed by snippet
@@ -135,6 +147,12 @@ class Soda {
   const Database* database() const { return db_; }
   const MetadataGraph* graph() const { return graph_; }
 
+  /// The Step-3 traversal memo (nullptr when closures are disabled).
+  /// Shareable across Soda instances built over the same graph.
+  const std::shared_ptr<EntryPointClosure>& entry_point_closure() const {
+    return closure_;
+  }
+
  private:
   const Database* db_;
   const MetadataGraph* graph_;
@@ -146,6 +164,7 @@ class Soda {
   ClassificationIndex classification_;
   std::unique_ptr<PatternMatcher> matcher_;
   JoinGraph join_graph_;
+  std::shared_ptr<EntryPointClosure> closure_;  // nullptr when disabled
   std::unique_ptr<LookupStep> lookup_step_;
   std::unique_ptr<TablesStep> tables_step_;
   std::unique_ptr<FiltersStep> filters_step_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "graph/vocab.h"
 
@@ -67,11 +68,13 @@ Result<SqlGenerator::ResolvedArgument> SqlGenerator::ResolveArgument(
 
 void SqlGenerator::EnsureTable(const std::string& table,
                                std::vector<std::string>* tables,
-                               std::vector<JoinEdge>* joins) const {
+                               std::vector<JoinEdge>* joins,
+                               uint64_t* path_lookups) const {
   if (ContainsTable(*tables, table)) return;
   // Connect the new table to the existing FROM set via a direct path.
   std::vector<JoinEdge> path;
   std::vector<std::string> path_tables;
+  if (!tables->empty()) ++*path_lookups;
   if (!tables->empty() &&
       join_graph_->DirectPath(*tables, {table}, &path, &path_tables)) {
     for (const JoinEdge& edge : path) {
@@ -94,8 +97,10 @@ void SqlGenerator::EnsureTable(const std::string& table,
 
 Result<SelectStatement> SqlGenerator::Generate(
     const InputQuery& query, const TablesOutput& tables,
-    const std::vector<GeneratedFilter>& filters) const {
+    const std::vector<GeneratedFilter>& filters,
+    MetricsSink* metrics) const {
   SelectStatement stmt;
+  uint64_t path_lookups = 0;
 
   std::vector<std::string> from_tables = tables.tables;
   std::vector<JoinEdge> joins = tables.joins;
@@ -120,11 +125,11 @@ Result<SelectStatement> SqlGenerator::Generate(
                             ResolveArgument(element.agg_argument));
       if (arg.column.has_value()) {
         planned.column = arg.column;
-        EnsureTable(arg.column->table, &from_tables, &joins);
+        EnsureTable(arg.column->table, &from_tables, &joins, &path_lookups);
       } else if (arg.table.has_value()) {
         // count(<entity>) — count the entity's key column (the paper's
         // Query 4 emits count(fi_transactions.id)).
-        EnsureTable(*arg.table, &from_tables, &joins);
+        EnsureTable(*arg.table, &from_tables, &joins, &path_lookups);
         planned.column = PhysicalColumnRef{*arg.table, "id"};
         planned.over_entity = true;
       }
@@ -137,7 +142,8 @@ Result<SelectStatement> SqlGenerator::Generate(
     PlannedAggregate planned;
     planned.func = discovered.func;
     planned.column = discovered.column;
-    EnsureTable(discovered.column.table, &from_tables, &joins);
+    EnsureTable(discovered.column.table, &from_tables, &joins,
+                &path_lookups);
     aggregates.push_back(std::move(planned));
   }
 
@@ -152,7 +158,7 @@ Result<SelectStatement> SqlGenerator::Generate(
                                        "' does not resolve to a column");
       }
       group_columns.push_back(*arg.column);
-      EnsureTable(arg.column->table, &from_tables, &joins);
+      EnsureTable(arg.column->table, &from_tables, &joins, &path_lookups);
     }
   }
 
@@ -171,7 +177,7 @@ Result<SelectStatement> SqlGenerator::Generate(
   // SQL; pull those tables in (connected via join paths when possible)
   // before assembling the statement.
   for (const GeneratedFilter& filter : filters) {
-    EnsureTable(filter.column.table, &from_tables, &joins);
+    EnsureTable(filter.column.table, &from_tables, &joins, &path_lookups);
   }
 
   // ---- assemble -----------------------------------------------------------
@@ -232,6 +238,10 @@ Result<SelectStatement> SqlGenerator::Generate(
   }
   if (top_n.has_value()) stmt.limit = top_n;
 
+  if (metrics != nullptr && path_lookups > 0 &&
+      join_graph_->has_path_closure()) {
+    metrics->IncrementCounter("closure.path_lookups", path_lookups);
+  }
   return stmt;
 }
 

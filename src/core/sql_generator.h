@@ -4,6 +4,7 @@
 #ifndef SODA_CORE_SQL_GENERATOR_H_
 #define SODA_CORE_SQL_GENERATOR_H_
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -29,10 +30,13 @@ class SqlGenerator {
 
   /// Builds the statement for one interpretation. `query` carries the
   /// aggregation / group-by / top-N operators; `tables` and `filters` are
-  /// the Step 3/4 outputs.
-  Result<SelectStatement> Generate(
-      const InputQuery& query, const TablesOutput& tables,
-      const std::vector<GeneratedFilter>& filters) const;
+  /// the Step 3/4 outputs. When `metrics` is set and the join graph has
+  /// its path closure, join-path lookups made while connecting operator
+  /// argument tables are booked as closure.path_lookups.
+  Result<SelectStatement> Generate(const InputQuery& query,
+                                   const TablesOutput& tables,
+                                   const std::vector<GeneratedFilter>& filters,
+                                   MetricsSink* metrics = nullptr) const;
 
  private:
   /// Resolves an operator argument phrase ("amount", "transaction date",
@@ -47,7 +51,8 @@ class SqlGenerator {
 
   void EnsureTable(const std::string& table,
                    std::vector<std::string>* tables,
-                   std::vector<JoinEdge>* joins) const;
+                   std::vector<JoinEdge>* joins,
+                   uint64_t* path_lookups) const;
 
   const PatternMatcher* matcher_;
   const JoinGraph* join_graph_;

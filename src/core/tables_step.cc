@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <set>
+#include <utility>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "core/closure.h"
 #include "graph/vocab.h"
 #include "schema/warehouse_model.h"
 
@@ -216,17 +220,42 @@ void TablesStep::PruneUnconstrainedSiblings(
   }
 }
 
+const TraverseClosure* TablesStep::ClosureFor(NodeId start, bool* hit) const {
+  *hit = false;
+  if (closure_ == nullptr || start < 0 ||
+      static_cast<size_t>(start) >= closure_->num_nodes()) {
+    return nullptr;
+  }
+  if (const TraverseClosure* cached = closure_->Find(start)) {
+    *hit = true;
+    return cached;
+  }
+  auto fresh = std::make_unique<TraverseClosure>();
+  TablesOutput scratch;
+  Traverse(start, &scratch, &fresh->tables);
+  fresh->filters = std::move(scratch.filters);
+  fresh->aggregations = std::move(scratch.aggregations);
+  return closure_->Publish(start, std::move(fresh));
+}
+
 std::vector<std::string> TablesStep::TablesFromNode(NodeId node) const {
+  bool hit = false;
+  if (const TraverseClosure* cached = ClosureFor(node, &hit)) {
+    return cached->tables;
+  }
   TablesOutput scratch;
   std::vector<std::string> tables;
   Traverse(node, &scratch, &tables);
   return tables;
 }
 
-Result<TablesOutput> TablesStep::Run(
-    const std::vector<EntryPoint>& entries) const {
+Result<TablesOutput> TablesStep::Run(const std::vector<EntryPoint>& entries,
+                                     MetricsSink* metrics) const {
   const MetadataGraph& graph = *matcher_->graph();
   TablesOutput out;
+  uint64_t traverse_hits = 0;
+  uint64_t traverse_misses = 0;
+  uint64_t path_lookups = 0;
 
   // ---- Part 1: tables per entry point -----------------------------------
   for (const EntryPoint& entry : entries) {
@@ -248,7 +277,20 @@ Result<TablesOutput> TablesStep::Run(
         }
       }
     } else {
-      Traverse(entry.node, &out, &tables);
+      bool hit = false;
+      if (const TraverseClosure* cached = ClosureFor(entry.node, &hit)) {
+        // Memoized traversal: splice the compiled closure in exactly
+        // where Traverse would have appended.
+        tables = cached->tables;
+        out.filters.insert(out.filters.end(), cached->filters.begin(),
+                           cached->filters.end());
+        out.aggregations.insert(out.aggregations.end(),
+                                cached->aggregations.begin(),
+                                cached->aggregations.end());
+        ++(hit ? traverse_hits : traverse_misses);
+      } else {
+        Traverse(entry.node, &out, &tables);
+      }
       column = ResolvePhysicalColumn(graph, entry.node);
     }
     out.entry_columns.push_back(column);
@@ -269,6 +311,7 @@ Result<TablesOutput> TablesStep::Run(
         }
         std::vector<JoinEdge> path;
         std::vector<std::string> path_tables;
+        ++path_lookups;
         if (join_graph_->DirectPath(out.tables_per_entry[i],
                                     out.tables_per_entry[j], &path,
                                     &path_tables)) {
@@ -302,6 +345,7 @@ Result<TablesOutput> TablesStep::Run(
       for (size_t b = a + 1; b < group.size(); ++b) {
         std::vector<JoinEdge> path;
         std::vector<std::string> path_tables;
+        ++path_lookups;
         if (join_graph_->DirectPath({group[a]}, {group[b]}, &path,
                                     &path_tables)) {
           for (const JoinEdge& edge : path) PushUniqueJoin(&out.joins, edge);
@@ -340,6 +384,17 @@ Result<TablesOutput> TablesStep::Run(
     }
   }
 
+  if (metrics != nullptr) {
+    if (traverse_hits > 0) {
+      metrics->IncrementCounter("closure.traverse_hits", traverse_hits);
+    }
+    if (traverse_misses > 0) {
+      metrics->IncrementCounter("closure.traverse_misses", traverse_misses);
+    }
+    if (path_lookups > 0 && join_graph_->has_path_closure()) {
+      metrics->IncrementCounter("closure.path_lookups", path_lookups);
+    }
+  }
   return out;
 }
 

@@ -29,6 +29,10 @@
 
 namespace soda {
 
+class EntryPointClosure;   // core/closure.h — the Step-3 traversal memo
+struct TraverseClosure;    // core/closure.h — one memoized traversal
+class MetricsSink;         // common/metrics.h
+
 /// A filter harvested from a metadata-filter node ("wealthy customers").
 struct DiscoveredFilter {
   PhysicalColumnRef column;
@@ -71,16 +75,25 @@ struct TablesOutput {
 
 class TablesStep {
  public:
+  /// `closure` (optional) memoizes the per-node traversal; it must be
+  /// built over the same metadata graph as `matcher` and outlive this
+  /// step. nullptr disables memoization (SodaConfig::enable_closures).
   TablesStep(const PatternMatcher* matcher, const JoinGraph* join_graph,
-             const SodaConfig* config)
-      : matcher_(matcher), join_graph_(join_graph), config_(config) {}
+             const SodaConfig* config,
+             const EntryPointClosure* closure = nullptr)
+      : matcher_(matcher), join_graph_(join_graph), config_(config),
+        closure_(closure) {}
 
   /// Runs table + join discovery for the given entry points (one per
-  /// query term of the interpretation).
-  Result<TablesOutput> Run(const std::vector<EntryPoint>& entries) const;
+  /// query term of the interpretation). When `metrics` is set, the
+  /// closure layer books its counters there (closure.traverse_hits,
+  /// closure.traverse_misses, closure.path_lookups).
+  Result<TablesOutput> Run(const std::vector<EntryPoint>& entries,
+                           MetricsSink* metrics = nullptr) const;
 
   /// The tables reachable from a single metadata node (exposed for the
-  /// Figure 6 bench and the schema-explorer example).
+  /// Figure 6 bench and the schema-explorer example). Served from the
+  /// closure when one is attached.
   std::vector<std::string> TablesFromNode(NodeId node) const;
 
   /// Step 5 keeps statements "reasonable ... considering foreign keys and
@@ -98,9 +111,16 @@ class TablesStep {
   void Traverse(NodeId start, TablesOutput* out,
                 std::vector<std::string>* tables) const;
 
+  /// The memoized traversal: Find, or Traverse-into-a-TraverseClosure +
+  /// Publish. Returns nullptr when no closure is attached or the node is
+  /// out of the closure's range; `hit` reports whether it was served
+  /// without traversing.
+  const TraverseClosure* ClosureFor(NodeId start, bool* hit) const;
+
   const PatternMatcher* matcher_;
   const JoinGraph* join_graph_;
   const SodaConfig* config_;
+  const EntryPointClosure* closure_;
 };
 
 }  // namespace soda

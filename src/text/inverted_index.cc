@@ -6,6 +6,51 @@
 
 namespace soda {
 
+namespace {
+
+// FNV-1a accumulation over one field plus a separator, so ("ab", "c")
+// and ("a", "bc") hash differently.
+uint64_t HashField(uint64_t hash, std::string_view field) {
+  for (unsigned char c : field) {
+    hash ^= static_cast<uint64_t>(c);
+    hash *= 1099511628211ull;
+  }
+  hash ^= 0x1f;  // field separator
+  hash *= 1099511628211ull;
+  return hash;
+}
+
+uint64_t HashTriple(std::string_view table, std::string_view column,
+                    std::string_view value) {
+  uint64_t hash = 1469598103934665603ull;
+  hash = HashField(hash, table);
+  hash = HashField(hash, column);
+  hash = HashField(hash, value);
+  return hash;
+}
+
+}  // namespace
+
+size_t InvertedIndex::ValueKeyHash::operator()(const ValueKeyView& key) const {
+  return static_cast<size_t>(HashTriple(key.table, key.column, key.value));
+}
+
+size_t InvertedIndex::ValueKeyHash::operator()(uint32_t index) const {
+  const StoredValue& sv = (*values)[index];
+  return static_cast<size_t>(HashTriple(sv.table, sv.column, sv.value));
+}
+
+bool InvertedIndex::ValueKeyEq::operator()(const ValueKeyView& a,
+                                           uint32_t b) const {
+  const StoredValue& sv = (*values)[b];
+  return a.table == sv.table && a.column == sv.column && a.value == sv.value;
+}
+
+bool InvertedIndex::ValueKeyEq::operator()(uint32_t a,
+                                           const ValueKeyView& b) const {
+  return (*this)(b, a);
+}
+
 void InvertedIndex::Build(const Database& db) {
   for (const Table* table : db.tables()) {
     IndexTable(*table);
@@ -22,11 +67,10 @@ void InvertedIndex::IndexTable(const Table& table) {
       if (text.empty()) continue;
       ++num_records_;
 
-      std::string key =
-          table.name() + '\x1f' + table.columns()[c].name + '\x1f' + text;
+      ValueKeyView key{table.name(), table.columns()[c].name, text};
       auto it = value_keys_.find(key);
       if (it != value_keys_.end()) {
-        ++values_[it->second].row_count;
+        ++values_[*it].row_count;
         continue;
       }
       StoredValue sv;
@@ -45,19 +89,19 @@ void InvertedIndex::IndexTable(const Table& table) {
         postings_[token].push_back(index);
       }
       values_.push_back(std::move(sv));
-      value_keys_.emplace(std::move(key), index);
+      value_keys_.insert(index);
     }
   }
 }
 
-std::vector<ValuePosting> InvertedIndex::LookupPhrase(
-    const std::string& phrase) const {
-  std::vector<ValuePosting> result;
+template <typename Fn>
+void InvertedIndex::ForEachPhraseMatch(const std::string& phrase,
+                                       Fn&& fn) const {
   std::vector<std::string> query_tokens = Tokenize(phrase);
-  if (query_tokens.empty()) return result;
+  if (query_tokens.empty()) return;
 
   auto it = postings_.find(query_tokens[0]);
-  if (it == postings_.end()) return result;
+  if (it == postings_.end()) return;
 
   for (uint32_t index : it->second) {
     const StoredValue& sv = values_[index];
@@ -79,12 +123,38 @@ std::vector<ValuePosting> InvertedIndex::LookupPhrase(
         }
       }
     }
-    if (found) {
-      result.push_back(ValuePosting{sv.table, sv.column, sv.value,
-                                    sv.row_count});
-    }
+    if (found && !fn(index)) return;
   }
+}
+
+std::vector<ValuePosting> InvertedIndex::LookupPhrase(
+    const std::string& phrase) const {
+  std::vector<ValuePosting> result;
+  ForEachPhraseMatch(phrase, [&](uint32_t index) {
+    const StoredValue& sv = values_[index];
+    result.push_back(ValuePosting{sv.table, sv.column, sv.value,
+                                  sv.row_count});
+    return true;
+  });
   return result;
+}
+
+size_t InvertedIndex::CountPhrase(const std::string& phrase) const {
+  size_t count = 0;
+  ForEachPhraseMatch(phrase, [&](uint32_t) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+bool InvertedIndex::ContainsPhrase(const std::string& phrase) const {
+  bool found = false;
+  ForEachPhraseMatch(phrase, [&](uint32_t) {
+    found = true;
+    return false;  // first match is enough
+  });
+  return found;
 }
 
 bool InvertedIndex::ContainsToken(const std::string& token) const {

@@ -13,10 +13,12 @@
 #ifndef SODA_TEXT_INVERTED_INDEX_H_
 #define SODA_TEXT_INVERTED_INDEX_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/table.h"
@@ -33,6 +35,12 @@ struct ValuePosting {
 
 class InvertedIndex {
  public:
+  InvertedIndex() = default;
+  // The value-key interner hashes through a pointer to values_; copying
+  // or moving the index would leave it aimed at the source instance.
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
   /// Indexes every string column of every table in `db`.
   void Build(const Database& db);
 
@@ -43,6 +51,14 @@ class InvertedIndex {
   /// space-separated token phrase) as a consecutive subsequence.
   /// An empty result means the phrase does not occur in the base data.
   std::vector<ValuePosting> LookupPhrase(const std::string& phrase) const;
+
+  /// LookupPhrase(phrase).size() without materializing the postings —
+  /// the probe the lookup step's complexity accounting wants.
+  size_t CountPhrase(const std::string& phrase) const;
+
+  /// !LookupPhrase(phrase).empty() with early exit on the first match —
+  /// the probe keyword segmentation wants.
+  bool ContainsPhrase(const std::string& phrase) const;
 
   /// True when the single token occurs anywhere.
   bool ContainsToken(const std::string& token) const;
@@ -60,11 +76,40 @@ class InvertedIndex {
     int64_t row_count = 0;
   };
 
+  /// Heterogeneous hash/equality over (table, column, value): stored
+  /// keys are indexes into values_ (no duplicate string storage), build
+  /// probes are string_view triples — no concatenated key string and no
+  /// O(log n) string compares on the indexing hot loop.
+  struct ValueKeyView {
+    std::string_view table;
+    std::string_view column;
+    std::string_view value;
+  };
+  struct ValueKeyHash {
+    using is_transparent = void;
+    const std::vector<StoredValue>* values;
+    size_t operator()(const ValueKeyView& key) const;
+    size_t operator()(uint32_t index) const;
+  };
+  struct ValueKeyEq {
+    using is_transparent = void;
+    const std::vector<StoredValue>* values;
+    bool operator()(uint32_t a, uint32_t b) const { return a == b; }
+    bool operator()(const ValueKeyView& a, uint32_t b) const;
+    bool operator()(uint32_t a, const ValueKeyView& b) const;
+  };
+
+  /// Shared phrase scan: calls `fn(index)` for every stored value whose
+  /// token sequence contains the phrase; fn returns false to stop early.
+  template <typename Fn>
+  void ForEachPhraseMatch(const std::string& phrase, Fn&& fn) const;
+
   // token -> indexes into values_ (deduplicated).
   std::unordered_map<std::string, std::vector<uint32_t>> postings_;
   std::vector<StoredValue> values_;
   // (table, column, value) -> index into values_, for row_count merging.
-  std::map<std::string, uint32_t> value_keys_;
+  std::unordered_set<uint32_t, ValueKeyHash, ValueKeyEq> value_keys_{
+      0, ValueKeyHash{&values_}, ValueKeyEq{&values_}};
   size_t num_records_ = 0;
 };
 

@@ -1,0 +1,349 @@
+// Tests for the compiled closure layer (PR 4): closure-on output must be
+// Fingerprint-identical to closure-off across workloads, engines and
+// shard/thread sweeps; the APSP join-path closure must agree with the
+// per-call BFS fallback on random subgraphs; the count-only index probes
+// must agree with the materializing lookups; and the closure counters
+// must surface through the engine metrics snapshots.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/closure.h"
+#include "core/engine.h"
+#include "core/join_graph.h"
+#include "core/sharded_engine.h"
+#include "core/soda.h"
+#include "datasets/enterprise.h"
+#include "datasets/minibank.h"
+#include "eval/workload.h"
+#include "pattern/library.h"
+#include "schema/warehouse_model.h"
+
+namespace soda {
+namespace {
+
+// Serializes everything rank-relevant about an output, snippets included,
+// so "byte-identical" is literal (cache/thread counters excluded — they
+// are engine-lifetime bookkeeping, not answer content).
+std::string Fingerprint(const SearchOutput& output) {
+  std::string fp = "complexity=" + std::to_string(output.complexity) + "\n";
+  for (const std::string& word : output.ignored_words) {
+    fp += "ignored=" + word + "\n";
+  }
+  for (const SodaResult& result : output.results) {
+    fp += result.sql + "\n";
+    fp += "score=" + std::to_string(result.score) + "\n";
+    fp += "explanation=" + result.explanation + "\n";
+    fp += "connected=" + std::to_string(result.fully_connected) + "\n";
+    fp += "executed=" + std::to_string(result.executed) + "\n";
+    if (result.executed) fp += result.snippet.ToAsciiTable() + "\n";
+  }
+  return fp;
+}
+
+std::vector<std::string> MiniBankQueries() {
+  return {
+      "customers Zürich financial instruments",
+      "trading volume transaction date between date(2010-01-01) "
+      "date(2011-12-31)",
+      "addresses Sara Guttinger",
+      "sum(investments) group by (currency)",
+      "private customers family name",
+  };
+}
+
+std::vector<std::string> EnterpriseQueries() {
+  std::vector<std::string> queries;
+  for (const BenchmarkQuery& bench : EnterpriseWorkload()) {
+    queries.push_back(bench.keywords);
+  }
+  return queries;
+}
+
+class PipelineClosureTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bank_ = BuildMiniBank().value().release();
+    enterprise_ = BuildEnterpriseWarehouse().value().release();
+    // One enterprise translator per closure mode, shared by every test
+    // in this suite: building a full enterprise Soda is the dominant
+    // cost under the sanitizer legs' ctest timeout (snippets off — the
+    // snippet-inclusive fingerprint is held by the minibank tests).
+    SodaConfig on_config = Config(true);
+    SodaConfig off_config = Config(false);
+    on_config.execute_snippets = false;
+    off_config.execute_snippets = false;
+    enterprise_on_ = new Soda(&enterprise_->db, &enterprise_->graph,
+                              CreditSuissePatternLibrary(), on_config);
+    enterprise_off_ = new Soda(&enterprise_->db, &enterprise_->graph,
+                               CreditSuissePatternLibrary(), off_config);
+  }
+  static void TearDownTestSuite() {
+    delete enterprise_off_;
+    delete enterprise_on_;
+    delete enterprise_;
+    delete bank_;
+  }
+
+  static SodaConfig Config(bool closures) {
+    SodaConfig config;
+    config.enable_closures = closures;
+    return config;
+  }
+
+  static MiniBank* bank_;
+  static EnterpriseWarehouse* enterprise_;
+  static Soda* enterprise_on_;
+  static Soda* enterprise_off_;
+};
+
+MiniBank* PipelineClosureTest::bank_ = nullptr;
+EnterpriseWarehouse* PipelineClosureTest::enterprise_ = nullptr;
+Soda* PipelineClosureTest::enterprise_on_ = nullptr;
+Soda* PipelineClosureTest::enterprise_off_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Fingerprint identity, serial driver
+// ---------------------------------------------------------------------------
+
+TEST_F(PipelineClosureTest, SerialMiniBankClosureOnMatchesOff) {
+  Soda on(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
+          Config(true));
+  Soda off(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
+           Config(false));
+  for (const std::string& query : MiniBankQueries()) {
+    auto with = on.Search(query);
+    auto without = off.Search(query);
+    ASSERT_TRUE(with.ok()) << with.status();
+    ASSERT_TRUE(without.ok()) << without.status();
+    EXPECT_EQ(Fingerprint(*with), Fingerprint(*without)) << query;
+  }
+}
+
+TEST_F(PipelineClosureTest, SerialEnterpriseClosureOnMatchesOff) {
+  for (const std::string& query : EnterpriseQueries()) {
+    auto with = enterprise_on_->Search(query);
+    auto without = enterprise_off_->Search(query);
+    ASSERT_TRUE(with.ok()) << with.status();
+    ASSERT_TRUE(without.ok()) << without.status();
+    EXPECT_EQ(Fingerprint(*with), Fingerprint(*without)) << query;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint identity, sharded engines across shards x threads
+// ---------------------------------------------------------------------------
+
+TEST_F(PipelineClosureTest, ShardedMiniBankSweepClosureOnMatchesSerialOff) {
+  Soda baseline(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
+                Config(false));
+  std::vector<std::string> queries = MiniBankQueries();
+  std::vector<std::string> expected;
+  for (const std::string& query : queries) {
+    auto output = baseline.Search(query);
+    ASSERT_TRUE(output.ok()) << output.status();
+    expected.push_back(Fingerprint(*output));
+  }
+  for (size_t shards : {1u, 4u}) {
+    for (size_t threads : {1u, 4u}) {
+      SodaConfig config = Config(true);
+      config.num_shards = shards;
+      config.num_threads = threads;
+      auto router = ShardedSodaEngine::Create(&bank_->db, &bank_->graph,
+                                              CreditSuissePatternLibrary(),
+                                              config);
+      ASSERT_TRUE(router.ok()) << router.status();
+      auto outputs = (*router)->SearchAll(queries);
+      for (size_t q = 0; q < queries.size(); ++q) {
+        ASSERT_TRUE(outputs[q].ok()) << outputs[q].status();
+        EXPECT_EQ(Fingerprint(*outputs[q]), expected[q])
+            << "shards=" << shards << " threads=" << threads << " query="
+            << queries[q];
+      }
+    }
+  }
+}
+
+// The enterprise-workload router comparison lives in
+// closure_enterprise_test.cc: it builds several more enterprise engines,
+// which does not fit the sanitizer legs' per-binary ctest timeout, and
+// the concurrency surface it would cover is already held under TSan by
+// the minibank sweep above.
+
+TEST_F(PipelineClosureTest, ShardsShareOneEntryPointClosure) {
+  SodaConfig config = Config(true);
+  config.num_shards = 2;
+  config.num_threads = 1;
+  auto router = ShardedSodaEngine::Create(&bank_->db, &bank_->graph,
+                                          CreditSuissePatternLibrary(),
+                                          config);
+  ASSERT_TRUE(router.ok()) << router.status();
+  const auto& closure0 = (*router)->shard(0).soda().entry_point_closure();
+  const auto& closure1 = (*router)->shard(1).soda().entry_point_closure();
+  ASSERT_NE(closure0, nullptr);
+  EXPECT_EQ(closure0.get(), closure1.get());
+}
+
+// ---------------------------------------------------------------------------
+// APSP closure vs BFS fallback on random subgraphs
+// ---------------------------------------------------------------------------
+
+TEST_F(PipelineClosureTest, ApspMatchesBfsOnRandomSubgraphs) {
+  Rng rng(0x50DA'C105'0001ull);
+  for (int round = 0; round < 12; ++round) {
+    // A random physical schema: `num_tables` tables, each with an id
+    // column and a few fk columns, wired by random (sometimes ignored)
+    // foreign keys. Sparse enough to leave disconnected islands.
+    size_t num_tables = 4 + rng.Below(20);
+    size_t num_edges = rng.Below(2 * num_tables);
+    WarehouseModel model;
+    std::vector<std::string> names;
+    for (size_t t = 0; t < num_tables; ++t) {
+      std::string name = "t" + std::to_string(t);
+      names.push_back(name);
+      TableSpec spec;
+      spec.name = name;
+      spec.columns.push_back(ColumnSpec{"id", ValueType::kInt64, ""});
+      for (size_t k = 0; k < 4; ++k) {
+        spec.columns.push_back(
+            ColumnSpec{"fk" + std::to_string(k), ValueType::kInt64, ""});
+      }
+      model.AddTable(std::move(spec));
+    }
+    std::vector<std::string> used;  // dedupe: join URIs must be unique
+    for (size_t e = 0; e < num_edges; ++e) {
+      ForeignKeySpec fk;
+      fk.from_table = rng.Pick(names);
+      fk.from_column = "fk" + std::to_string(rng.Below(4));
+      fk.to_table = rng.Pick(names);
+      fk.to_column = "id";
+      fk.via_join_node = rng.Chance(0.5);
+      fk.ignored = rng.Chance(0.15);
+      std::string key = fk.from_table + "." + fk.from_column + "->" +
+                        fk.to_table + "." + fk.to_column;
+      if (std::find(used.begin(), used.end(), key) != used.end()) continue;
+      used.push_back(key);
+      model.AddForeignKey(std::move(fk));
+    }
+    MetadataGraph graph;
+    ASSERT_TRUE(model.Compile(&graph, nullptr).ok());
+    PatternLibrary library = CreditSuissePatternLibrary();
+    PatternMatcher matcher(&graph, &library);
+    JoinGraph with_closure;
+    JoinGraph without_closure;
+    ASSERT_TRUE(with_closure.Build(matcher, /*precompute_paths=*/true).ok());
+    ASSERT_TRUE(
+        without_closure.Build(matcher, /*precompute_paths=*/false).ok());
+    ASSERT_TRUE(with_closure.has_path_closure());
+    ASSERT_FALSE(without_closure.has_path_closure());
+
+    for (int probe = 0; probe < 40; ++probe) {
+      std::vector<std::string> from_set;
+      std::vector<std::string> to_set;
+      for (size_t i = 0, n = 1 + rng.Below(3); i < n; ++i) {
+        from_set.push_back(rng.Pick(names));
+      }
+      for (size_t i = 0, n = 1 + rng.Below(3); i < n; ++i) {
+        to_set.push_back(rng.Chance(0.1) ? "unknown_table"
+                                         : rng.Pick(names));
+      }
+      std::vector<JoinEdge> apsp_edges, bfs_edges;
+      std::vector<std::string> apsp_tables, bfs_tables;
+      bool apsp = with_closure.DirectPath(from_set, to_set, &apsp_edges,
+                                          &apsp_tables);
+      bool bfs = without_closure.DirectPath(from_set, to_set, &bfs_edges,
+                                            &bfs_tables);
+      ASSERT_EQ(apsp, bfs);
+      ASSERT_EQ(apsp_edges, bfs_edges);
+      ASSERT_EQ(apsp_tables, bfs_tables);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Count-only probes agree with the materializing lookups
+// ---------------------------------------------------------------------------
+
+TEST_F(PipelineClosureTest, CountProbesMatchMaterializedLookups) {
+  const Soda& soda = *enterprise_on_;
+  std::vector<std::string> phrases = {
+      "customers",       "family name", "trading volume", "currency",
+      "transactions",    "investments", "Sara",           "organizations",
+      "no such phrase",  "",            "private customers",
+  };
+  for (const std::string& phrase : phrases) {
+    EXPECT_EQ(soda.classification().CountMatches(phrase),
+              soda.classification().Lookup(phrase).size())
+        << phrase;
+    EXPECT_EQ(soda.classification().Matches(phrase),
+              !soda.classification().Lookup(phrase).empty())
+        << phrase;
+    EXPECT_EQ(soda.inverted_index().CountPhrase(phrase),
+              soda.inverted_index().LookupPhrase(phrase).size())
+        << phrase;
+    EXPECT_EQ(soda.inverted_index().ContainsPhrase(phrase),
+              !soda.inverted_index().LookupPhrase(phrase).empty())
+        << phrase;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Closure counters surface through both engines' metrics snapshots
+// ---------------------------------------------------------------------------
+
+TEST_F(PipelineClosureTest, ClosureCountersSurfaceOnEngine) {
+  SodaConfig config = Config(true);
+  config.num_threads = 2;
+  config.cache_capacity = 0;  // repeats must re-run the pipeline
+  auto engine = SodaEngine::Create(&bank_->db, &bank_->graph,
+                                   CreditSuissePatternLibrary(), config);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  const std::string query = "customers Zürich financial instruments";
+  ASSERT_TRUE((*engine)->Search(query).ok());
+  ASSERT_TRUE((*engine)->Search(query).ok());
+  MetricsSnapshot snapshot = (*engine)->metrics_snapshot();
+  EXPECT_GT(snapshot.counter("closure.traverse_misses"), 0u);
+  EXPECT_GT(snapshot.counter("closure.traverse_hits"), 0u);
+  EXPECT_GT(snapshot.counter("closure.path_lookups"), 0u);
+}
+
+TEST_F(PipelineClosureTest, ClosureCountersSurfaceOnShardedEngine) {
+  SodaConfig config = Config(true);
+  config.num_shards = 2;
+  config.num_threads = 1;
+  config.cache_capacity = 0;
+  auto router = ShardedSodaEngine::Create(&bank_->db, &bank_->graph,
+                                          CreditSuissePatternLibrary(),
+                                          config);
+  ASSERT_TRUE(router.ok()) << router.status();
+  std::vector<std::string> queries = MiniBankQueries();
+  for (const auto& output : (*router)->SearchAll(queries)) {
+    ASSERT_TRUE(output.ok()) << output.status();
+  }
+  MetricsSnapshot snapshot = (*router)->metrics_snapshot();
+  EXPECT_GT(snapshot.counter("closure.traverse_misses"), 0u);
+  EXPECT_GT(snapshot.counter("closure.path_lookups"), 0u);
+}
+
+TEST_F(PipelineClosureTest, ClosuresOffBooksNoClosureCounters) {
+  SodaConfig config = Config(false);
+  config.cache_capacity = 0;
+  auto engine = SodaEngine::Create(&bank_->db, &bank_->graph,
+                                   CreditSuissePatternLibrary(), config);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  ASSERT_EQ((*engine)->soda().entry_point_closure(), nullptr);
+  ASSERT_TRUE((*engine)->Search("customers Zürich").ok());
+  MetricsSnapshot snapshot = (*engine)->metrics_snapshot();
+  EXPECT_EQ(snapshot.counter("closure.traverse_hits"), 0u);
+  EXPECT_EQ(snapshot.counter("closure.traverse_misses"), 0u);
+  EXPECT_EQ(snapshot.counter("closure.path_lookups"), 0u);
+}
+
+}  // namespace
+}  // namespace soda
