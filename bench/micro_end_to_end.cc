@@ -16,9 +16,11 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/freshness.h"
 #include "core/sharded_engine.h"
 #include "core/soda.h"
 #include "datasets/enterprise.h"
+#include "datasets/minibank.h"
 #include "eval/workload.h"
 #include "pattern/library.h"
 #include "sql/executor.h"
@@ -495,5 +497,63 @@ void BM_EngineCachedWorkload(benchmark::State& state) {
                           static_cast<int64_t>(workload.size()));
 }
 BENCHMARK(BM_EngineCachedWorkload);
+
+// The live-base-data cycle: serve a cached query, append a row that its
+// answer depends on (new Zürich address), let the FreshnessManager apply
+// the index delta and invalidate the key, and serve again cold. Runs on
+// its own mini-bank — the shared enterprise Env must stay immutable for
+// the other benches.
+struct FreshnessEnv {
+  std::unique_ptr<soda::MiniBank> bank;
+  std::unique_ptr<soda::SodaEngine> engine;
+  std::unique_ptr<soda::FreshnessManager> freshness;
+  int64_t next_id = 100000;
+
+  FreshnessEnv() {
+    bank = std::move(soda::BuildMiniBank()).value();
+    soda::SodaConfig config;
+    config.num_threads = 2;
+    config.cache_capacity = 64;
+    auto created =
+        soda::SodaEngine::Create(&bank->db, &bank->graph,
+                                 soda::CreditSuissePatternLibrary(), config);
+    if (!created.ok()) {
+      std::fprintf(stderr, "failed to build freshness engine: %s\n",
+                   created.status().ToString().c_str());
+      std::exit(1);
+    }
+    engine = std::move(created).value();
+    freshness =
+        std::make_unique<soda::FreshnessManager>(&bank->db.change_log());
+    freshness->Track(engine.get());
+  }
+};
+
+FreshnessEnv* freshness_env() {
+  static FreshnessEnv* instance = new FreshnessEnv();
+  return instance;
+}
+
+void BM_FreshnessAppendInvalidate(benchmark::State& state) {
+  FreshnessEnv* env = freshness_env();
+  soda::Table* addresses = env->bank->db.FindTable("addresses");
+  const std::string query = "customers Zürich financial instruments";
+  for (auto _ : state) {
+    // The previous iteration's append invalidated this key, so every
+    // serve is a cold pipeline run over the grown table.
+    benchmark::DoNotOptimize(env->engine->Search(query));
+    int64_t id = env->next_id++;
+    addresses->AppendUnchecked({soda::Value::Int(id), soda::Value::Int(id),
+                                soda::Value::Str("Benchstrasse"),
+                                soda::Value::Str("Zürich"),
+                                soda::Value::Str("CH")});
+  }
+  auto snapshot = env->freshness->metrics_snapshot();
+  state.counters["freshness_events"] =
+      static_cast<double>(snapshot.counter("freshness.events"));
+  state.counters["freshness_keys_invalidated"] =
+      static_cast<double>(snapshot.counter("freshness.keys_invalidated"));
+}
+BENCHMARK(BM_FreshnessAppendInvalidate);
 
 }  // namespace

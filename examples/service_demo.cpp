@@ -5,10 +5,12 @@
 //
 // Shows: the router splitting one dashboard refresh across shards (each
 // with its own worker pool and LRU cache, byte-identical merge back into
-// input order), async snippet streaming behind a SnippetBarrier, keyed
-// cache invalidation fanning out to every shard after a base-data
-// update, and the fleet-level metrics snapshot (per-stage histograms +
-// service counters merged across shards, plus router.* samples).
+// input order), async snippet streaming behind a SnippetBarrier, live
+// base data — a row appended mid-serve flows through the change log into
+// every shard's inverted index and invalidates exactly the dependent
+// cache keys automatically (FreshnessManager) — and the fleet-level
+// metrics snapshot, in both the human-readable dump and Prometheus text
+// exposition format.
 
 #include <atomic>
 #include <cstdio>
@@ -16,9 +18,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/prometheus_sink.h"
+#include "core/freshness.h"
 #include "core/sharded_engine.h"
 #include "datasets/minibank.h"
 #include "pattern/library.h"
+#include "storage/change_log.h"
 
 int main() {
   auto bank = soda::BuildMiniBank();
@@ -45,6 +50,14 @@ int main() {
               "fleet cache capacity %zu\n\n",
               engine.num_shards(), engine.num_threads(),
               engine.cache_stats().capacity);
+
+  // Live-base-data wiring: storage appends now publish ChangeEvents, the
+  // manager applies incremental index deltas on every shard replica and
+  // fires keyed invalidation for exactly the affected cache entries.
+  // Installed before serving so every cached answer's dependencies are
+  // recorded.
+  soda::FreshnessManager freshness(&(*bank)->db.change_log());
+  freshness.Track(&engine);
 
   // A small "dashboard" of queries every simulated user keeps refreshing.
   const std::vector<std::string> dashboard = {
@@ -103,9 +116,8 @@ int main() {
                 warm->threads_used);
   }
 
-  // Base-data update: the investments table changed, so evict exactly the
-  // cached answers that mention it — on whichever shard they live — and
-  // leave the rest of the fleet's cache warm.
+  // Manual keyed invalidation is still available for callers that know
+  // which keys a change affects...
   size_t evicted = engine.InvalidateWhere([](const std::string& key) {
     return key.find("investments") != std::string::npos;
   });
@@ -116,6 +128,41 @@ int main() {
               evicted, evicted == 1 ? "y" : "ies", dashboard[1].c_str(),
               recomputed.ok() && recomputed->from_cache ? "cache"
                                                         : "pipeline");
+
+  // ...but live base data does not need it: append a brand-new customer
+  // while the fleet is up, and the change log + FreshnessManager update
+  // every shard's inverted index in place and evict exactly the cached
+  // answers the row can affect (the Zürich dashboard entry), leaving the
+  // rest warm.
+  std::printf("---- live base data (automatic freshness) ---------------\n");
+  soda::Table* individuals = (*bank)->db.FindTable("individuals");
+  soda::Table* addresses = (*bank)->db.FindTable("addresses");
+  {
+    soda::ChangeLog::EpochGuard epoch((*bank)->db.change_log());
+    (void)individuals->Append(
+        {soda::Value::Int(9001), soda::Value::Str("Nadia"),
+         soda::Value::Str("Demozian"), soda::Value::Int(120000),
+         soda::Value::DateV(soda::Date::FromYmd(1988, 4, 2))});
+    (void)addresses->Append({soda::Value::Int(9001), soda::Value::Int(9001),
+                             soda::Value::Str("Limmatquai 1"),
+                             soda::Value::Str("Zürich"),
+                             soda::Value::Str("CH")});
+  }
+  auto after_append = engine.Search(dashboard[0]);
+  std::printf("  appended individual 'Nadia Demozian' + Zürich address "
+              "(one epoch, %llu events)\n",
+              static_cast<unsigned long long>(freshness.events_seen()));
+  std::printf("  '%s' served from %s (auto-invalidated, %llu key(s) "
+              "evicted fleet-wide)\n",
+              dashboard[0].c_str(),
+              after_append.ok() && after_append->from_cache ? "cache"
+                                                           : "pipeline",
+              static_cast<unsigned long long>(freshness.keys_invalidated()));
+  auto nadia = engine.Search("addresses Nadia Demozian");
+  if (nadia.ok()) {
+    std::printf("  'addresses Nadia Demozian' now finds %zu result(s) "
+                "without any rebuild\n", nadia->results.size());
+  }
 
   // Async snippet streaming: translated, ranked SQL comes back at once;
   // snippets arrive through the callback as the pool executes them, and
@@ -144,8 +191,30 @@ int main() {
               barrier.callback_exceptions());
 
   // The fleet-level view: per-stage latency histograms and service
-  // counters, aggregated across everything this process just did.
+  // counters, aggregated across everything this process just did —
+  // freshness.* books included (the manager writes into its own sink
+  // here; fold it into the fleet view for one merged dump).
+  soda::MetricsSnapshot fleet = engine.metrics_snapshot();
+  fleet.MergeFrom(freshness.metrics_snapshot());
   std::printf("---- metrics snapshot -----------------------------------\n%s",
-              engine.metrics_snapshot().ToString().c_str());
+              fleet.ToString().c_str());
+
+  // The same snapshot a /metrics endpoint would serve, in Prometheus
+  // text exposition format (counters only here — the histogram series
+  // render too but would flood the terminal).
+  std::printf("---- prometheus exposition (counters) -------------------\n");
+  std::string exposition = soda::RenderPrometheusText(fleet);
+  size_t pos = 0;
+  while (pos < exposition.size()) {
+    size_t eol = exposition.find('\n', pos);
+    std::string line = exposition.substr(pos, eol - pos);
+    if (line.find("_bucket{") == std::string::npos &&
+        line.find("_sum") == std::string::npos &&
+        line.find("_count") == std::string::npos &&
+        line.find("histogram") == std::string::npos) {
+      std::printf("  %s\n", line.c_str());
+    }
+    pos = eol == std::string::npos ? exposition.size() : eol + 1;
+  }
   return 0;
 }

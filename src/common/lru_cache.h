@@ -14,6 +14,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -69,23 +70,36 @@ class LruCache {
   }
 
   /// Inserts (or replaces) a value, evicting the least recently used
-  /// entry when over capacity.
-  void Put(const K& key, std::shared_ptr<const V> value) {
-    if (capacity_ == 0) return;
+  /// entry when over capacity. Returns the evicted entry's key when one
+  /// was dropped — the hook dependents (the freshness layer's reverse
+  /// maps) use to forget keys the cache can no longer serve.
+  std::optional<K> Put(const K& key, std::shared_ptr<const V> value) {
+    if (capacity_ == 0) return std::nullopt;
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       it->second->second = std::move(value);
       order_.splice(order_.begin(), order_, it->second);
-      return;
+      return std::nullopt;
     }
     order_.emplace_front(key, std::move(value));
     map_[key] = order_.begin();
     if (map_.size() > capacity_) {
-      map_.erase(order_.back().first);
+      std::optional<K> evicted(std::move(order_.back().first));
+      map_.erase(*evicted);
       order_.pop_back();
       ++evictions_;
+      return evicted;
     }
+    return std::nullopt;
+  }
+
+  /// Pure membership probe: no LRU bump, no hit/miss accounting — for
+  /// bookkeeping layers (freshness dependency maps) that must ask
+  /// "could this key still be served?" without distorting the stats.
+  bool Contains(const K& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.count(key) > 0;
   }
 
   /// Counts `n` extra hits without probing the map. The engine's batch

@@ -39,6 +39,54 @@ void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
   for (size_t b = 0; b < buckets.size(); ++b) buckets[b] += other.buckets[b];
 }
 
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& earlier) const {
+  if (earlier.count == 0) return *this;
+  HistogramSnapshot delta;
+  if (count <= earlier.count) return delta;  // nothing new (or a reset)
+  delta.count = count - earlier.count;
+  delta.sum = sum - earlier.sum;
+  size_t lowest = kHistogramBuckets;
+  size_t highest = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    delta.buckets[b] =
+        buckets[b] >= earlier.buckets[b] ? buckets[b] - earlier.buckets[b]
+                                         : 0;
+    if (delta.buckets[b] > 0) {
+      if (lowest == kHistogramBuckets) lowest = b;
+      highest = b;
+    }
+  }
+  // Interval min/max are unknowable from endpoint snapshots; bound them
+  // by the grid edges of the occupied delta buckets (clamped to the
+  // lifetime extremes, which always contain the interval).
+  delta.min = (lowest == kHistogramBuckets || lowest == 0)
+                  ? min
+                  : kHistogramBounds[lowest - 1];
+  delta.max =
+      highest >= kHistogramBounds.size() ? max : kHistogramBounds[highest];
+  if (delta.min < min) delta.min = min;
+  if (delta.max > max) delta.max = max;
+  return delta;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : counters) {
+    auto it = earlier.counters.find(name);
+    uint64_t base = it == earlier.counters.end() ? 0 : it->second;
+    if (value > base) delta.counters[name] = value - base;
+  }
+  for (const auto& [name, h] : histograms) {
+    auto it = earlier.histograms.find(name);
+    HistogramSnapshot d =
+        it == earlier.histograms.end() ? h : h.DeltaSince(it->second);
+    if (d.count > 0) delta.histograms[name] = d;
+  }
+  return delta;
+}
+
 void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
   for (const auto& [name, value] : other.counters) counters[name] += value;
   for (const auto& [name, h] : other.histograms) {

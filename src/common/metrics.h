@@ -70,6 +70,14 @@ struct HistogramSnapshot {
   /// the buckets too — merging N shard histograms loses nothing over
   /// observing every sample into one sink.
   void MergeFrom(const HistogramSnapshot& other);
+
+  /// The distribution of samples observed after `earlier` was taken
+  /// (both snapshots of the same monotonically growing sink): count, sum
+  /// and buckets subtract exactly on the shared grid. min/max cannot be
+  /// reconstructed for an interval from endpoint snapshots; the delta
+  /// carries bucket-derived bounds (the grid edges of the lowest and
+  /// highest non-empty delta buckets) — exact enough for rate panels.
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const;
 };
 
 /// Point-in-time copy of everything a sink has aggregated. Ordered maps
@@ -94,6 +102,17 @@ struct MetricsSnapshot {
   /// bucket-by-bucket. The sharded router uses this to present N replica
   /// sinks (plus its own router.* samples) as one fleet-level view.
   void MergeFrom(const MetricsSnapshot& other);
+
+  /// What happened between `earlier` (an older snapshot of the same
+  /// sink) and this one: counters and histogram counts/sums/buckets
+  /// subtract. Metrics absent from `earlier` pass through whole;
+  /// metrics that produced no new samples drop out of the delta
+  /// entirely — as does any metric that went backwards (a Reset() sink
+  /// renders as an empty interval rather than underflowing; take a
+  /// fresh baseline snapshot after resetting). This is the
+  /// per-interval-rate primitive the Prometheus exporter's
+  /// RenderDeltaText builds on.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
 };
 
 /// Default sink: counters + fixed-bucket histograms behind one mutex.

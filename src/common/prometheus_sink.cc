@@ -1,0 +1,76 @@
+#include "common/prometheus_sink.h"
+
+#include <cstdio>
+
+namespace soda {
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; we map everything else
+// (the sinks use '.' as a namespace separator) to '_' and avoid ':'
+// (reserved for recording rules by convention).
+std::string SanitizeMetricName(std::string_view prefix,
+                               std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.append(prefix);
+  if (!out.empty()) out.push_back('_');
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+// %.17g keeps doubles round-trippable; trailing ".0"-free integers come
+// out as plain integers, which is what Prometheus parsers expect.
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+// Bucket boundary labels: the kHistogramBounds grid is human-chosen
+// short decimals (0.025, 250), for which %g's 6 significant digits are
+// already exact — and "0.025", not "0.025000000000000001", is what
+// scrape configs match on.
+std::string FormatBound(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
+                                 std::string_view prefix) {
+  std::string out;
+  // Ordered maps in the snapshot → lexicographic, stable output.
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string metric = SanitizeMetricName(prefix, name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::string metric = SanitizeMetricName(prefix, name);
+    out += "# TYPE " + metric + " histogram\n";
+    // Exposition buckets are cumulative over the shared fixed grid; the
+    // sink's per-bucket counts prefix-sum into them exactly.
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < kHistogramBounds.size(); ++b) {
+      cumulative += h.buckets[b];
+      out += metric + "_bucket{le=\"" + FormatBound(kHistogramBounds[b]) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    cumulative += h.buckets[kHistogramBounds.size()];
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+           "\n";
+    out += metric + "_sum " + FormatDouble(h.sum) + "\n";
+    out += metric + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace soda

@@ -1,0 +1,77 @@
+// Prometheus text-exposition exporter over the MetricsSink interface.
+//
+// The ROADMAP's "metrics exporters" item: deployments that scrape
+// instead of push plug one of these into SodaEngine::set_metrics_sink
+// (one instance may serve every shard — it is thread-safe) and serve
+// RenderText() from their /metrics endpoint. Rendering follows the
+// Prometheus text exposition format, version 0.0.4:
+//
+//   * counters become `<prefix>_<name>_total` with a # TYPE header;
+//   * distributions become classic histograms — cumulative
+//     `_bucket{le="..."}` series over the shared kHistogramBounds grid,
+//     plus `_sum` and `_count`;
+//   * metric names are sanitized ([a-zA-Z0-9_], '.' → '_') and emitted
+//     in lexicographic order, so output is stable and golden-testable.
+//
+// Per-interval rates come from snapshot diffing: keep the previous
+// scrape's MetricsSnapshot and render `now.DeltaSince(previous)` (see
+// common/metrics.h) — counters subtract, histogram counts/sums/buckets
+// subtract, giving exact per-interval distributions on the fixed grid.
+
+#ifndef SODA_COMMON_PROMETHEUS_SINK_H_
+#define SODA_COMMON_PROMETHEUS_SINK_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/metrics.h"
+
+namespace soda {
+
+/// Renders `snapshot` in Prometheus text exposition format. Works on any
+/// snapshot — a single engine's, a sharded fleet's merged view, or a
+/// DeltaSince interval. `prefix` namespaces every metric ("soda" →
+/// "soda_cache_hit_total").
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
+                                 std::string_view prefix = "soda");
+
+/// A MetricsSink that aggregates like the in-memory default and renders
+/// Prometheus text on demand. Thread-safe; install with
+/// SodaEngine::set_metrics_sink (or hand one instance to a sharded
+/// fleet).
+class PrometheusTextMetricsSink : public MetricsSink {
+ public:
+  explicit PrometheusTextMetricsSink(std::string prefix = "soda")
+      : prefix_(std::move(prefix)) {}
+
+  void IncrementCounter(std::string_view name, uint64_t delta) override {
+    aggregate_.IncrementCounter(name, delta);
+  }
+  void Observe(std::string_view name, double value) override {
+    aggregate_.Observe(name, value);
+  }
+
+  /// Consistent snapshot of everything observed so far (feed this to
+  /// DeltaSince for interval rates).
+  MetricsSnapshot Snapshot() const { return aggregate_.Snapshot(); }
+
+  /// The /metrics payload: the current snapshot in exposition format.
+  std::string RenderText() const {
+    return RenderPrometheusText(Snapshot(), prefix_);
+  }
+
+  /// The per-interval payload: everything observed since `previous`.
+  std::string RenderDeltaText(const MetricsSnapshot& previous) const {
+    return RenderPrometheusText(Snapshot().DeltaSince(previous), prefix_);
+  }
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string prefix_;
+  InMemoryMetricsSink aggregate_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_COMMON_PROMETHEUS_SINK_H_

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "core/freshness.h"
+#include "storage/change_log.h"
 
 namespace soda {
 
@@ -103,9 +105,49 @@ size_t SodaEngine::num_threads() const {
 
 size_t SodaEngine::InvalidateWhere(
     const std::function<bool(const std::string&)>& pred) const {
-  size_t erased = cache_.EraseIf(pred);
+  // Collect the evicted keys while the predicate runs (under the cache
+  // lock — a plain push_back), so the freshness layer can drop their
+  // dependency records afterwards instead of leaking them.
+  std::vector<std::string> erased_keys;
+  size_t erased = cache_.EraseIf([&](const std::string& key) {
+    if (!pred(key)) return false;
+    if (freshness_ != nullptr) erased_keys.push_back(key);
+    return true;
+  });
   sink_->IncrementCounter("cache.invalidated", erased);
+  if (freshness_ != nullptr) {
+    for (const std::string& key : erased_keys) freshness_->Forget(key);
+  }
   return erased;
+}
+
+std::shared_lock<std::shared_mutex> SodaEngine::ReadGuard() const {
+  const Database* db = soda_->database();
+  if (db == nullptr) return {};
+  return db->change_log().ReaderLock();
+}
+
+void SodaEngine::CacheInsert(const std::string& key,
+                             const SearchOutput& output) const {
+  if (cache_.capacity() == 0) return;
+  // The manager keeps the dependency record; the stored copy does not
+  // need to carry the term vector through every future cache hit.
+  auto stored = std::make_shared<SearchOutput>(output);
+  stored->freshness_terms.clear();
+  stored->freshness_terms.shrink_to_fit();
+  std::optional<std::string> evicted = cache_.Put(key, std::move(stored));
+  if (freshness_ != nullptr) {
+    freshness_->RecordQuery(key, output);
+    // Capacity eviction: the dropped key can no longer be served, so
+    // its reverse-map entries would only leak — forget them, unless a
+    // concurrent serve re-inserted the same key meanwhile (ForgetEvicted
+    // re-checks membership under the manager's mutex).
+    if (evicted.has_value()) {
+      freshness_->ForgetEvicted(*evicted, [this](const std::string& k) {
+        return cache_.Contains(k);
+      });
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -114,6 +156,11 @@ size_t SodaEngine::InvalidateWhere(
 
 Result<SearchOutput> SodaEngine::Search(const std::string& query) const {
   SODA_RETURN_NOT_OK(soda_->init_status());
+  // Whole-serve shared data lock: concurrent appends (exclusive holders)
+  // order entirely before or after this serve, so the cache probe, the
+  // pipeline, the snippet scan and the cache insert all see one
+  // consistent database state.
+  auto data_guard = ReadGuard();
   auto t_start = std::chrono::steady_clock::now();
   sink_->IncrementCounter("engine.search", 1);
 
@@ -140,6 +187,7 @@ Result<SearchOutput> SodaEngine::Search(const std::string& query) const {
   QueryContext ctx(query);
   ctx.config = &config;
   ctx.metrics = sink_.get();
+  ctx.collect_freshness_terms = freshness_ != nullptr;
   const std::vector<const PipelineStage*>& stages = soda_->stages();
 
   // Query-level prefix (lookup, rank) runs serially — it is cheap and
@@ -173,7 +221,7 @@ Result<SearchOutput> SodaEngine::Search(const std::string& query) const {
 
   // Cache the fully materialized answer (statements + snippets). The
   // stored copy keeps from_cache=false; hits patch their own counters.
-  cache_.Put(key, std::make_shared<const SearchOutput>(output));
+  CacheInsert(key, output);
 
   CacheStats stats = cache_.stats();
   output.cache_hits = stats.hits;
@@ -240,6 +288,7 @@ std::vector<SodaEngine::BatchItem> SodaEngine::TranslateBatch(
         std::make_unique<QueryContext>(queries[items[miss_idx].occurrences[0]]);
     ctx->config = &config;
     ctx->metrics = sink_.get();
+    ctx->collect_freshness_terms = freshness_ != nullptr;
     contexts.push_back(std::move(ctx));
   }
   sink_->Observe("pool.queue_depth",
@@ -377,6 +426,7 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAll(
     return std::vector<Result<SearchOutput>>(
         queries.size(), Result<SearchOutput>(soda_->init_status()));
   }
+  auto data_guard = ReadGuard();
   auto t_start = std::chrono::steady_clock::now();
   sink_->IncrementCounter("engine.search_all", 1);
 
@@ -388,7 +438,7 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAll(
   // single-query path.
   for (const BatchItem& item : items) {
     if (item.from_cache || !item.output.ok()) continue;
-    cache_.Put(item.key, std::make_shared<const SearchOutput>(*item.output));
+    CacheInsert(item.key, *item.output);
   }
   return ExpandBatch(std::move(items), queries.size(),
                      /*mark_dedup_as_cached=*/true, t_start);
@@ -411,6 +461,12 @@ struct StreamState {
   SnippetCallback on_snippet;  // one copy per unique query, not per task
   bool run_execution = false;  // false when served from cache (or disabled)
   bool cache_insert = false;   // insert the materialized output when done
+  /// Change-log sequence at translation time. The deferred cache insert
+  /// is skipped when the log moved past it meanwhile — a mutation
+  /// between translation and the last snippet already invalidated this
+  /// key's dependents, and inserting the stale answer afterwards would
+  /// undo that forever.
+  uint64_t translated_at_sequence = 0;
   std::atomic<size_t> remaining{0};
 };
 
@@ -424,12 +480,15 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAllAsync(
     return std::vector<Result<SearchOutput>>(
         queries.size(), Result<SearchOutput>(soda_->init_status()));
   }
+  auto data_guard = ReadGuard();
   auto t_start = std::chrono::steady_clock::now();
   sink_->IncrementCounter("engine.search_all_async", 1);
 
   const SodaConfig& config = soda_->config();
-  const bool can_execute =
-      config.execute_snippets && soda_->database() != nullptr;
+  const Database* db = soda_->database();
+  const bool can_execute = config.execute_snippets && db != nullptr;
+  const uint64_t translated_at_sequence =
+      db != nullptr ? db->change_log().sequence() : 0;
 
   std::vector<BatchItem> items = TranslateBatch(queries, /*execute=*/false);
 
@@ -445,8 +504,7 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAllAsync(
       // Nothing to stream, so no task will ever do the deferred cache
       // insert — cache the (empty) answer now, like the sync paths do.
       if (!item.from_cache) {
-        cache_.Put(item.key,
-                   std::make_shared<const SearchOutput>(*item.output));
+        CacheInsert(item.key, *item.output);
       }
       continue;
     }
@@ -457,6 +515,7 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAllAsync(
     stream->on_snippet = on_snippet;
     stream->run_execution = can_execute && !item.from_cache;
     stream->cache_insert = !item.from_cache;
+    stream->translated_at_sequence = translated_at_sequence;
     stream->remaining.store(stream->output.results.size(),
                             std::memory_order_relaxed);
     expected_callbacks +=
@@ -469,12 +528,24 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAllAsync(
       ExpandBatch(std::move(items), queries.size(),
                   /*mark_dedup_as_cached=*/false, t_start);
 
+  // Release the serve's shared lock before scheduling the snippet
+  // tasks: on a workerless pool Submit runs the task inline on this
+  // thread, and its own ReadGuard must not re-enter the shared_mutex
+  // (UB, and a deadlock with a queued writer). The tasks re-acquire for
+  // themselves; the sequence check above keeps a mutation that sneaks
+  // into the gap from ever caching a stale answer.
+  if (data_guard.owns_lock()) data_guard.unlock();
+
   // One task per (unique query, result): execute the snippet, then fan
   // the callback out to every occurrence of that query in the batch —
   // exactly one delivery per (query_index, result_index) pair.
   for (const std::shared_ptr<StreamState>& stream : streams) {
     for (size_t r = 0; r < stream->output.results.size(); ++r) {
       pool_.Submit([this, stream, barrier, r] {
+        // Pool tasks run outside the submitting call's data guard, so
+        // each takes its own shared lock around the snippet scan and the
+        // (possible) cache insert.
+        auto data_guard = ReadGuard();
         SodaResult& result = stream->output.results[r];
         if (stream->run_execution) {
           soda_->ExecuteSnippet(&result, sink_.get());
@@ -498,9 +569,16 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAllAsync(
         }
         if (stream->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
             stream->cache_insert) {
-          // Last snippet of this query: cache the materialized answer.
-          cache_.Put(stream->key,
-                     std::make_shared<const SearchOutput>(stream->output));
+          // Last snippet of this query: cache the materialized answer —
+          // unless base data moved since translation (the stored answer
+          // would be stale and its invalidation already happened).
+          const Database* db = soda_->database();
+          if (db == nullptr ||
+              db->change_log().sequence() == stream->translated_at_sequence) {
+            CacheInsert(stream->key, stream->output);
+          } else {
+            sink_->IncrementCounter("cache.stale_insert_skipped", 1);
+          }
         }
         // Deliver last: once the barrier reports drained, the cache
         // insertion (done by whichever task decremented to zero) has

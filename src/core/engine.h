@@ -48,6 +48,7 @@
 #include <initializer_list>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -58,6 +59,8 @@
 #include "core/soda.h"
 
 namespace soda {
+
+class FreshnessManager;
 
 /// The engine's cache key and the sharded router's routing key:
 /// whitespace runs collapsed to single spaces, ends trimmed. Case is NOT
@@ -194,6 +197,24 @@ class SodaEngine {
   size_t InvalidateWhere(
       const std::function<bool(const std::string&)>& pred) const;
 
+  /// Incremental base-data maintenance: forwards one storage ChangeEvent
+  /// to the underlying Soda's inverted index. MUST run under the
+  /// database change log's exclusive data lock (i.e. from a
+  /// ChangeListener) — every serving path holds the shared side for its
+  /// whole serve, so the delta can never interleave with a probe.
+  /// Returns the number of new posting entries.
+  size_t ApplyBaseDataDelta(const ChangeEvent& event) {
+    return soda_->ApplyBaseDataDelta(event);
+  }
+
+  /// Registers the freshness manager this engine reports cache inserts
+  /// to: each materialized answer's (normalized key, dependency terms,
+  /// referenced tables) triple is recorded so storage mutations can
+  /// invalidate exactly the affected keys. Install before serving
+  /// traffic (entries cached earlier have no recorded dependencies).
+  /// nullptr detaches. Normally called by FreshnessManager::Track.
+  void set_freshness(FreshnessManager* freshness) { freshness_ = freshness; }
+
   /// Replaces the metrics sink (statsd/Prometheus exporters plug in
   /// here). Not thread-safe with respect to in-flight searches — install
   /// the sink before serving traffic. Passing nullptr restores the
@@ -239,7 +260,18 @@ class SodaEngine {
       bool mark_dedup_as_cached,
       std::chrono::steady_clock::time_point batch_start) const;
 
+  /// Shared data lock for the serve (empty when the engine has no
+  /// database): every entry point takes one before probing the cache and
+  /// holds it through its own cache insert, so answers can never be
+  /// cached after an invalidation that should have covered them.
+  std::shared_lock<std::shared_mutex> ReadGuard() const;
+
+  /// Cache insert + freshness dependency registration, one atom: both
+  /// happen under the caller's ReadGuard.
+  void CacheInsert(const std::string& key, const SearchOutput& output) const;
+
   std::unique_ptr<Soda> soda_;
+  FreshnessManager* freshness_ = nullptr;
   mutable LruCache<std::string, SearchOutput> cache_;
   std::shared_ptr<InMemoryMetricsSink> default_sink_;
   std::shared_ptr<MetricsSink> sink_;

@@ -7,6 +7,7 @@
 
 #include "common/strings.h"
 #include "core/entry_point.h"
+#include "text/tokenizer.h"
 
 namespace soda {
 
@@ -86,9 +87,56 @@ Status PipelineStage::RunOne(const QueryContext&, InterpretationState*) const {
 // LookupStage
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// The folded token vocabulary Step 1 probed: everything segmentation and
+// classification compared against the base-data index. An appended value
+// whose tokens intersect this set can change the query's lookup (a new
+// entry point, a previously ignored word that now matches, a shifted
+// candidate count), so the freshness layer keys invalidation on it.
+std::vector<std::string> CollectFreshnessTerms(const QueryContext& ctx) {
+  std::vector<std::string> terms;
+  auto add_tokens = [&terms](std::string_view text) {
+    for (std::string& token : Tokenize(text)) {
+      terms.push_back(std::move(token));
+    }
+  };
+  for (const LookupTerm& term : ctx.lookup.terms) {
+    add_tokens(term.phrase);  // already folded; Tokenize just splits
+  }
+  for (const std::string& word : ctx.lookup.ignored_words) {
+    add_tokens(word);
+  }
+  for (const OperatorBinding& op : ctx.lookup.operators) {
+    // String comparison operands ("family name = Meier") are consumed as
+    // literals, so they appear in neither terms nor ignored words.
+    if (op.literal.type() == ValueType::kString && !op.literal.is_null()) {
+      add_tokens(op.literal.AsString());
+    }
+  }
+  for (const InputElement& element : ctx.parsed.elements) {
+    if (element.kind == InputElement::Kind::kAggregation) {
+      add_tokens(element.agg_argument);
+    }
+    if (element.kind == InputElement::Kind::kGroupBy) {
+      for (const std::string& phrase : element.group_by_phrases) {
+        add_tokens(phrase);
+      }
+    }
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return terms;
+}
+
+}  // namespace
+
 Status LookupStage::Run(QueryContext* ctx) const {
   SODA_ASSIGN_OR_RETURN(ctx->parsed, ParseInputQuery(ctx->raw_query));
   SODA_ASSIGN_OR_RETURN(ctx->lookup, step_->Run(ctx->parsed));
+  if (ctx->collect_freshness_terms) {
+    ctx->freshness_terms = CollectFreshnessTerms(*ctx);
+  }
   return Status::OK();
 }
 
@@ -265,6 +313,7 @@ SearchOutput FinalizeOutput(QueryContext&& ctx) {
   output.complexity = ctx.lookup.complexity;
   output.ignored_words = std::move(ctx.lookup.ignored_words);
   output.timings = ctx.timings;
+  output.freshness_terms = std::move(ctx.freshness_terms);
 
   std::set<std::string> seen_sql;
   for (InterpretationState& state : ctx.states) {

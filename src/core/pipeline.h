@@ -96,6 +96,15 @@ struct SearchOutput {
   size_t cache_hits = 0;    // engine-lifetime counters at response time
   size_t cache_misses = 0;
   size_t threads_used = 1;  // pool width that produced this answer
+
+  /// The base-data value vocabulary this answer depends on: every folded
+  /// token Step 1 probed against the classification/inverted indexes
+  /// (matched phrases, ignored words, aggregation and group-by
+  /// arguments, string comparison operands), sorted and deduplicated.
+  /// Recorded cheaply during lookup; the FreshnessManager keys its
+  /// reverse map on these to invalidate cached answers whose lookup
+  /// could see an appended value (core/freshness.h).
+  std::vector<std::string> freshness_terms;
 };
 
 /// Canonical form of a statement for result deduplication: FROM order,
@@ -151,6 +160,13 @@ struct QueryContext {
   LookupOutput lookup;
   std::vector<InterpretationState> states;
   StepTimings timings;
+
+  /// When set, LookupStage records the probed token vocabulary into
+  /// freshness_terms (moved into SearchOutput by FinalizeOutput). The
+  /// engine turns it on when a FreshnessManager is attached; otherwise
+  /// nobody would read the terms, so the collection is skipped.
+  bool collect_freshness_terms = false;
+  std::vector<std::string> freshness_terms;
 };
 
 /// One step of the pipeline. Implementations must be stateless with

@@ -219,6 +219,20 @@ size_t ShardedSodaEngine::InvalidateWhere(
   return erased;
 }
 
+size_t ShardedSodaEngine::ApplyBaseDataDelta(const ChangeEvent& event) {
+  size_t inserted = 0;
+  for (const std::unique_ptr<SodaEngine>& shard : shards_) {
+    inserted += shard->ApplyBaseDataDelta(event);
+  }
+  return inserted;
+}
+
+void ShardedSodaEngine::set_freshness(FreshnessManager* freshness) {
+  for (const std::unique_ptr<SodaEngine>& shard : shards_) {
+    shard->set_freshness(freshness);
+  }
+}
+
 void ShardedSodaEngine::set_metrics_sink(
     const std::shared_ptr<MetricsSink>& sink) {
   for (const std::unique_ptr<SodaEngine>& shard : shards_) {

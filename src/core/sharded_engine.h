@@ -120,6 +120,19 @@ class ShardedSodaEngine {
   size_t InvalidateWhere(
       const std::function<bool(const std::string&)>& pred) const;
 
+  /// Incremental base-data maintenance fan-out: every replica owns its
+  /// own inverted index over the shared database, so one storage
+  /// ChangeEvent must reach all of them. Same contract as
+  /// SodaEngine::ApplyBaseDataDelta (call under the change log's
+  /// exclusive data lock, i.e. from a ChangeListener). Returns the sum
+  /// of new posting entries across shards.
+  size_t ApplyBaseDataDelta(const ChangeEvent& event);
+
+  /// Registers the freshness manager on every shard (each replica
+  /// reports its own cache inserts; the manager dedups by key). nullptr
+  /// detaches. Normally called by FreshnessManager::Track.
+  void set_freshness(FreshnessManager* freshness);
+
   /// Installs `sink` on every shard — the exporter hook for fleet
   /// deployments (MetricsSink implementations are thread-safe, so one
   /// instance may serve all shards). Same caveat as

@@ -1,6 +1,7 @@
 #include "core/soda.h"
 
 #include <chrono>
+#include <shared_mutex>
 #include <utility>
 
 namespace soda {
@@ -66,6 +67,12 @@ void Soda::ExecuteSnippet(SodaResult* result, MetricsSink* metrics) const {
 Result<SearchOutput> Soda::Search(const std::string& query,
                                   MetricsSink* metrics) const {
   SODA_RETURN_NOT_OK(init_status_);
+
+  // Live-data discipline: hold the database's shared data lock for the
+  // whole serve, so concurrent appends (exclusive holders) can never
+  // interleave with the pipeline, the index probes or the snippet scan.
+  std::shared_lock<std::shared_mutex> data_guard;
+  if (db_ != nullptr) data_guard = db_->change_log().ReaderLock();
 
   auto t_start = std::chrono::steady_clock::now();
   QueryContext ctx(query);

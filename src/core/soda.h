@@ -131,6 +131,18 @@ class Soda {
   void ExecuteSnippet(SodaResult* result,
                       MetricsSink* metrics = nullptr) const;
 
+  /// Incremental base-data maintenance: applies one storage ChangeEvent
+  /// to the inverted index in place (the classification index resolves
+  /// base-data phrases through it, so lookups see the appended values
+  /// immediately; the metadata graph, join graph and closures stay
+  /// untouched — only base data moves). Returns the number of new
+  /// posting entries. MUST be called under the owning database's change
+  /// log exclusive data lock — in practice, from a ChangeListener such
+  /// as the FreshnessManager (core/freshness.h).
+  size_t ApplyBaseDataDelta(const ChangeEvent& event) {
+    return inverted_index_.ApplyDelta(event);
+  }
+
   /// Exposed internals for benches, tests and the example applications.
   const ClassificationIndex& classification() const {
     return classification_;

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "storage/change_log.h"
 
 namespace soda {
 
@@ -246,6 +247,12 @@ Result<std::unique_ptr<MiniBank>> BuildMiniBank() {
   Table* instruments = bank->db.FindTable("fin_instruments");
   Table* securities = bank->db.FindTable("securities");
   Table* fi_contains_sec = bank->db.FindTable("fi_contains_sec");
+
+  // Bulk load: coalesce publication to one change event per table (see
+  // storage/change_log.h epoch semantics) — nobody is subscribed during
+  // dataset construction, but generators must model the discipline live
+  // loaders follow.
+  ChangeLog::EpochGuard epoch(bank->db.change_log());
 
   constexpr int kNumIndividuals = 50;
   constexpr int kNumOrganizations = 20;

@@ -1,6 +1,9 @@
 #include "storage/table.h"
 
+#include <cassert>
+
 #include "common/strings.h"
+#include "storage/change_log.h"
 
 namespace soda {
 
@@ -28,8 +31,26 @@ Status Table::Append(Row row) {
           ValueTypeName(row[i].type())));
     }
   }
-  rows_.push_back(std::move(row));
+  PushRow(std::move(row));
   return Status::OK();
+}
+
+void Table::AppendUnchecked(Row row) {
+  assert(row.size() == columns_.size() &&
+         "AppendUnchecked: row arity disagrees with the table schema");
+  PushRow(std::move(row));
+}
+
+void Table::PushRow(Row row) {
+  if (change_log_ == nullptr) {
+    rows_.push_back(std::move(row));
+    return;
+  }
+  // Exclusive data lock across the row push AND the publication, so no
+  // reader ever sees the new row with stale derived state.
+  auto lock = change_log_->WriterLock();
+  rows_.push_back(std::move(row));
+  change_log_->RecordAppendLocked(*this, rows_.size() - 1, rows_.size());
 }
 
 Value Table::ValueAt(size_t row_index, const std::string& column_name) const {
@@ -37,6 +58,11 @@ Value Table::ValueAt(size_t row_index, const std::string& column_name) const {
   if (col < 0 || row_index >= rows_.size()) return Value::Null();
   return rows_[row_index][static_cast<size_t>(col)];
 }
+
+Database::Database() : change_log_(std::make_unique<ChangeLog>()) {}
+Database::~Database() = default;
+Database::Database(Database&&) noexcept = default;
+Database& Database::operator=(Database&&) noexcept = default;
 
 Result<Table*> Database::CreateTable(const std::string& name,
                                      std::vector<ColumnDef> columns) {
@@ -46,6 +72,7 @@ Result<Table*> Database::CreateTable(const std::string& name,
   }
   tables_.push_back(std::make_unique<Table>(name, std::move(columns)));
   Table* t = tables_.back().get();
+  t->set_change_log(change_log_.get());
   by_name_[key] = t;
   return t;
 }

@@ -18,6 +18,8 @@
 
 namespace soda {
 
+class ChangeLog;
+
 /// One column of a physical table.
 struct ColumnDef {
   std::string name;
@@ -48,12 +50,18 @@ class Table {
   }
 
   /// Appends a row; fails when arity or value types disagree with the
-  /// schema (NULL is allowed in any column).
+  /// schema (NULL is allowed in any column). When the table belongs to a
+  /// Database, the append is published through its ChangeLog (under the
+  /// log's exclusive data lock), so live indexes and caches hear about
+  /// it; wrap bulk loads in ChangeLog::EpochGuard to coalesce events.
   Status Append(Row row);
 
-  /// Appends without validation — used by generators on hot paths after
-  /// they have validated the recipe once.
-  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  /// Appends without type validation — the generators' fast path after
+  /// they have validated the recipe once. Arity still asserts in debug
+  /// builds, and the append is routed through the same change-log
+  /// publication as Append, so the fast path can never desync a live
+  /// index.
+  void AppendUnchecked(Row row);
 
   const Row& row(size_t i) const { return rows_[i]; }
   const std::vector<Row>& rows() const { return rows_; }
@@ -61,15 +69,32 @@ class Table {
   /// Value at (row, column-name); NULL when the column does not exist.
   Value ValueAt(size_t row_index, const std::string& column_name) const;
 
+  /// The change log this table publishes appends to; nullptr for
+  /// standalone tables (constructed outside a Database). Set by
+  /// Database::CreateTable.
+  void set_change_log(ChangeLog* log) { change_log_ = log; }
+  ChangeLog* change_log() const { return change_log_; }
+
  private:
+  /// Shared append core: takes the change log's exclusive data lock (when
+  /// attached), pushes the row, and records the append for publication.
+  void PushRow(Row row);
+
   std::string name_;
   std::vector<ColumnDef> columns_;
   std::vector<Row> rows_;
+  ChangeLog* change_log_ = nullptr;
 };
 
 /// The catalog: owns tables, resolves case-insensitive table names.
 class Database {
  public:
+  // Out-of-line: the owned ChangeLog is an incomplete type here.
+  Database();
+  ~Database();
+  Database(Database&&) noexcept;
+  Database& operator=(Database&&) noexcept;
+
   /// Creates an empty table. Fails when the name is taken.
   Result<Table*> CreateTable(const std::string& name,
                              std::vector<ColumnDef> columns);
@@ -87,10 +112,17 @@ class Database {
   /// Sum of rows over all tables (used by dataset sanity checks).
   size_t TotalRows() const;
 
+  /// The database's mutation hub: every table created here publishes its
+  /// appends through this log. Const access returns a mutable log —
+  /// subscribing listeners and taking the data lock are not logical
+  /// mutations of the catalog (the engines hold `const Database*`).
+  ChangeLog& change_log() const { return *change_log_; }
+
  private:
   // Creation order preserved for deterministic iteration.
   std::vector<std::unique_ptr<Table>> tables_;
   std::map<std::string, Table*> by_name_;  // folded-lowercase name -> table
+  std::unique_ptr<ChangeLog> change_log_;
 };
 
 }  // namespace soda

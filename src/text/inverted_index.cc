@@ -58,6 +58,7 @@ void InvertedIndex::Build(const Database& db) {
 }
 
 void InvertedIndex::IndexTable(const Table& table) {
+  uint32_t table_ord = TableOrdinal(table.name());
   for (size_t c = 0; c < table.num_columns(); ++c) {
     if (table.columns()[c].type != ValueType::kString) continue;
     for (size_t r = 0; r < table.num_rows(); ++r) {
@@ -65,33 +66,85 @@ void InvertedIndex::IndexTable(const Table& table) {
       if (v.is_null()) continue;
       const std::string& text = v.AsString();
       if (text.empty()) continue;
-      ++num_records_;
-
-      ValueKeyView key{table.name(), table.columns()[c].name, text};
-      auto it = value_keys_.find(key);
-      if (it != value_keys_.end()) {
-        ++values_[*it].row_count;
-        continue;
-      }
-      StoredValue sv;
-      sv.table = table.name();
-      sv.column = table.columns()[c].name;
-      sv.value = text;
-      sv.tokens = Tokenize(text);
-      sv.row_count = 1;
-      if (sv.tokens.empty()) continue;
-      uint32_t index = static_cast<uint32_t>(values_.size());
-      // Register under each distinct token of the value.
-      std::vector<std::string> seen;
-      for (const auto& token : sv.tokens) {
-        if (std::find(seen.begin(), seen.end(), token) != seen.end()) continue;
-        seen.push_back(token);
-        postings_[token].push_back(index);
-      }
-      values_.push_back(std::move(sv));
-      value_keys_.insert(index);
+      AddOccurrence(table_ord, static_cast<uint32_t>(c), r, table.name(),
+                    table.columns()[c].name, text);
     }
   }
+}
+
+size_t InvertedIndex::ApplyDelta(const ChangeEvent& event) {
+  uint32_t table_ord = TableOrdinal(event.table);
+  size_t inserted = 0;
+  for (const ColumnDelta& delta : event.deltas) {
+    for (size_t i = 0; i < delta.values.size(); ++i) {
+      // Events carry each value pre-tokenized so N shard replicas do
+      // not re-tokenize under the exclusive data lock.
+      const std::vector<std::string>* tokens =
+          i < delta.tokens.size() ? &delta.tokens[i] : nullptr;
+      inserted += AddOccurrence(table_ord, delta.column_index, delta.rows[i],
+                                event.table, delta.column, delta.values[i],
+                                tokens);
+    }
+  }
+  return inserted;
+}
+
+uint32_t InvertedIndex::TableOrdinal(const std::string& table) {
+  auto [it, unused] =
+      table_ordinals_.emplace(table,
+                              static_cast<uint32_t>(table_ordinals_.size()));
+  return it->second;
+}
+
+size_t InvertedIndex::AddOccurrence(uint32_t table_ord, uint32_t column_index,
+                                    size_t row_index, const std::string& table,
+                                    const std::string& column,
+                                    const std::string& text,
+                                    const std::vector<std::string>* tokens) {
+  ++num_records_;
+
+  ValueKeyView key{table, column, text};
+  auto it = value_keys_.find(key);
+  if (it != value_keys_.end()) {
+    ++values_[*it].row_count;
+    return 0;
+  }
+  StoredValue sv;
+  sv.table = table;
+  sv.column = column;
+  sv.value = text;
+  sv.tokens = tokens != nullptr ? *tokens : Tokenize(text);
+  sv.row_count = 1;
+  sv.order_key = (static_cast<uint64_t>(table_ord) << 48) |
+                 (static_cast<uint64_t>(column_index) << 32) |
+                 static_cast<uint64_t>(row_index);
+  if (sv.tokens.empty()) return 0;
+  uint32_t index = static_cast<uint32_t>(values_.size());
+  size_t inserted = 0;
+  // Register under each distinct token of the value, keeping the
+  // postings list ordered by first-occurrence scan position. During a
+  // from-scratch Build positions arrive ascending (push_back); a delta
+  // apply splices into the middle wherever a rebuild would have put it.
+  std::vector<std::string> seen;
+  for (const auto& token : sv.tokens) {
+    if (std::find(seen.begin(), seen.end(), token) != seen.end()) continue;
+    seen.push_back(token);
+    std::vector<uint32_t>& list = postings_[token];
+    if (list.empty() || values_[list.back()].order_key < sv.order_key) {
+      list.push_back(index);
+    } else {
+      auto pos = std::upper_bound(
+          list.begin(), list.end(), sv.order_key,
+          [this](uint64_t order_key, uint32_t existing) {
+            return order_key < values_[existing].order_key;
+          });
+      list.insert(pos, index);
+    }
+    ++inserted;
+  }
+  values_.push_back(std::move(sv));
+  value_keys_.insert(index);
+  return inserted;
 }
 
 template <typename Fn>

@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "storage/change_log.h"
 #include "storage/table.h"
 
 namespace soda {
@@ -46,6 +47,19 @@ class InvertedIndex {
 
   /// Indexes one table (incremental build).
   void IndexTable(const Table& table);
+
+  /// Incremental index maintenance: inserts the appended (table, column,
+  /// value) occurrences of one ChangeEvent in place — append-only
+  /// matches the paper's historization model, so no rebuild is ever
+  /// needed. Postings are kept ordered by the value's first-occurrence
+  /// scan position (table creation order, column, row), so every probe
+  /// (LookupPhrase / CountPhrase / ContainsPhrase / ContainsToken)
+  /// returns results identical to a from-scratch Build over the mutated
+  /// database — ordering included. Returns the number of new posting
+  /// entries inserted (0 when every value was already indexed and only
+  /// row counts moved). Not internally synchronized: callers run under
+  /// the change log's exclusive data lock (see storage/change_log.h).
+  size_t ApplyDelta(const ChangeEvent& event);
 
   /// All distinct values whose token sequence contains `phrase` (a
   /// space-separated token phrase) as a consecutive subsequence.
@@ -74,6 +88,11 @@ class InvertedIndex {
     std::string value;
     std::vector<std::string> tokens;  // normalized token sequence
     int64_t row_count = 0;
+    /// First-occurrence scan position, (table ordinal << 48) |
+    /// (column << 32) | row: the order a from-scratch Build encounters
+    /// values in. Postings lists stay sorted by this key, which is what
+    /// makes ApplyDelta rebuild-identical.
+    uint64_t order_key = 0;
   };
 
   /// Heterogeneous hash/equality over (table, column, value): stored
@@ -104,12 +123,29 @@ class InvertedIndex {
   template <typename Fn>
   void ForEachPhraseMatch(const std::string& phrase, Fn&& fn) const;
 
-  // token -> indexes into values_ (deduplicated).
+  /// Shared indexing core of Build/IndexTable and ApplyDelta: registers
+  /// one non-empty string occurrence at scan position (table_ord,
+  /// column_index, row_index). `tokens`, when non-null, is the value's
+  /// pre-computed Tokenize(text) (ChangeEvents ship it); null means
+  /// tokenize here. Returns the number of posting entries inserted (0
+  /// for an already-known value).
+  size_t AddOccurrence(uint32_t table_ord, uint32_t column_index,
+                       size_t row_index, const std::string& table,
+                       const std::string& column, const std::string& text,
+                       const std::vector<std::string>* tokens = nullptr);
+
+  /// The table's position in from-scratch scan order, assigned on first
+  /// encounter (Build walks creation order, so ordinals match it).
+  uint32_t TableOrdinal(const std::string& table);
+
+  // token -> indexes into values_ (deduplicated, sorted by order_key).
   std::unordered_map<std::string, std::vector<uint32_t>> postings_;
   std::vector<StoredValue> values_;
   // (table, column, value) -> index into values_, for row_count merging.
   std::unordered_set<uint32_t, ValueKeyHash, ValueKeyEq> value_keys_{
       0, ValueKeyHash{&values_}, ValueKeyEq{&values_}};
+  // table name -> scan ordinal (the high bits of order_key).
+  std::unordered_map<std::string, uint32_t> table_ordinals_;
   size_t num_records_ = 0;
 };
 
