@@ -212,11 +212,25 @@ if [[ "${BUILD_TYPE}" == "Release" &&
                  dedup_hits snippets_streamed cache_hits stage_samples \
                  shards router_shard_queries router_shard_batches \
                  closure_traverse_hits closure_path_lookups \
-                 freshness_events freshness_keys_invalidated; do
+                 freshness_events freshness_keys_invalidated \
+                 probe_memo_hits; do
     if ! grep -q "${counter}" "${BENCH_OUT}"; then
       echo "bench smoke-run output is missing counter '${counter}'" >&2
       exit 1
     fi
   done
   echo "bench smoke-run OK: all required counters present"
+fi
+
+if [[ "${BUILD_TYPE}" == "Release" &&
+      -x "${BUILD_DIR}/bench_micro_index_lookup" ]]; then
+  # Index micro-bench artifact: the phrase-length × postings-skew sweep
+  # and the memory-accounting counters, recorded as JSON for comparison
+  # across PRs (uploaded alongside bench_smoke.txt).
+  "${BUILD_DIR}/bench_micro_index_lookup" \
+      --benchmark_min_time=0.05 \
+      --benchmark_counters_tabular=true \
+      --benchmark_out="${BUILD_DIR}/bench_index_lookup.json" \
+      --benchmark_out_format=json
+  echo "index lookup bench OK: JSON at ${BUILD_DIR}/bench_index_lookup.json"
 fi

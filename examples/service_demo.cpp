@@ -51,6 +51,30 @@ int main() {
               engine.num_shards(), engine.num_threads(),
               engine.cache_stats().capacity);
 
+  // Index memory accounting: every replica packs its postings + token
+  // arena privately, but all of them share ONE token dictionary (the
+  // database's), so the vocabulary is paid once fleet-wide instead of
+  // once per shard.
+  std::printf("---- index memory accounting ----------------------------\n");
+  size_t index_bytes_total = 0;
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    const soda::InvertedIndex& index = engine.shard(s).soda().inverted_index();
+    std::printf("  shard %zu index:          %8.1f KiB "
+                "(%zu values, %zu tokens)\n",
+                s, index.ApproxMemoryBytes() / 1024.0, index.num_values(),
+                index.num_tokens());
+    index_bytes_total += index.ApproxMemoryBytes();
+  }
+  const auto& dict = (*bank)->db.token_dict();
+  size_t dict_bytes = dict->ApproxMemoryBytes();
+  std::printf("  shared token dict:       %8.1f KiB (%zu spellings, "
+              "1 copy for %zu replicas)\n",
+              dict_bytes / 1024.0, dict->size(), engine.num_shards());
+  std::printf("  fleet total:             %8.1f KiB — private "
+              "vocabularies would add %8.1f KiB\n\n",
+              (index_bytes_total + dict_bytes) / 1024.0,
+              (engine.num_shards() - 1) * dict_bytes / 1024.0);
+
   // Live-base-data wiring: storage appends now publish ChangeEvents, the
   // manager applies incremental index deltas on every shard replica and
   // fires keyed invalidation for exactly the affected cache entries.

@@ -8,15 +8,9 @@
 
 namespace soda {
 
-namespace {
-
-// Folded token phrase used as index key ("Financial  Instruments" ->
-// "financial instruments").
-std::string PhraseKey(const std::string& text) {
+std::string ClassificationIndex::PhraseKey(const std::string& text) {
   return Join(Tokenize(text), " ");
 }
-
-}  // namespace
 
 void ClassificationIndex::Build(const MetadataGraph& graph,
                                 const InvertedIndex* base_data) {
@@ -67,8 +61,12 @@ void ClassificationIndex::Build(const MetadataGraph& graph,
 
 std::vector<EntryPoint> ClassificationIndex::Lookup(
     const std::string& phrase) const {
+  return LookupKey(PhraseKey(phrase));
+}
+
+std::vector<EntryPoint> ClassificationIndex::LookupKey(
+    const std::string& key) const {
   std::vector<EntryPoint> result;
-  std::string key = PhraseKey(phrase);
   if (key.empty()) return result;
 
   auto it = metadata_.find(key);
@@ -92,7 +90,10 @@ std::vector<EntryPoint> ClassificationIndex::Lookup(
 }
 
 size_t ClassificationIndex::CountMatches(const std::string& phrase) const {
-  std::string key = PhraseKey(phrase);
+  return CountKey(PhraseKey(phrase));
+}
+
+size_t ClassificationIndex::CountKey(const std::string& key) const {
   if (key.empty()) return 0;
   size_t count = 0;
   auto it = metadata_.find(key);
@@ -102,7 +103,10 @@ size_t ClassificationIndex::CountMatches(const std::string& phrase) const {
 }
 
 bool ClassificationIndex::Matches(const std::string& phrase) const {
-  std::string key = PhraseKey(phrase);
+  return MatchesKey(PhraseKey(phrase));
+}
+
+bool ClassificationIndex::MatchesKey(const std::string& key) const {
   if (key.empty()) return false;
   if (metadata_.count(key) > 0) return true;
   return base_data_ != nullptr && base_data_->ContainsPhrase(key);
@@ -110,7 +114,7 @@ bool ClassificationIndex::Matches(const std::string& phrase) const {
 
 std::vector<std::string> ClassificationIndex::SegmentKeywords(
     const std::vector<std::string>& words,
-    std::vector<std::string>* ignored) const {
+    std::vector<std::string>* ignored, ProbeMemo* memo) const {
   std::vector<std::string> phrases;
   size_t i = 0;
   while (i < words.size()) {
@@ -120,7 +124,8 @@ std::vector<std::string> ClassificationIndex::SegmentKeywords(
       std::vector<std::string> combo(words.begin() + i,
                                      words.begin() + i + len);
       std::string phrase = Join(combo, " ");
-      if (Matches(phrase)) {
+      bool match = memo != nullptr ? memo->Matches(phrase) : Matches(phrase);
+      if (match) {
         phrases.push_back(phrase);
         i += len;
         matched = true;
@@ -133,6 +138,68 @@ std::vector<std::string> ClassificationIndex::SegmentKeywords(
     }
   }
   return phrases;
+}
+
+// ---------------------------------------------------------------------------
+// ProbeMemo
+// ---------------------------------------------------------------------------
+
+ProbeMemo::Entry& ProbeMemo::EntryFor(const std::string& phrase) {
+  auto [it, inserted] = memo_.try_emplace(phrase);
+  if (inserted) it->second.key = ClassificationIndex::PhraseKey(phrase);
+  return it->second;
+}
+
+bool ProbeMemo::Matches(const std::string& phrase) {
+  Entry& entry = EntryFor(phrase);
+  if (entry.matches >= 0) {
+    ++hits_;
+    return entry.matches == 1;
+  }
+  ++misses_;
+  bool match = index_->MatchesKey(entry.key);
+  entry.matches = match ? 1 : 0;
+  if (match) {
+    // Accepted phrases get their entry points fetched right after
+    // segmentation; materialize now so that Lookup is a memo hit.
+    entry.entries = index_->LookupKey(entry.key);
+    entry.has_entries = true;
+    entry.count = static_cast<ptrdiff_t>(entry.entries.size());
+  } else {
+    entry.count = 0;
+  }
+  return match;
+}
+
+size_t ProbeMemo::CountMatches(const std::string& phrase) {
+  Entry& entry = EntryFor(phrase);
+  if (entry.count >= 0) {
+    ++hits_;
+    return static_cast<size_t>(entry.count);
+  }
+  ++misses_;
+  entry.count = static_cast<ptrdiff_t>(index_->CountKey(entry.key));
+  entry.matches = entry.count > 0 ? 1 : 0;
+  return static_cast<size_t>(entry.count);
+}
+
+std::vector<EntryPoint> ProbeMemo::Lookup(const std::string& phrase) {
+  Entry& entry = EntryFor(phrase);
+  if (entry.has_entries) {
+    ++hits_;
+    return entry.entries;
+  }
+  if (entry.matches == 0) {
+    // Known non-match: the entry-point list is empty by definition.
+    ++hits_;
+    return {};
+  }
+  ++misses_;
+  entry.entries = index_->LookupKey(entry.key);
+  entry.has_entries = true;
+  entry.count = static_cast<ptrdiff_t>(entry.entries.size());
+  entry.matches = entry.entries.empty() ? 0 : 1;
+  return entry.entries;
 }
 
 }  // namespace soda

@@ -12,6 +12,7 @@
 #ifndef SODA_CORE_CLASSIFICATION_H_
 #define SODA_CORE_CLASSIFICATION_H_
 
+#include <cstddef>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,12 +23,18 @@
 
 namespace soda {
 
+class ProbeMemo;
+
 class ClassificationIndex {
  public:
   /// Builds the index over every labeled node of `graph`. `base_data` may
   /// be nullptr when no inverted index is available (metadata-only mode,
   /// used by the Keymantic baseline comparison).
   void Build(const MetadataGraph& graph, const InvertedIndex* base_data);
+
+  /// Folded token-phrase key of `phrase` ("Financial  Instruments" ->
+  /// "financial instruments") — the form the *Key probes take.
+  static std::string PhraseKey(const std::string& phrase);
 
   /// Returns all entry points matching the phrase exactly (folded tokens).
   /// Metadata matches come first, base-data matches after.
@@ -41,14 +48,25 @@ class ClassificationIndex {
   /// on the first base-data hit instead of building the postings list.
   bool Matches(const std::string& phrase) const;
 
+  /// Pre-folded variants of the probes above: `key` is PhraseKey(phrase).
+  /// The ProbeMemo folds each distinct phrase once and re-probes through
+  /// these, so a phrase seen across segmentation attempts and complexity
+  /// accounting pays one Tokenize total.
+  std::vector<EntryPoint> LookupKey(const std::string& key) const;
+  size_t CountKey(const std::string& key) const;
+  bool MatchesKey(const std::string& key) const;
+
   /// Longest-word-combination segmentation (paper Section 4.2.2,
   /// "Keywords"): greedily matches the longest prefix of `words` that the
   /// index knows, then continues with the rest. Unmatched single words are
   /// returned in `ignored` ("'and' might be unknown and we therefore
-  /// ignore it").
+  /// ignore it"). When `memo` is non-null the match probes go through it,
+  /// so repeated combinations across keyword runs — and the entry-point
+  /// lookups the caller issues for accepted phrases — are answered from
+  /// the memo.
   std::vector<std::string> SegmentKeywords(
       const std::vector<std::string>& words,
-      std::vector<std::string>* ignored) const;
+      std::vector<std::string>* ignored, ProbeMemo* memo = nullptr) const;
 
   size_t num_metadata_phrases() const { return metadata_.size(); }
 
@@ -56,6 +74,56 @@ class ClassificationIndex {
   // folded phrase -> metadata entry points
   std::unordered_map<std::string, std::vector<EntryPoint>> metadata_;
   const InvertedIndex* base_data_ = nullptr;
+};
+
+/// Per-query memo over the classification probes (paper Step 1 issues a
+/// storm of them: every segmentation attempt, every accepted phrase's
+/// entry-point lookup, every aggregation/group-by count). Each distinct
+/// raw phrase is folded ONCE; each probe against the underlying indexes
+/// runs at most once per phrase, with cheaper answers derived from
+/// richer ones (materialized entries answer counts and match tests).
+///
+/// A memo belongs to one query-level lookup pass and is NOT thread-safe:
+/// per-interpretation stages running on the worker pool must keep using
+/// the ClassificationIndex directly.
+class ProbeMemo {
+ public:
+  explicit ProbeMemo(const ClassificationIndex* index) : index_(index) {}
+  ProbeMemo(const ProbeMemo&) = delete;
+  ProbeMemo& operator=(const ProbeMemo&) = delete;
+
+  /// Memoized ClassificationIndex::Matches. A successful first probe
+  /// also materializes the phrase's entry points: segmentation accepts
+  /// the phrase and the lookup step fetches its candidates right after,
+  /// so the follow-up Lookup becomes a memo hit instead of a re-scan.
+  bool Matches(const std::string& phrase);
+
+  /// Memoized ClassificationIndex::CountMatches.
+  size_t CountMatches(const std::string& phrase);
+
+  /// Memoized ClassificationIndex::Lookup.
+  std::vector<EntryPoint> Lookup(const std::string& phrase);
+
+  /// Probes answered without touching the underlying indexes / probes
+  /// that had to go through. Booked as index.probe_memo_{hits,misses}.
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;  // PhraseKey(phrase), computed once
+    int matches = -1;  // -1 unknown, else 0/1
+    ptrdiff_t count = -1;  // -1 unknown
+    bool has_entries = false;
+    std::vector<EntryPoint> entries;
+  };
+
+  Entry& EntryFor(const std::string& phrase);
+
+  const ClassificationIndex* index_;
+  std::unordered_map<std::string, Entry> memo_;  // raw phrase -> entry
+  size_t hits_ = 0;
+  size_t misses_ = 0;
 };
 
 }  // namespace soda

@@ -5,6 +5,7 @@
 #include "common/strings.h"
 #include "core/engine.h"
 #include "core/sharded_engine.h"
+#include "text/tokenizer.h"
 
 namespace soda {
 
@@ -125,15 +126,25 @@ void FreshnessManager::CollectAffectedLocked(
   // Term dependency: any cached answer whose lookup probed one of the
   // appended value's tokens can classify differently now (new base-data
   // entry point, previously ignored word that matches, shifted counts).
-  // Events carry values pre-tokenized (one Tokenize per value at
-  // publication, however many listeners and shard replicas consume it).
+  // Events carry values pre-tokenized as interned ids (one Tokenize per
+  // value at publication, however many listeners and shard replicas
+  // consume it); the reverse map is keyed on spellings, so resolve each
+  // id through the event's dictionary.
+  auto probe_term = [&](const std::string& token) {
+    auto term_bucket = keys_by_term_.find(token);
+    if (term_bucket == keys_by_term_.end()) return;
+    affected->insert(term_bucket->second.begin(), term_bucket->second.end());
+  };
   for (const ColumnDelta& delta : event.deltas) {
-    for (const std::vector<std::string>& value_tokens : delta.tokens) {
-      for (const std::string& token : value_tokens) {
-        auto term_bucket = keys_by_term_.find(token);
-        if (term_bucket == keys_by_term_.end()) continue;
-        affected->insert(term_bucket->second.begin(),
-                         term_bucket->second.end());
+    if (event.dict != nullptr) {
+      for (const std::vector<TokenId>& value_ids : delta.token_ids) {
+        for (TokenId id : value_ids) probe_term(event.dict->Spelling(id));
+      }
+    } else {
+      // Dictionary-less event (hand-built in tests): fall back to
+      // tokenizing the raw values.
+      for (const std::string& value : delta.values) {
+        for (const std::string& token : Tokenize(value)) probe_term(token);
       }
     }
   }

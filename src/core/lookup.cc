@@ -28,7 +28,8 @@ bool IsLiteral(const InputElement& element) {
 
 }  // namespace
 
-Result<LookupOutput> LookupStep::Run(const InputQuery& query) const {
+Result<LookupOutput> LookupStep::Run(const InputQuery& query,
+                                     ProbeMemo* memo) const {
   LookupOutput out;
 
   // Pass 1: segment keyword runs into phrases and record terms.
@@ -44,11 +45,12 @@ Result<LookupOutput> LookupStep::Run(const InputQuery& query) const {
     }
     size_t begin = out.terms.size();
     std::vector<std::string> phrases =
-        index_->SegmentKeywords(element.words, &out.ignored_words);
+        index_->SegmentKeywords(element.words, &out.ignored_words, memo);
     for (auto& phrase : phrases) {
       LookupTerm term;
       term.phrase = phrase;
-      term.candidates = index_->Lookup(phrase);
+      term.candidates =
+          memo != nullptr ? memo->Lookup(phrase) : index_->Lookup(phrase);
       out.terms.push_back(std::move(term));
     }
     term_range[e] = {begin, out.terms.size()};
@@ -143,6 +145,10 @@ Result<LookupOutput> LookupStep::Run(const InputQuery& query) const {
     if (out.complexity > 1000000 / n) overflowed = true;
     out.complexity *= n;
   };
+  auto count_matches = [&](const std::string& phrase) {
+    return memo != nullptr ? memo->CountMatches(phrase)
+                           : index_->CountMatches(phrase);
+  };
   for (const LookupTerm& term : out.terms) {
     account(term.candidates.size());
   }
@@ -151,11 +157,11 @@ Result<LookupOutput> LookupStep::Run(const InputQuery& query) const {
         !element.agg_argument.empty()) {
       // Count-only probe: the accounting needs the candidate count, not
       // the (potentially large) materialized entry-point vectors.
-      account(index_->CountMatches(element.agg_argument));
+      account(count_matches(element.agg_argument));
     }
     if (element.kind == InputElement::Kind::kGroupBy) {
       for (const std::string& phrase : element.group_by_phrases) {
-        account(index_->CountMatches(phrase));
+        account(count_matches(phrase));
       }
     }
   }

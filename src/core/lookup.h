@@ -64,7 +64,14 @@ class LookupStep {
 
   /// Runs lookup on the parsed input. Aggregation / group-by / top-N
   /// elements pass through untouched (the SQL generator handles them).
-  Result<LookupOutput> Run(const InputQuery& query) const;
+  /// When `memo` is non-null every classification probe (segmentation,
+  /// entry-point lookup, complexity counting) goes through it, so each
+  /// distinct phrase is tokenized and scanned at most once per query.
+  Result<LookupOutput> Run(const InputQuery& query,
+                           ProbeMemo* memo = nullptr) const;
+
+  /// The classification index probes run against (memo construction).
+  const ClassificationIndex* index() const { return index_; }
 
  private:
   const ClassificationIndex* index_;

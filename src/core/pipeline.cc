@@ -133,7 +133,15 @@ std::vector<std::string> CollectFreshnessTerms(const QueryContext& ctx) {
 
 Status LookupStage::Run(QueryContext* ctx) const {
   SODA_ASSIGN_OR_RETURN(ctx->parsed, ParseInputQuery(ctx->raw_query));
-  SODA_ASSIGN_OR_RETURN(ctx->lookup, step_->Run(ctx->parsed));
+  ctx->probe_memo = std::make_unique<ProbeMemo>(step_->index());
+  SODA_ASSIGN_OR_RETURN(ctx->lookup,
+                        step_->Run(ctx->parsed, ctx->probe_memo.get()));
+  if (ctx->metrics != nullptr) {
+    ctx->metrics->IncrementCounter("index.probe_memo_hits",
+                                   ctx->probe_memo->hits());
+    ctx->metrics->IncrementCounter("index.probe_memo_misses",
+                                   ctx->probe_memo->misses());
+  }
   if (ctx->collect_freshness_terms) {
     ctx->freshness_terms = CollectFreshnessTerms(*ctx);
   }

@@ -22,6 +22,7 @@
 #define SODA_CORE_PIPELINE_H_
 
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -160,6 +161,12 @@ struct QueryContext {
   LookupOutput lookup;
   std::vector<InterpretationState> states;
   StepTimings timings;
+
+  /// Per-query probe memo, created by LookupStage so each distinct
+  /// phrase is tokenized and scanned once per query (booked as
+  /// index.probe_memo_{hits,misses} when `metrics` is set). Query-level
+  /// only — NOT thread-safe; per-interpretation stages must not use it.
+  std::unique_ptr<ProbeMemo> probe_memo;
 
   /// When set, LookupStage records the probed token vocabulary into
   /// freshness_terms (moved into SearchOutput by FinalizeOutput). The

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "storage/table.h"
-#include "text/tokenizer.h"
 
 namespace soda {
 
@@ -66,11 +65,15 @@ void ChangeLog::PublishLocked(const Table& table, size_t row_begin,
   // checks depend on it) but skip building an event nobody consumes —
   // dataset construction without a live listener stays copy-free.
   if (listeners_.empty()) return;
+  // Interning happens here, under the exclusive data lock, so sharing
+  // the dictionary with every replica's index is race-free.
+  if (dict_ == nullptr) dict_ = std::make_shared<TokenDict>();
   ChangeEvent event;
   event.table = table.name();
   event.row_begin = row_begin;
   event.row_end = row_end;
   event.sequence = sequence_;
+  event.dict = dict_;
   // Column-major over the new rows, exactly the scan order a from-scratch
   // index build uses, so incremental appliers stay rebuild-identical.
   for (size_t c = 0; c < table.num_columns(); ++c) {
@@ -84,7 +87,8 @@ void ChangeLog::PublishLocked(const Table& table, size_t row_begin,
       const std::string& text = v.AsString();
       if (text.empty()) continue;  // the index skips empty values too
       delta.rows.push_back(r);
-      delta.tokens.push_back(Tokenize(text));
+      delta.token_ids.emplace_back();
+      dict_->InternText(text, &delta.token_ids.back());
       delta.values.push_back(text);
     }
     if (!delta.values.empty()) event.deltas.push_back(std::move(delta));

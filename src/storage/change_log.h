@@ -38,11 +38,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "text/token_dict.h"
 
 namespace soda {
 
@@ -51,16 +54,19 @@ class Table;
 /// The appended string values of one column, paired with the row index
 /// each value landed in (rows with NULL in the column contribute no
 /// entry, so `rows` carries the exact positions). Values arrive
-/// pre-tokenized: the event is built once per mutation but consumed by
-/// every listener and every shard replica's index — tokenizing at the
-/// source keeps the exclusive-lock window (which stalls all serving)
-/// from paying one Tokenize per consumer.
+/// pre-tokenized as interned TokenIds against the log's dictionary
+/// (ChangeEvent::dict): the event is built once per mutation but
+/// consumed by every listener and every shard replica's index —
+/// tokenizing AND interning at the source keeps the exclusive-lock
+/// window (which stalls all serving) from paying one Tokenize per
+/// consumer, and replicas sharing the dictionary apply deltas without
+/// touching a token string at all.
 struct ColumnDelta {
   std::string column;
   uint32_t column_index = 0;
   std::vector<size_t> rows;
-  std::vector<std::string> values;               // parallel to `rows`
-  std::vector<std::vector<std::string>> tokens;  // Tokenize(values[i])
+  std::vector<std::string> values;            // parallel to `rows`
+  std::vector<std::vector<TokenId>> token_ids;  // ids of Tokenize(values[i])
 };
 
 /// One published mutation: rows [row_begin, row_end) appended to `table`,
@@ -72,6 +78,10 @@ struct ChangeEvent {
   size_t row_begin = 0;
   size_t row_end = 0;
   uint64_t sequence = 0;
+  /// The dictionary the deltas' token_ids were interned against — the
+  /// database's shared vocabulary. Consumers whose index shares it use
+  /// the ids verbatim; foreign consumers translate via Spelling().
+  std::shared_ptr<const TokenDict> dict;
   std::vector<ColumnDelta> deltas;  // string columns only, in column order
 
   /// Total appended (row, column) string occurrences — the number of
@@ -117,6 +127,15 @@ class ChangeLog {
   /// not call while holding a lock from this log).
   void Subscribe(ChangeListener* listener);
   void Unsubscribe(ChangeListener* listener);
+
+  /// The dictionary published events intern their token ids against.
+  /// Database wires its shared vocabulary in at construction; a log
+  /// without one lazily creates a private dictionary on first publish.
+  /// Call before any mutation traffic (not internally synchronized).
+  void set_token_dict(std::shared_ptr<TokenDict> dict) {
+    dict_ = std::move(dict);
+  }
+  const std::shared_ptr<TokenDict>& token_dict() const { return dict_; }
 
   /// Opens/closes a batched epoch. Nestable; only the outermost EndEpoch
   /// publishes. While an epoch is open, RecordAppendLocked coalesces per
@@ -174,6 +193,7 @@ class ChangeLog {
   mutable std::shared_mutex data_mu_;
 
   // All below guarded by data_mu_ (exclusive for writes).
+  std::shared_ptr<TokenDict> dict_;
   std::vector<ChangeListener*> listeners_;
   std::vector<PendingRange> pending_;  // first-touch order
   int epoch_depth_ = 0;

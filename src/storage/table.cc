@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "storage/change_log.h"
+#include "text/token_dict.h"
 
 namespace soda {
 
@@ -59,7 +60,11 @@ Value Table::ValueAt(size_t row_index, const std::string& column_name) const {
   return rows_[row_index][static_cast<size_t>(col)];
 }
 
-Database::Database() : change_log_(std::make_unique<ChangeLog>()) {}
+Database::Database()
+    : token_dict_(std::make_shared<TokenDict>()),
+      change_log_(std::make_unique<ChangeLog>()) {
+  change_log_->set_token_dict(token_dict_);
+}
 Database::~Database() = default;
 Database::Database(Database&&) noexcept = default;
 Database& Database::operator=(Database&&) noexcept = default;

@@ -52,6 +52,12 @@ bool InvertedIndex::ValueKeyEq::operator()(uint32_t a,
 }
 
 void InvertedIndex::Build(const Database& db) {
+  // Adopt the database's shared vocabulary so every replica built over
+  // this catalog holds the same dictionary instance.
+  if (dict_ == nullptr) dict_ = db.token_dict();
+  // The build appends to a possibly-shared dictionary; exclude readers
+  // (replicas are built sequentially, so this never self-deadlocks).
+  auto lock = db.change_log().WriterLock();
   for (const Table* table : db.tables()) {
     IndexTable(*table);
   }
@@ -74,16 +80,34 @@ void InvertedIndex::IndexTable(const Table& table) {
 
 size_t InvertedIndex::ApplyDelta(const ChangeEvent& event) {
   uint32_t table_ord = TableOrdinal(event.table);
+  const bool same_dict = event.dict != nullptr && event.dict.get() == dict_.get();
   size_t inserted = 0;
   for (const ColumnDelta& delta : event.deltas) {
     for (size_t i = 0; i < delta.values.size(); ++i) {
-      // Events carry each value pre-tokenized so N shard replicas do
-      // not re-tokenize under the exclusive data lock.
-      const std::vector<std::string>* tokens =
-          i < delta.tokens.size() ? &delta.tokens[i] : nullptr;
-      inserted += AddOccurrence(table_ord, delta.column_index, delta.rows[i],
-                                event.table, delta.column, delta.values[i],
-                                tokens);
+      // Events carry each value pre-tokenized as interned ids so N shard
+      // replicas do not re-tokenize under the exclusive data lock.
+      const std::vector<TokenId>* ids =
+          i < delta.token_ids.size() ? &delta.token_ids[i] : nullptr;
+      if (ids != nullptr && same_dict) {
+        // Shared dictionary: the ids are already ours.
+        inserted += AddOccurrence(table_ord, delta.column_index, delta.rows[i],
+                                  event.table, delta.column, delta.values[i],
+                                  ids);
+      } else if (ids != nullptr && event.dict != nullptr) {
+        // Foreign dictionary: translate id -> spelling -> our id. Rare
+        // path (an index subscribed to a database it was not built over).
+        if (dict_ == nullptr) dict_ = std::make_shared<TokenDict>();
+        translate_scratch_.clear();
+        for (TokenId id : *ids) {
+          translate_scratch_.push_back(dict_->Intern(event.dict->Spelling(id)));
+        }
+        inserted += AddOccurrence(table_ord, delta.column_index, delta.rows[i],
+                                  event.table, delta.column, delta.values[i],
+                                  &translate_scratch_);
+      } else {
+        inserted += AddOccurrence(table_ord, delta.column_index, delta.rows[i],
+                                  event.table, delta.column, delta.values[i]);
+      }
     }
   }
   return inserted;
@@ -100,7 +124,7 @@ size_t InvertedIndex::AddOccurrence(uint32_t table_ord, uint32_t column_index,
                                     size_t row_index, const std::string& table,
                                     const std::string& column,
                                     const std::string& text,
-                                    const std::vector<std::string>* tokens) {
+                                    const std::vector<TokenId>* token_ids) {
   ++num_records_;
 
   ValueKeyView key{table, column, text};
@@ -109,27 +133,44 @@ size_t InvertedIndex::AddOccurrence(uint32_t table_ord, uint32_t column_index,
     ++values_[*it].row_count;
     return 0;
   }
+  const std::vector<TokenId>* ids = token_ids;
+  if (ids == nullptr) {
+    if (dict_ == nullptr) dict_ = std::make_shared<TokenDict>();
+    intern_scratch_.clear();
+    dict_->InternText(text, &intern_scratch_);
+    ids = &intern_scratch_;
+  }
+  if (ids->empty()) return 0;
   StoredValue sv;
   sv.table = table;
   sv.column = column;
   sv.value = text;
-  sv.tokens = tokens != nullptr ? *tokens : Tokenize(text);
+  sv.token_begin = static_cast<uint32_t>(token_arena_.size());
+  sv.token_count = static_cast<uint32_t>(ids->size());
   sv.row_count = 1;
   sv.order_key = (static_cast<uint64_t>(table_ord) << 48) |
                  (static_cast<uint64_t>(column_index) << 32) |
                  static_cast<uint64_t>(row_index);
-  if (sv.tokens.empty()) return 0;
+  token_arena_.insert(token_arena_.end(), ids->begin(), ids->end());
   uint32_t index = static_cast<uint32_t>(values_.size());
   size_t inserted = 0;
   // Register under each distinct token of the value, keeping the
   // postings list ordered by first-occurrence scan position. During a
   // from-scratch Build positions arrive ascending (push_back); a delta
   // apply splices into the middle wherever a rebuild would have put it.
-  std::vector<std::string> seen;
-  for (const auto& token : sv.tokens) {
-    if (std::find(seen.begin(), seen.end(), token) != seen.end()) continue;
-    seen.push_back(token);
-    std::vector<uint32_t>& list = postings_[token];
+  // Distinctness via sort+unique on the interned ids: O(k log k), not
+  // the O(k^2) string scan the string-keyed index paid per value.
+  dedupe_scratch_.assign(ids->begin(), ids->end());
+  std::sort(dedupe_scratch_.begin(), dedupe_scratch_.end());
+  dedupe_scratch_.erase(
+      std::unique(dedupe_scratch_.begin(), dedupe_scratch_.end()),
+      dedupe_scratch_.end());
+  if (dedupe_scratch_.back() >= postings_.size()) {
+    postings_.resize(dedupe_scratch_.back() + 1);
+  }
+  for (TokenId id : dedupe_scratch_) {
+    std::vector<uint32_t>& list = postings_[id];
+    if (list.empty()) ++num_tokens_;
     if (list.empty() || values_[list.back()].order_key < sv.order_key) {
       list.push_back(index);
     } else {
@@ -150,33 +191,77 @@ size_t InvertedIndex::AddOccurrence(uint32_t table_ord, uint32_t column_index,
 template <typename Fn>
 void InvertedIndex::ForEachPhraseMatch(const std::string& phrase,
                                        Fn&& fn) const {
-  std::vector<std::string> query_tokens = Tokenize(phrase);
-  if (query_tokens.empty()) return;
+  if (dict_ == nullptr) return;  // nothing was ever indexed
+  // Read-only token resolution: a token the dictionary has never seen
+  // cannot occur in any stored value.
+  std::vector<TokenId> query_ids;
+  if (!dict_->FindText(phrase, &query_ids) || query_ids.empty()) return;
 
-  auto it = postings_.find(query_tokens[0]);
-  if (it == postings_.end()) return;
-
-  for (uint32_t index : it->second) {
-    const StoredValue& sv = values_[index];
-    // Check that query_tokens appear consecutively in sv.tokens.
-    bool found = false;
-    if (sv.tokens.size() >= query_tokens.size()) {
-      for (size_t start = 0; start + query_tokens.size() <= sv.tokens.size();
-           ++start) {
-        bool all = true;
-        for (size_t k = 0; k < query_tokens.size(); ++k) {
-          if (sv.tokens[start + k] != query_tokens[k]) {
-            all = false;
-            break;
-          }
-        }
-        if (all) {
-          found = true;
-          break;
-        }
+  // Collect the distinct tokens' postings lists; every token must occur
+  // somewhere or the phrase cannot match.
+  std::vector<const std::vector<uint32_t>*> lists;
+  for (size_t k = 0; k < query_ids.size(); ++k) {
+    TokenId id = query_ids[k];
+    bool duplicate = false;
+    for (size_t j = 0; j < k; ++j) {
+      if (query_ids[j] == id) {
+        duplicate = true;
+        break;
       }
     }
-    if (found && !fn(index)) return;
+    if (duplicate) continue;
+    if (id >= postings_.size() || postings_[id].empty()) return;
+    lists.push_back(&postings_[id]);
+  }
+
+  // Enumerate candidates from the RAREST token's postings — order_key
+  // order is shared by all lists, so emission order is identical to a
+  // first-token scan (order_key is unique per stored value).
+  size_t rarest = 0;
+  for (size_t j = 1; j < lists.size(); ++j) {
+    if (lists[j]->size() < lists[rarest]->size()) rarest = j;
+  }
+  const std::vector<uint32_t>& base = *lists[rarest];
+
+  if (query_ids.size() == 1) {
+    // Single-token phrase: every posting of the token is a match.
+    for (uint32_t index : base) {
+      if (!fn(index)) return;
+    }
+    return;
+  }
+
+  // Sorted-merge intersection: one forward cursor per other list, each
+  // advanced monotonically as the base candidates ascend.
+  std::vector<size_t> cursors(lists.size(), 0);
+  for (uint32_t index : base) {
+    const StoredValue& sv = values_[index];
+    bool in_all = true;
+    for (size_t j = 0; j < lists.size(); ++j) {
+      if (j == rarest) continue;
+      const std::vector<uint32_t>& list = *lists[j];
+      auto pos = std::lower_bound(
+          list.begin() + static_cast<ptrdiff_t>(cursors[j]), list.end(),
+          sv.order_key, [this](uint32_t existing, uint64_t order_key) {
+            return values_[existing].order_key < order_key;
+          });
+      cursors[j] = static_cast<size_t>(pos - list.begin());
+      // This token's list is exhausted below every remaining candidate:
+      // no later candidate can match either.
+      if (pos == list.end()) return;
+      if (*pos != index) {
+        in_all = false;
+        break;
+      }
+    }
+    if (!in_all) continue;
+    // Verify adjacency on the interned sequence (integer compare).
+    const TokenId* hay = token_arena_.data() + sv.token_begin;
+    const TokenId* hay_end = hay + sv.token_count;
+    if (std::search(hay, hay_end, query_ids.begin(), query_ids.end()) !=
+        hay_end) {
+      if (!fn(index)) return;
+    }
   }
 }
 
@@ -211,7 +296,31 @@ bool InvertedIndex::ContainsPhrase(const std::string& phrase) const {
 }
 
 bool InvertedIndex::ContainsToken(const std::string& token) const {
-  return postings_.count(NormalizeToken(token)) > 0;
+  if (dict_ == nullptr) return false;
+  TokenId id = dict_->Find(NormalizeToken(token));
+  return id != kNoToken && id < postings_.size() && !postings_[id].empty();
+}
+
+size_t InvertedIndex::ApproxMemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const StoredValue& sv : values_) {
+    bytes += sv.table.capacity() + sv.column.capacity() + sv.value.capacity();
+  }
+  bytes += values_.capacity() * sizeof(StoredValue);
+  bytes += token_arena_.capacity() * sizeof(TokenId);
+  bytes += postings_.capacity() * sizeof(std::vector<uint32_t>);
+  for (const std::vector<uint32_t>& list : postings_) {
+    bytes += list.capacity() * sizeof(uint32_t);
+  }
+  // value_keys_ / table_ordinals_: bucket arrays plus per-node overhead.
+  bytes += value_keys_.bucket_count() * sizeof(void*);
+  bytes += value_keys_.size() * (sizeof(uint32_t) + 2 * sizeof(void*));
+  bytes += table_ordinals_.bucket_count() * sizeof(void*);
+  for (const auto& [name, ordinal] : table_ordinals_) {
+    bytes += sizeof(std::string) + name.capacity() + sizeof(ordinal) +
+             2 * sizeof(void*);
+  }
+  return bytes;
 }
 
 }  // namespace soda

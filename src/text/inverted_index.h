@@ -9,12 +9,25 @@
 // (table, column, value) occurrences with row counts. Phrase queries
 // ("credit suisse") require the tokens to appear consecutively in the
 // stored value.
+//
+// Representation. Tokens are interned through a shared TokenDict
+// (text/token_dict.h): each stored value keeps an (offset, len) slice
+// into one flat TokenId arena instead of a vector of strings, postings_
+// is a plain vector indexed by TokenId instead of a string-keyed hash
+// map, and phrase verification is an integer subsequence search. A
+// multi-token probe walks the postings of the RAREST phrase token and
+// prunes candidates against the other tokens' lists by sorted merge
+// before verifying adjacency. When the index is built over a Database it
+// adopts the database's dictionary, so every shard replica shares one
+// vocabulary; probes only ever read the dictionary (Find), never extend
+// it — appends happen under the change log's exclusive data lock.
 
 #ifndef SODA_TEXT_INVERTED_INDEX_H_
 #define SODA_TEXT_INVERTED_INDEX_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -23,6 +36,7 @@
 
 #include "storage/change_log.h"
 #include "storage/table.h"
+#include "text/token_dict.h"
 
 namespace soda {
 
@@ -42,23 +56,40 @@ class InvertedIndex {
   InvertedIndex(const InvertedIndex&) = delete;
   InvertedIndex& operator=(const InvertedIndex&) = delete;
 
-  /// Indexes every string column of every table in `db`.
+  /// Indexes every string column of every table in `db`, under the
+  /// database change log's exclusive data lock (the build appends to the
+  /// shared dictionary). Adopts db.token_dict() unless a dictionary was
+  /// set explicitly beforehand.
   void Build(const Database& db);
 
-  /// Indexes one table (incremental build).
+  /// Indexes one table (incremental build). Callers on a live database
+  /// hold the change log's exclusive data lock; standalone/test callers
+  /// run quiesced.
   void IndexTable(const Table& table);
+
+  /// The dictionary tokens are interned through. Setting one explicitly
+  /// (before any indexing) overrides the Build-time adoption — used to
+  /// force a private vocabulary; a plain IndexTable build without a
+  /// database creates one lazily.
+  void set_token_dict(std::shared_ptr<TokenDict> dict) {
+    dict_ = std::move(dict);
+  }
+  const std::shared_ptr<TokenDict>& token_dict() const { return dict_; }
 
   /// Incremental index maintenance: inserts the appended (table, column,
   /// value) occurrences of one ChangeEvent in place — append-only
   /// matches the paper's historization model, so no rebuild is ever
-  /// needed. Postings are kept ordered by the value's first-occurrence
-  /// scan position (table creation order, column, row), so every probe
-  /// (LookupPhrase / CountPhrase / ContainsPhrase / ContainsToken)
-  /// returns results identical to a from-scratch Build over the mutated
-  /// database — ordering included. Returns the number of new posting
-  /// entries inserted (0 when every value was already indexed and only
-  /// row counts moved). Not internally synchronized: callers run under
-  /// the change log's exclusive data lock (see storage/change_log.h).
+  /// needed. Events from a log sharing this index's dictionary apply
+  /// their TokenIds verbatim; foreign events are translated through the
+  /// event's dictionary (or re-tokenized when it carries none). Postings
+  /// are kept ordered by the value's first-occurrence scan position
+  /// (table creation order, column, row), so every probe (LookupPhrase /
+  /// CountPhrase / ContainsPhrase / ContainsToken) returns results
+  /// identical to a from-scratch Build over the mutated database —
+  /// ordering included. Returns the number of new posting entries
+  /// inserted (0 when every value was already indexed and only row
+  /// counts moved). Not internally synchronized: callers run under the
+  /// change log's exclusive data lock (see storage/change_log.h).
   size_t ApplyDelta(const ChangeEvent& event);
 
   /// All distinct values whose token sequence contains `phrase` (a
@@ -77,16 +108,25 @@ class InvertedIndex {
   /// True when the single token occurs anywhere.
   bool ContainsToken(const std::string& token) const;
 
-  size_t num_tokens() const { return postings_.size(); }
+  size_t num_tokens() const { return num_tokens_; }
   size_t num_values() const { return values_.size(); }
   size_t num_records() const { return num_records_; }
+
+  /// Approximate heap footprint of the index structures (stored values,
+  /// token arena, postings, value-key interner). EXCLUDES the token
+  /// dictionary — it is typically shared across replicas; account for it
+  /// once via token_dict()->ApproxMemoryBytes().
+  size_t ApproxMemoryBytes() const;
 
  private:
   struct StoredValue {
     std::string table;
     std::string column;
     std::string value;
-    std::vector<std::string> tokens;  // normalized token sequence
+    /// The value's normalized token sequence, as a slice of the shared
+    /// token arena (ids into *dict_).
+    uint32_t token_begin = 0;
+    uint32_t token_count = 0;
     int64_t row_count = 0;
     /// First-occurrence scan position, (table ordinal << 48) |
     /// (column << 32) | row: the order a from-scratch Build encounters
@@ -120,26 +160,36 @@ class InvertedIndex {
 
   /// Shared phrase scan: calls `fn(index)` for every stored value whose
   /// token sequence contains the phrase; fn returns false to stop early.
+  /// Candidates are enumerated from the rarest phrase token's postings,
+  /// in order-key order (== the order a first-token scan yields).
   template <typename Fn>
   void ForEachPhraseMatch(const std::string& phrase, Fn&& fn) const;
 
   /// Shared indexing core of Build/IndexTable and ApplyDelta: registers
   /// one non-empty string occurrence at scan position (table_ord,
-  /// column_index, row_index). `tokens`, when non-null, is the value's
-  /// pre-computed Tokenize(text) (ChangeEvents ship it); null means
-  /// tokenize here. Returns the number of posting entries inserted (0
-  /// for an already-known value).
+  /// column_index, row_index). `token_ids`, when non-null, is the
+  /// value's pre-interned token sequence AGAINST THIS INDEX'S dictionary
+  /// (ChangeEvents from the shared log ship it); null means tokenize and
+  /// intern here. Returns the number of posting entries inserted (0 for
+  /// an already-known value).
   size_t AddOccurrence(uint32_t table_ord, uint32_t column_index,
                        size_t row_index, const std::string& table,
                        const std::string& column, const std::string& text,
-                       const std::vector<std::string>* tokens = nullptr);
+                       const std::vector<TokenId>* token_ids = nullptr);
 
   /// The table's position in from-scratch scan order, assigned on first
   /// encounter (Build walks creation order, so ordinals match it).
   uint32_t TableOrdinal(const std::string& table);
 
-  // token -> indexes into values_ (deduplicated, sorted by order_key).
-  std::unordered_map<std::string, std::vector<uint32_t>> postings_;
+  std::shared_ptr<TokenDict> dict_;
+  /// Concatenated token sequences of all stored values; each StoredValue
+  /// owns the [token_begin, token_begin + token_count) slice.
+  std::vector<TokenId> token_arena_;
+  // TokenId -> indexes into values_ (deduplicated, sorted by order_key).
+  // Dense by id; slots for dictionary tokens this index never saw stay
+  // empty (the dictionary may be shared wider than this index).
+  std::vector<std::vector<uint32_t>> postings_;
+  size_t num_tokens_ = 0;  // non-empty postings lists
   std::vector<StoredValue> values_;
   // (table, column, value) -> index into values_, for row_count merging.
   std::unordered_set<uint32_t, ValueKeyHash, ValueKeyEq> value_keys_{
@@ -147,6 +197,11 @@ class InvertedIndex {
   // table name -> scan ordinal (the high bits of order_key).
   std::unordered_map<std::string, uint32_t> table_ordinals_;
   size_t num_records_ = 0;
+  // Mutation-path scratch (builds and delta applies are serialized by
+  // the exclusive data lock; probes never touch these).
+  std::vector<TokenId> intern_scratch_;
+  std::vector<TokenId> translate_scratch_;
+  std::vector<TokenId> dedupe_scratch_;
 };
 
 }  // namespace soda

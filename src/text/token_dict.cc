@@ -1,0 +1,59 @@
+#include "text/token_dict.h"
+
+#include "common/strings.h"
+#include "text/tokenizer.h"
+
+namespace soda {
+
+TokenId TokenDict::Intern(std::string_view token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  spellings_.emplace_back(token);
+  TokenId id = static_cast<TokenId>(spellings_.size() - 1);
+  ids_.emplace(std::string_view(spellings_.back()), id);
+  return id;
+}
+
+TokenId TokenDict::Find(std::string_view token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kNoToken : it->second;
+}
+
+void TokenDict::InternText(std::string_view text, std::vector<TokenId>* out) {
+  std::string folded = FoldForMatch(text);
+  ForEachTokenRun(folded, [&](std::string_view run) {
+    out->push_back(Intern(run));
+    return true;
+  });
+}
+
+bool TokenDict::FindText(std::string_view text,
+                         std::vector<TokenId>* out) const {
+  std::string folded = FoldForMatch(text);
+  bool all_known = true;
+  ForEachTokenRun(folded, [&](std::string_view run) {
+    TokenId id = Find(run);
+    if (id == kNoToken) {
+      all_known = false;
+      return false;
+    }
+    out->push_back(id);
+    return true;
+  });
+  return all_known;
+}
+
+size_t TokenDict::ApproxMemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const std::string& spelling : spellings_) {
+    bytes += sizeof(std::string) + spelling.capacity();
+  }
+  // Hash map: bucket array plus one node (key view, id, chain pointer)
+  // per entry.
+  bytes += ids_.bucket_count() * sizeof(void*);
+  bytes += ids_.size() *
+           (sizeof(std::string_view) + sizeof(TokenId) + 2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace soda

@@ -1,6 +1,6 @@
 #include "text/tokenizer.h"
 
-#include <cctype>
+#include <algorithm>
 
 #include "common/strings.h"
 
@@ -9,29 +9,21 @@ namespace soda {
 std::vector<std::string> Tokenize(std::string_view text) {
   std::string folded = FoldForMatch(text);
   std::vector<std::string> tokens;
-  size_t i = 0;
-  while (i < folded.size()) {
-    while (i < folded.size() &&
-           !std::isalnum(static_cast<unsigned char>(folded[i]))) {
-      ++i;
-    }
-    size_t start = i;
-    while (i < folded.size() &&
-           std::isalnum(static_cast<unsigned char>(folded[i]))) {
-      ++i;
-    }
-    if (i > start) tokens.push_back(folded.substr(start, i - start));
-  }
+  ForEachTokenRun(folded, [&tokens](std::string_view run) {
+    tokens.emplace_back(run);
+    return true;
+  });
   return tokens;
 }
 
 std::string NormalizeToken(std::string_view word) {
-  auto tokens = Tokenize(word);
-  if (tokens.empty()) return std::string();
-  std::string out = tokens[0];
-  for (size_t i = 1; i < tokens.size(); ++i) {
-    out += tokens[i];
-  }
+  // Single pass: fold once, then squeeze out the non-alphanumeric
+  // characters in place — same result as concatenating Tokenize(word),
+  // without the token vector and per-token substrings.
+  std::string out = FoldForMatch(word);
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](unsigned char c) { return !std::isalnum(c); }),
+            out.end());
   return out;
 }
 

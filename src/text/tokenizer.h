@@ -7,11 +7,33 @@
 #ifndef SODA_TEXT_TOKENIZER_H_
 #define SODA_TEXT_TOKENIZER_H_
 
+#include <cctype>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace soda {
+
+/// Calls `fn(run)` for every maximal alphanumeric run of `folded`
+/// (already FoldForMatch-ed text), left to right; fn returns false to
+/// stop early. This is THE token boundary definition — Tokenize and the
+/// TokenDict text walks all split through it, so they can never drift.
+template <typename Fn>
+void ForEachTokenRun(std::string_view folded, Fn&& fn) {
+  size_t i = 0;
+  while (i < folded.size()) {
+    while (i < folded.size() &&
+           !std::isalnum(static_cast<unsigned char>(folded[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < folded.size() &&
+           std::isalnum(static_cast<unsigned char>(folded[i]))) {
+      ++i;
+    }
+    if (i > start && !fn(folded.substr(start, i - start))) return;
+  }
+}
 
 /// Splits `text` into normalized tokens. Digits are kept ("basel ii" ->
 /// ["basel", "ii"]; "q3 2011" -> ["q3", "2011"]).

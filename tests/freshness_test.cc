@@ -179,10 +179,13 @@ TEST(ChangeLogFreshnessTest, EventCarriesStringDeltasOnly) {
   EXPECT_EQ(event.deltas[0].column_index, 1u);
   EXPECT_EQ(event.deltas[0].values, (std::vector<std::string>{"ada", "bob"}));
   EXPECT_EQ(event.deltas[0].rows, (std::vector<size_t>{0, 2}));
-  // Values ship pre-tokenized so consumers never re-tokenize under the
+  // Values ship pre-tokenized as interned ids against the database's
+  // shared dictionary, so consumers never re-tokenize under the
   // exclusive data lock.
-  ASSERT_EQ(event.deltas[0].tokens.size(), 2u);
-  EXPECT_EQ(event.deltas[0].tokens[0], (std::vector<std::string>{"ada"}));
+  ASSERT_EQ(event.dict, db.token_dict());
+  ASSERT_EQ(event.deltas[0].token_ids.size(), 2u);
+  ASSERT_EQ(event.deltas[0].token_ids[0].size(), 1u);
+  EXPECT_EQ(event.dict->Spelling(event.deltas[0].token_ids[0][0]), "ada");
   EXPECT_EQ(event.deltas[1].column, "city");
   EXPECT_EQ(event.deltas[1].values, (std::vector<std::string>{"bern"}));
   EXPECT_EQ(event.NumValues(), 3u);
