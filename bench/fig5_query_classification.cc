@@ -16,8 +16,11 @@ int main() {
   }
   soda::SodaConfig config;
   config.execute_snippets = false;
-  soda::Soda engine(&(*bank)->db, &(*bank)->graph,
-                    soda::CreditSuissePatternLibrary(), config);
+  auto engine_ptr = soda::Soda::Create(&(*bank)->db, &(*bank)->graph,
+                                       soda::CreditSuissePatternLibrary(),
+                                       config)
+                        .value();
+  soda::Soda& engine = *engine_ptr;
 
   const char* kQuery = "customers Zürich financial instruments";
   std::printf("Figure 5: Query Classification\n\nquery: %s\n\n", kQuery);

@@ -36,8 +36,11 @@ int main() {
   }
   soda::SodaConfig config;
   config.execute_snippets = false;
-  soda::Soda engine(&(*bank)->db, &(*bank)->graph,
-                    soda::CreditSuissePatternLibrary(), config);
+  auto engine_ptr = soda::Soda::Create(&(*bank)->db, &(*bank)->graph,
+                                       soda::CreditSuissePatternLibrary(),
+                                       config)
+                        .value();
+  soda::Soda& engine = *engine_ptr;
 
   std::printf("Figure 6: Output of Tables Step (join relationships not "
               "shown)\n\n");
@@ -92,8 +95,11 @@ int main() {
   // layer (entry-point traversal memo + APSP join paths) on vs off.
   soda::SodaConfig no_closures = config;
   no_closures.enable_closures = false;
-  soda::Soda engine_off(&(*bank)->db, &(*bank)->graph,
-                        soda::CreditSuissePatternLibrary(), no_closures);
+  auto engine_off_ptr = soda::Soda::Create(&(*bank)->db, &(*bank)->graph,
+                                           soda::CreditSuissePatternLibrary(),
+                                           no_closures)
+                            .value();
+  soda::Soda& engine_off = *engine_off_ptr;
   constexpr int kIterations = 2000;
   double us_on = MicrosPerRun(engine, entries, kIterations);
   double us_off = MicrosPerRun(engine_off, entries, kIterations);

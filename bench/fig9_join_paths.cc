@@ -27,13 +27,15 @@ Aggregate Run(const soda::bench::Fixture& fixture, bool direct_path_only,
   config.execute_snippets = false;
   config.direct_path_only = direct_path_only;
   config.enable_closures = enable_closures;
-  soda::Soda engine(&fixture.warehouse->db, &fixture.warehouse->graph,
-                    soda::CreditSuissePatternLibrary(), config);
+  auto engine = soda::Soda::Create(&fixture.warehouse->db,
+                                   &fixture.warehouse->graph,
+                                   soda::CreditSuissePatternLibrary(), config)
+                    .value();
   Aggregate aggregate;
   size_t tables = 0, joins = 0;
   auto start = std::chrono::steady_clock::now();
   for (const auto& query : soda::EnterpriseWorkload()) {
-    auto output = engine.Search(query.keywords);
+    auto output = engine->Search(query.keywords);
     if (!output.ok()) continue;
     for (const auto& result : output->results) {
       tables += result.statement.from.size();

@@ -17,6 +17,7 @@
 
 #include "core/engine.h"
 #include "core/freshness.h"
+#include "core/session.h"
 #include "core/sharded_engine.h"
 #include "core/soda.h"
 #include "datasets/enterprise.h"
@@ -39,9 +40,9 @@ struct Env {
     warehouse = std::move(soda::BuildEnterpriseWarehouse()).value();
     soda::SodaConfig config;
     config.execute_snippets = false;
-    soda = std::make_unique<soda::Soda>(&warehouse->db, &warehouse->graph,
-                                        soda::CreditSuissePatternLibrary(),
-                                        config);
+    soda = soda::Soda::Create(&warehouse->db, &warehouse->graph,
+                              soda::CreditSuissePatternLibrary(), config)
+               .value();
     size_t best = 0;
     for (const soda::BenchmarkQuery& bench : soda::EnterpriseWorkload()) {
       auto output = soda->Search(bench.keywords);
@@ -405,9 +406,10 @@ void BM_TablesStepClosure(benchmark::State& state) {
     soda::SodaConfig config;
     config.execute_snippets = false;
     config.enable_closures = closures;
-    auto soda = std::make_unique<soda::Soda>(
-        &env()->warehouse->db, &env()->warehouse->graph,
-        soda::CreditSuissePatternLibrary(), config);
+    auto soda = soda::Soda::Create(&env()->warehouse->db,
+                                   &env()->warehouse->graph,
+                                   soda::CreditSuissePatternLibrary(), config)
+                    .value();
     it = sodas.emplace(closures, std::move(soda)).first;
   }
   const soda::Soda& translator = *it->second;
@@ -440,9 +442,10 @@ void BM_JoinPathClosure(benchmark::State& state) {
     soda::SodaConfig config;
     config.execute_snippets = false;
     config.enable_closures = closures;
-    auto soda = std::make_unique<soda::Soda>(
-        &env()->warehouse->db, &env()->warehouse->graph,
-        soda::CreditSuissePatternLibrary(), config);
+    auto soda = soda::Soda::Create(&env()->warehouse->db,
+                                   &env()->warehouse->graph,
+                                   soda::CreditSuissePatternLibrary(), config)
+                    .value();
     it = sodas.emplace(closures, std::move(soda)).first;
   }
   const soda::JoinGraph& join_graph = it->second->join_graph();
@@ -561,5 +564,53 @@ void BM_FreshnessAppendInvalidate(benchmark::State& state) {
       static_cast<double>(snapshot.counter("freshness.keys_invalidated"));
 }
 BENCHMARK(BM_FreshnessAppendInvalidate);
+
+// The interactive-session loop: one Ask captures a TranslationPlan, then
+// every iteration flips a pin/ban constraint and Refines — a pure Step-5
+// re-run over the session-cached Steps 1-4. "session_refines" and
+// "session_stages_skipped" feed the CI counter guard for the session
+// surface; compare against BM_TranslateOntologyJoin for the cold cost of
+// what a refine skips.
+void BM_SessionRefine(benchmark::State& state) {
+  static soda::SodaEngine* engine = [] {
+    soda::SodaConfig config;
+    config.execute_snippets = false;
+    config.num_threads = 2;
+    config.cache_capacity = 0;  // measure the plan resume, not the cache
+    auto created = soda::SodaEngine::Create(&env()->warehouse->db,
+                                            &env()->warehouse->graph,
+                                            soda::CreditSuissePatternLibrary(),
+                                            config);
+    if (!created.ok()) {
+      std::fprintf(stderr, "failed to build session engine: %s\n",
+                   created.status().ToString().c_str());
+      std::exit(1);
+    }
+    return created.value().release();
+  }();
+  soda::SodaSession session(engine);
+  auto first = session.Ask("private customers family name");
+  if (!first.ok()) {
+    state.SkipWithError("session Ask failed");
+    return;
+  }
+  bool pin = false;
+  for (auto _ : state) {
+    session.ClearConstraints();
+    if (pin) {
+      session.PinTable("party_td");
+    } else {
+      session.BanTable("party_td");
+    }
+    pin = !pin;
+    benchmark::DoNotOptimize(session.Refine());
+  }
+  soda::MetricsSnapshot snapshot = engine->metrics_snapshot();
+  state.counters["session_refines"] =
+      static_cast<double>(snapshot.counter("session.refines"));
+  state.counters["session_stages_skipped"] =
+      static_cast<double>(snapshot.counter("session.stages_skipped"));
+}
+BENCHMARK(BM_SessionRefine);
 
 }  // namespace

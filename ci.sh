@@ -101,14 +101,14 @@ case "${SANITIZE}" in
     CMAKE_ARGS+=(-DSODA_SANITIZE=thread)
     # The concurrency surface is what TSan is here for; the serial suites
     # (and the slow property-based sweep) run in the plain legs.
-    CTEST_ARGS+=(-R 'concurrency|engine|batch_async|metrics|pipeline|freshness')
+    CTEST_ARGS+=(-R 'concurrency|engine|batch_async|metrics|pipeline|freshness|session')
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
     ;;
   asan)
     BUILD_TYPE=Debug
     BUILD_DIR="${BUILD_DIR:-build-asan}"
     CMAKE_ARGS+=(-DSODA_SANITIZE=address,undefined)
-    CTEST_ARGS+=(-R 'concurrency|engine|batch_async|metrics|pipeline|freshness')
+    CTEST_ARGS+=(-R 'concurrency|engine|batch_async|metrics|pipeline|freshness|session')
     export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
     export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}"
     ;;
@@ -213,7 +213,7 @@ if [[ "${BUILD_TYPE}" == "Release" &&
                  shards router_shard_queries router_shard_batches \
                  closure_traverse_hits closure_path_lookups \
                  freshness_events freshness_keys_invalidated \
-                 probe_memo_hits; do
+                 probe_memo_hits session_refines session_stages_skipped; do
     if ! grep -q "${counter}" "${BENCH_OUT}"; then
       echo "bench smoke-run output is missing counter '${counter}'" >&2
       exit 1

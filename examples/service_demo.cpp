@@ -10,7 +10,9 @@
 // every shard's inverted index and invalidates exactly the dependent
 // cache keys automatically (FreshnessManager) — and the fleet-level
 // metrics snapshot, in both the human-readable dump and Prometheus text
-// exposition format.
+// exposition format. Everything serves through the abstract SodaService
+// interface — the demo would read the same over a single SodaEngine —
+// including an interactive session (pin/ban/bind + incremental Refine).
 
 #include <atomic>
 #include <cstdio>
@@ -20,6 +22,7 @@
 
 #include "common/prometheus_sink.h"
 #include "core/freshness.h"
+#include "core/session.h"
 #include "core/sharded_engine.h"
 #include "datasets/minibank.h"
 #include "pattern/library.h"
@@ -46,10 +49,13 @@ int main() {
     return 1;
   }
   soda::ShardedSodaEngine& engine = **created;
+  // Serving goes through the abstract interface: swap in a single
+  // SodaEngine and nothing below this line changes.
+  soda::SodaService& service = engine;
   std::printf("router up: %zu shard(s) x %zu worker thread(s), "
               "fleet cache capacity %zu\n\n",
               engine.num_shards(), engine.num_threads(),
-              engine.cache_stats().capacity);
+              service.cache_stats().capacity);
 
   // Index memory accounting: every replica packs its postings + token
   // arena privately, but all of them share ONE token dictionary (the
@@ -96,7 +102,7 @@ int main() {
   // pair shares the worker pool; a repeated query would cost one miss
   // plus in-batch hits.
   std::printf("---- cold pass (one SearchAll batch) --------------------\n");
-  auto batch = engine.SearchAll(dashboard);
+  auto batch = service.SearchAll(dashboard);
   for (size_t i = 0; i < batch.size(); ++i) {
     if (!batch[i].ok()) {
       std::fprintf(stderr, "  error: %s\n",
@@ -117,21 +123,21 @@ int main() {
     users.emplace_back([&, u] {
       for (int round = 0; round < 25; ++round) {
         const std::string& query = dashboard[(u + round) % dashboard.size()];
-        auto output = engine.Search(query);
+        auto output = service.Search(query);
         if (output.ok()) answered.fetch_add(1);
       }
     });
   }
   for (auto& user : users) user.join();
 
-  soda::CacheStats stats = engine.cache_stats();
+  soda::CacheStats stats = service.cache_stats();
   std::printf("  answered %zu requests; cache: %zu hit / %zu miss "
               "(%.0f%% hit rate, %zu entries)\n",
               answered.load(), stats.hits, stats.misses,
               100.0 * stats.hit_rate(), stats.size);
 
   // One warm request with the full observability surface.
-  auto warm = engine.Search(dashboard[0]);
+  auto warm = service.Search(dashboard[0]);
   if (warm.ok()) {
     std::printf("\nwarm '%s':\n  from_cache=%d wall=%.3f ms "
                 "(owning shard: %zu hits / %zu misses, %zu threads)\n",
@@ -140,12 +146,58 @@ int main() {
                 warm->threads_used);
   }
 
+  // Interactive session: one user steering a translation. Ask answers
+  // cold and captures a translation plan; every result carries a typed
+  // Explanation (matched terms -> chosen entry points -> FROM tables ->
+  // joins -> filters); pin/ban/bind levers re-run only the stages they
+  // can affect on Refine — byte-identical to a cold constrained
+  // translation, just cheaper.
+  std::printf("---- interactive session --------------------------------\n");
+  // Start cold so the Ask translates (and captures a resumable plan)
+  // instead of answering from the dashboard-warmed cache.
+  service.ClearCache();
+  soda::SodaSession session(&service);
+  auto asked = session.Ask("private customers family name");
+  if (asked.ok()) {
+    std::printf("  Ask('private customers family name'): %zu result(s)\n",
+                asked->results.size());
+    for (const soda::SodaResult& result : asked->results) {
+      const soda::Explanation& why = result.provenance;
+      std::printf("    score %.2f  terms:%zu  FROM:%zu  joins:%zu  "
+                  "filters:%zu  (%s)\n",
+                  result.score, why.terms.size(), why.tables.size(),
+                  why.joins.size(), why.filters.size(),
+                  result.explanation.c_str());
+    }
+  }
+  auto banned = session.BanTable("securities").Refine();
+  if (banned.ok()) {
+    std::printf("  BanTable('securities') + Refine: %zu result(s), "
+                "skipped %zu/5 stages (pin/ban gates Step 5 only)\n",
+                banned->results.size(), banned->stages_skipped);
+  }
+  auto candidates = session.TermCandidates("name");
+  std::printf("  'name' has %zu bindable entry point(s)\n",
+              candidates.size());
+  for (const auto& [entry_key, description] : candidates) {
+    if (description.find("logical schema") == std::string::npos) continue;
+    auto bound = session.BindTerm("name", entry_key).Refine();
+    if (bound.ok()) {
+      std::printf("  BindTerm('name' -> '%s') + Refine: %zu result(s), "
+                  "skipped %zu/5 stages (re-ranked from the session's "
+                  "cached lookup)\n",
+                  description.c_str(), bound->results.size(),
+                  bound->stages_skipped);
+    }
+    break;
+  }
+
   // Manual keyed invalidation is still available for callers that know
   // which keys a change affects...
-  size_t evicted = engine.InvalidateWhere([](const std::string& key) {
+  size_t evicted = service.InvalidateWhere([](const std::string& key) {
     return key.find("investments") != std::string::npos;
   });
-  auto recomputed = engine.Search(dashboard[1]);
+  auto recomputed = service.Search(dashboard[1]);
   std::printf("---- keyed invalidation ---------------------------------\n"
               "  InvalidateWhere(\"investments\") evicted %zu entr%s; "
               "'%s' now served from %s\n",
@@ -172,7 +224,7 @@ int main() {
                              soda::Value::Str("Zürich"),
                              soda::Value::Str("CH")});
   }
-  auto after_append = engine.Search(dashboard[0]);
+  auto after_append = service.Search(dashboard[0]);
   std::printf("  appended individual 'Nadia Demozian' + Zürich address "
               "(one epoch, %llu events)\n",
               static_cast<unsigned long long>(freshness.events_seen()));
@@ -182,7 +234,7 @@ int main() {
               after_append.ok() && after_append->from_cache ? "cache"
                                                            : "pipeline",
               static_cast<unsigned long long>(freshness.keys_invalidated()));
-  auto nadia = engine.Search("addresses Nadia Demozian");
+  auto nadia = service.Search("addresses Nadia Demozian");
   if (nadia.ok()) {
     std::printf("  'addresses Nadia Demozian' now finds %zu result(s) "
                 "without any rebuild\n", nadia->results.size());
@@ -192,10 +244,10 @@ int main() {
   // snippets arrive through the callback as the pool executes them, and
   // the barrier is the deterministic completion point.
   std::printf("---- async streaming (fresh query) ----------------------\n");
-  engine.ClearCache();
+  service.ClearCache();
   std::atomic<size_t> streamed{0};
   soda::SnippetBarrier barrier;
-  auto async_out = engine.SearchAsync(
+  auto async_out = service.SearchAsync(
       "trading volume transaction date between date(2010-01-01) "
       "date(2011-12-31)",
       [&](size_t, size_t result_index, const soda::SodaResult& result) {
@@ -218,7 +270,7 @@ int main() {
   // counters, aggregated across everything this process just did —
   // freshness.* books included (the manager writes into its own sink
   // here; fold it into the fleet view for one merged dump).
-  soda::MetricsSnapshot fleet = engine.metrics_snapshot();
+  soda::MetricsSnapshot fleet = service.metrics_snapshot();
   fleet.MergeFrom(freshness.metrics_snapshot());
   std::printf("---- metrics snapshot -----------------------------------\n%s",
               fleet.ToString().c_str());

@@ -31,50 +31,6 @@ std::string NormalizedQueryKey(const std::string& query) {
 }
 
 // ---------------------------------------------------------------------------
-// SnippetBarrier
-// ---------------------------------------------------------------------------
-
-void SnippetBarrier::Expect(size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
-  expected_ += n;
-}
-
-void SnippetBarrier::Deliver(std::exception_ptr exception) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++delivered_;
-  if (exception) {
-    ++exceptions_;
-    if (!first_exception_) first_exception_ = std::move(exception);
-  }
-  if (delivered_ >= expected_) done_.notify_all();
-}
-
-void SnippetBarrier::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_.wait(lock, [&] { return delivered_ >= expected_; });
-}
-
-size_t SnippetBarrier::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return expected_ - delivered_;
-}
-
-size_t SnippetBarrier::delivered() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return delivered_;
-}
-
-size_t SnippetBarrier::callback_exceptions() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return exceptions_;
-}
-
-std::exception_ptr SnippetBarrier::first_exception() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return first_exception_;
-}
-
-// ---------------------------------------------------------------------------
 // Construction
 // ---------------------------------------------------------------------------
 
@@ -93,7 +49,18 @@ SodaEngine::SodaEngine(std::unique_ptr<Soda> soda)
       cache_(soda_->config().cache_capacity),
       default_sink_(std::make_shared<InMemoryMetricsSink>()),
       sink_(default_sink_),
-      pool_(ResolveThreads(soda_->config().num_threads)) {}
+      pool_(ResolveThreads(soda_->config().num_threads)) {
+  // Session-resume sub-lists over the Soda-owned stage objects. The
+  // drivers skip stages of the wrong kind, so membership alone encodes
+  // what a resume re-runs.
+  bool seen_sql = false;
+  for (const PipelineStage* stage : soda_->stages()) {
+    if (stage->name() != "lookup") stages_rank_on_.push_back(stage);
+    if (!stage->per_interpretation()) continue;
+    if (stage->name() == "sql") seen_sql = true;
+    (seen_sql ? stages_sql_ : stages_pre_sql_).push_back(stage);
+  }
+}
 
 void SodaEngine::set_metrics_sink(std::shared_ptr<MetricsSink> sink) {
   sink_ = sink != nullptr ? std::move(sink) : default_sink_;
@@ -151,27 +118,78 @@ void SodaEngine::CacheInsert(const std::string& key,
 }
 
 // ---------------------------------------------------------------------------
-// Single-query path
+// Single-query path (plain, constrained, and session)
 // ---------------------------------------------------------------------------
 
-Result<SearchOutput> SodaEngine::Search(const std::string& query) const {
-  SODA_RETURN_NOT_OK(soda_->init_status());
+Result<SearchOutput> SodaEngine::Search(
+    const std::string& query, const SessionConstraints& constraints) const {
+  return SearchInternal(query, constraints, /*plan=*/nullptr);
+}
+
+Result<SearchOutput> SodaEngine::SearchSession(
+    const std::string& query, const SessionConstraints& constraints,
+    std::shared_ptr<TranslationPlan>* plan) const {
+  return SearchInternal(query, constraints, plan);
+}
+
+bool SodaEngine::PlanStillFresh(const TranslationPlan& plan) const {
+  if (!plan.valid.load(std::memory_order_acquire)) return false;
+  // A watched plan's validity is maintained precisely (the freshness
+  // hook flips it exactly when a mutation touches its term vocabulary);
+  // unwatched plans fall back to the coarse check: any change-log
+  // advance voids them.
+  if (plan.watched) return true;
+  const Database* db = soda_->database();
+  if (db == nullptr) return true;
+  return db->change_log().sequence() == plan.captured_at_sequence;
+}
+
+void SodaEngine::RegisterPlan(
+    const std::shared_ptr<TranslationPlan>& plan) const {
+  if (freshness_ == nullptr) return;
+  std::string reg_key =
+      "plan:" + std::to_string(reinterpret_cast<uintptr_t>(plan.get()));
+  // The hook only flips an atomic through a weak_ptr: it is safe to fire
+  // from OnChange (under the exclusive data lock, outside the manager
+  // mutex) and safe against the plan dying first.
+  std::weak_ptr<TranslationPlan> weak = plan;
+  freshness_->RecordPlan(reg_key, plan->freshness_terms, [weak] {
+    if (std::shared_ptr<TranslationPlan> p = weak.lock()) {
+      p->valid.store(false, std::memory_order_release);
+    }
+  });
+  plan->watched = true;
+  FreshnessManager* manager = freshness_;
+  plan->deregister = [manager, reg_key] { manager->ForgetPlan(reg_key); };
+}
+
+Result<SearchOutput> SodaEngine::SearchInternal(
+    const std::string& query, const SessionConstraints& constraints,
+    std::shared_ptr<TranslationPlan>* plan) const {
   // Whole-serve shared data lock: concurrent appends (exclusive holders)
   // order entirely before or after this serve, so the cache probe, the
-  // pipeline, the snippet scan and the cache insert all see one
-  // consistent database state.
+  // plan freshness check, the pipeline, the snippet scan and the cache
+  // insert all see one consistent database state.
   auto data_guard = ReadGuard();
   auto t_start = std::chrono::steady_clock::now();
   sink_->IncrementCounter("engine.search", 1);
 
-  const std::string key = NormalizedQueryKey(query);
+  const bool constrained = !constraints.empty();
+  const std::string normalized = NormalizedQueryKey(query);
+  const std::string key = ConstrainedCacheKey(normalized, constraints);
+  const bool is_refine = plan != nullptr && *plan != nullptr;
+  if (is_refine) sink_->IncrementCounter("session.refines", 1);
+
   if (std::shared_ptr<const SearchOutput> cached = cache_.Get(key)) {
     // Deliberate copy: the payload is bounded (top_n statements x
     // snippet_rows rows) and the response needs its own counter fields;
     // measured hit path stays ~100x faster than the pipeline.
     sink_->IncrementCounter("cache.hit", 1);
+    if (constrained) sink_->IncrementCounter("session.constraint_hits", 1);
+    if (plan != nullptr) sink_->IncrementCounter("session.stages_skipped", 5);
     SearchOutput output = *cached;
     output.from_cache = true;
+    output.stages_skipped = 5;
     CacheStats stats = cache_.stats();
     output.cache_hits = stats.hits;
     output.cache_misses = stats.misses;
@@ -187,22 +205,96 @@ Result<SearchOutput> SodaEngine::Search(const std::string& query) const {
   QueryContext ctx(query);
   ctx.config = &config;
   ctx.metrics = sink_.get();
+  if (constrained) ctx.constraints = &constraints;
   ctx.collect_freshness_terms = freshness_ != nullptr;
   const std::vector<const PipelineStage*>& stages = soda_->stages();
 
-  // Query-level prefix (lookup, rank) runs serially — it is cheap and
-  // produces the independent per-interpretation states.
-  SODA_RETURN_NOT_OK(RunQueryStages(stages, &ctx));
+  // Resume decision: the held plan must answer this very question and
+  // still reflect the current base data. Bindings select which stages
+  // the resume can skip — pins/bans only gate Step 5, so matching
+  // bindings let the post-Filters states be reused wholesale, while a
+  // binding change re-ranks from the (always constraint-independent)
+  // Step-1 lookup.
+  TranslationPlan* resume = nullptr;
+  if (is_refine && (*plan)->key == normalized && PlanStillFresh(**plan)) {
+    resume = plan->get();
+  }
+  const std::string bindings_fp = constraints.BindingsFingerprint();
+  const bool reuse_states =
+      resume != nullptr && resume->bindings_fp == bindings_fp;
+  const bool capture = plan != nullptr && !reuse_states;
+  size_t stages_skipped = 0;
 
-  // Fan Steps 3-5 out across the pool, one task per interpretation. Each
-  // task touches only its own state; the shared context is read-only.
+  if (resume != nullptr) {
+    // Copies, never moves: the plan stays resumable for the next Refine.
+    ctx.parsed = resume->parsed;
+    ctx.lookup = resume->lookup;
+    ctx.freshness_terms = resume->freshness_terms;
+    if (reuse_states) {
+      ctx.states = resume->states;  // SqlStage mutates states in place
+      stages_skipped = 4;           // lookup, rank, tables, filters
+    } else {
+      stages_skipped = 1;  // lookup
+      SODA_RETURN_NOT_OK(RunQueryStages(stages_rank_on_, &ctx));
+    }
+  } else {
+    // Query-level prefix (lookup, rank) runs serially — it is cheap and
+    // produces the independent per-interpretation states.
+    SODA_RETURN_NOT_OK(RunQueryStages(stages, &ctx));
+  }
+
+  // Fan the remaining per-interpretation stages out across the pool, one
+  // task per interpretation. Each task touches only its own state; the
+  // shared context is read-only. A capturing run splits the fan-out at
+  // the Step-4/5 boundary to snapshot the reusable states.
   sink_->Observe("pool.queue_depth",
                  static_cast<double>(pool_.queue_depth()));
-  pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
-    RunInterpretationStages(stages, ctx, &ctx.states[i]);
-  });
+  std::vector<InterpretationState> snapshot;
+  if (reuse_states) {
+    pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
+      RunInterpretationStages(stages_sql_, ctx, &ctx.states[i]);
+    });
+  } else if (capture) {
+    pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
+      RunInterpretationStages(stages_pre_sql_, ctx, &ctx.states[i]);
+    });
+    snapshot = ctx.states;  // post-Filters, pre-Sql
+    pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
+      RunInterpretationStages(stages_sql_, ctx, &ctx.states[i]);
+    });
+  } else {
+    pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
+      RunInterpretationStages(stages, ctx, &ctx.states[i]);
+    });
+  }
+  if (plan != nullptr && stages_skipped > 0) {
+    sink_->IncrementCounter("session.stages_skipped", stages_skipped);
+  }
+
+  // Capture before FinalizeOutput, which consumes the context fields.
+  std::shared_ptr<TranslationPlan> captured;
+  if (capture) {
+    captured = std::make_shared<TranslationPlan>();
+    captured->key = normalized;
+    captured->parsed = ctx.parsed;
+    captured->lookup = ctx.lookup;
+    captured->bindings_fp = bindings_fp;
+    captured->freshness_terms = ctx.freshness_terms;
+    captured->states = std::move(snapshot);
+    for (InterpretationState& state : captured->states) {
+      // A resumed run books only the stage work it actually did.
+      state.tables_ms = 0.0;
+      state.filters_ms = 0.0;
+      state.sql_ms = 0.0;
+    }
+    const Database* db = soda_->database();
+    captured->captured_at_sequence =
+        db != nullptr ? db->change_log().sequence() : 0;
+    RegisterPlan(captured);
+  }
 
   SearchOutput output = FinalizeOutput(std::move(ctx));
+  output.stages_skipped = stages_skipped;
 
   if (config.execute_snippets && soda_->database() != nullptr) {
     auto t_exec = std::chrono::steady_clock::now();
@@ -226,6 +318,9 @@ Result<SearchOutput> SodaEngine::Search(const std::string& query) const {
   CacheStats stats = cache_.stats();
   output.cache_hits = stats.hits;
   output.cache_misses = stats.misses;
+  // Hand the new plan over last: an error on any earlier path leaves the
+  // caller's previous plan untouched.
+  if (capture) *plan = std::move(captured);
   return output;
 }
 
@@ -422,10 +517,6 @@ std::vector<Result<SearchOutput>> SodaEngine::ExpandBatch(
 std::vector<Result<SearchOutput>> SodaEngine::SearchAll(
     std::span<const std::string> queries) const {
   if (queries.empty()) return {};
-  if (!soda_->init_status().ok()) {
-    return std::vector<Result<SearchOutput>>(
-        queries.size(), Result<SearchOutput>(soda_->init_status()));
-  }
   auto data_guard = ReadGuard();
   auto t_start = std::chrono::steady_clock::now();
   sink_->IncrementCounter("engine.search_all", 1);
@@ -476,10 +567,6 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAllAsync(
     std::span<const std::string> queries, SnippetCallback on_snippet,
     SnippetBarrier* barrier) const {
   if (queries.empty()) return {};
-  if (!soda_->init_status().ok()) {
-    return std::vector<Result<SearchOutput>>(
-        queries.size(), Result<SearchOutput>(soda_->init_status()));
-  }
   auto data_guard = ReadGuard();
   auto t_start = std::chrono::steady_clock::now();
   sink_->IncrementCounter("engine.search_all_async", 1);

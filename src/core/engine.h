@@ -30,7 +30,11 @@
 //   6. pluggable observability — every stage latency, cache hit/miss,
 //      batch dedup, snippet outcome and queue-depth sample flows into a
 //      MetricsSink (default: in-memory counters + histograms, snapshot
-//      via metrics_snapshot()).
+//      via metrics_snapshot());
+//   7. interactive sessions — Search takes SessionConstraints (cached
+//      under ConstrainedCacheKey), and SearchSession captures/resumes a
+//      TranslationPlan so a session's Refine re-runs only the stages a
+//      constraint change can affect (core/service.h, core/session.h).
 //
 // The engine is safe to share across caller threads: all entry points are
 // const, the cache and sink are internally locked, and the underlying
@@ -41,13 +45,9 @@
 #define SODA_CORE_ENGINE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -56,6 +56,7 @@
 #include "common/lru_cache.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "core/service.h"
 #include "core/soda.h"
 
 namespace soda {
@@ -68,58 +69,12 @@ class FreshnessManager;
 /// case-sensitively in the executor, so differently-cased queries can
 /// have genuinely different answers. Exposed so the router, the
 /// invalidation predicates handed to InvalidateWhere, and the tests all
-/// agree on exactly the bytes that get hashed and cached.
+/// agree on exactly the bytes that get hashed and cached. Constrained
+/// answers extend this with the constraint fingerprint — see
+/// ConstrainedCacheKey (core/service.h).
 std::string NormalizedQueryKey(const std::string& query);
 
-/// Delivered once per (query_index, result_index) pair by the async entry
-/// points, after that result's snippet finished executing (or was skipped
-/// because execution is disabled — check result.executed). Invoked from
-/// pool threads (or the caller's thread on inline pools); implementations
-/// must be thread-safe across results. Exceptions thrown by the callback
-/// are caught, counted on the barrier, and never abort the stream.
-using SnippetCallback = std::function<void(
-    size_t query_index, size_t result_index, const SodaResult& result)>;
-
-/// Completion barrier for async snippet streaming. One barrier can span
-/// several SearchAsync/SearchAllAsync submissions; Wait() returns once
-/// every expected callback has been delivered (including ones that
-/// threw). The barrier must outlive the engine calls it was passed to and
-/// must not be destroyed before Wait() has returned.
-class SnippetBarrier {
- public:
-  SnippetBarrier() = default;
-  SnippetBarrier(const SnippetBarrier&) = delete;
-  SnippetBarrier& operator=(const SnippetBarrier&) = delete;
-
-  /// Blocks until every expected snippet callback has been delivered.
-  /// Deterministic: after Wait() returns, no further callbacks fire for
-  /// the submissions registered so far.
-  void Wait();
-
-  /// Callbacks registered but not yet delivered.
-  size_t pending() const;
-  /// Callbacks delivered so far (throwing ones included).
-  size_t delivered() const;
-  /// Callbacks that exited via an exception. The stream keeps draining;
-  /// the first exception is retained for inspection.
-  size_t callback_exceptions() const;
-  std::exception_ptr first_exception() const;
-
- private:
-  friend class SodaEngine;
-
-  void Expect(size_t n);
-  void Deliver(std::exception_ptr exception);
-
-  mutable std::mutex mu_;
-  std::condition_variable done_;
-  size_t expected_ = 0;
-  size_t delivered_ = 0;
-  size_t exceptions_ = 0;
-  std::exception_ptr first_exception_;
-};
-
-class SodaEngine {
+class SodaEngine : public SodaService {
  public:
   /// Builds the underlying Soda (propagating index-construction errors),
   /// the worker pool (config.num_threads; 0 = hardware concurrency) and
@@ -134,11 +89,24 @@ class SodaEngine {
   /// Wraps an already-constructed Soda.
   explicit SodaEngine(std::unique_ptr<Soda> soda);
 
-  /// Cached, concurrent search. On a cache hit the stored output is
-  /// copied with `from_cache` set; on a miss the pipeline runs with
-  /// Steps 3-5 fanned out across the pool. Every response carries the
-  /// engine-lifetime cache counters and the pool width.
-  Result<SearchOutput> Search(const std::string& query) const;
+  using SodaService::Search;
+  using SodaService::SearchAll;
+
+  /// Cached, concurrent search under `constraints` (empty = classic
+  /// behavior). On a cache hit the stored output is copied with
+  /// `from_cache` set; on a miss the pipeline runs with Steps 3-5 fanned
+  /// out across the pool. Every response carries the engine-lifetime
+  /// cache counters and the pool width.
+  Result<SearchOutput> Search(
+      const std::string& query,
+      const SessionConstraints& constraints) const override;
+
+  /// Session search: Search + TranslationPlan capture/resume — see
+  /// SodaService::SearchSession for the contract and the stage-skip
+  /// matrix.
+  Result<SearchOutput> SearchSession(
+      const std::string& query, const SessionConstraints& constraints,
+      std::shared_ptr<TranslationPlan>* plan) const override;
 
   /// Batched search: one dashboard refresh in, per-query outputs out, in
   /// input order. Identical normalized queries inside the batch are
@@ -151,14 +119,7 @@ class SodaEngine {
   /// slot. Results are byte-identical to N independent Search calls at
   /// any thread count.
   std::vector<Result<SearchOutput>> SearchAll(
-      std::span<const std::string> queries) const;
-
-  /// Brace-list convenience: engine.SearchAll({"a", "b"}).
-  std::vector<Result<SearchOutput>> SearchAll(
-      std::initializer_list<std::string> queries) const {
-    return SearchAll(
-        std::span<const std::string>(queries.begin(), queries.size()));
-  }
+      std::span<const std::string> queries) const override;
 
   /// Async search: returns the translated, ranked SQL immediately —
   /// results carry executed=false and empty snippets (unless served from
@@ -169,7 +130,7 @@ class SodaEngine {
   /// the result cache. query_index is always 0 for this entry point.
   Result<SearchOutput> SearchAsync(const std::string& query,
                                    SnippetCallback on_snippet,
-                                   SnippetBarrier* barrier) const;
+                                   SnippetBarrier* barrier) const override;
 
   /// Batched async search: SearchAll's dedup/amortization for the
   /// translation phase, snippet streaming for the execution phase. Each
@@ -178,11 +139,11 @@ class SodaEngine {
   /// their own callbacks (with their own query_index).
   std::vector<Result<SearchOutput>> SearchAllAsync(
       std::span<const std::string> queries, SnippetCallback on_snippet,
-      SnippetBarrier* barrier) const;
+      SnippetBarrier* barrier) const override;
 
   /// Cache observability and control.
-  CacheStats cache_stats() const { return cache_.stats(); }
-  void ClearCache() const { cache_.Clear(); }
+  CacheStats cache_stats() const override { return cache_.stats(); }
+  void ClearCache() const override { cache_.Clear(); }
 
   /// Keyed cache invalidation: evicts every cached answer whose
   /// normalized query key (see NormalizedQueryKey) satisfies `pred`, and
@@ -195,7 +156,7 @@ class SodaEngine {
   /// streaming inserts into the cache after its barrier drains, so
   /// invalidate after Wait() to cover in-flight async answers.
   size_t InvalidateWhere(
-      const std::function<bool(const std::string&)>& pred) const;
+      const std::function<bool(const std::string&)>& pred) const override;
 
   /// Incremental base-data maintenance: forwards one storage ChangeEvent
   /// to the underlying Soda's inverted index. MUST run under the
@@ -203,7 +164,7 @@ class SodaEngine {
   /// ChangeListener) — every serving path holds the shared side for its
   /// whole serve, so the delta can never interleave with a probe.
   /// Returns the number of new posting entries.
-  size_t ApplyBaseDataDelta(const ChangeEvent& event) {
+  size_t ApplyBaseDataDelta(const ChangeEvent& event) override {
     return soda_->ApplyBaseDataDelta(event);
   }
 
@@ -213,13 +174,15 @@ class SodaEngine {
   /// invalidate exactly the affected keys. Install before serving
   /// traffic (entries cached earlier have no recorded dependencies).
   /// nullptr detaches. Normally called by FreshnessManager::Track.
-  void set_freshness(FreshnessManager* freshness) { freshness_ = freshness; }
+  void set_freshness(FreshnessManager* freshness) override {
+    freshness_ = freshness;
+  }
 
   /// Replaces the metrics sink (statsd/Prometheus exporters plug in
   /// here). Not thread-safe with respect to in-flight searches — install
   /// the sink before serving traffic. Passing nullptr restores the
   /// built-in in-memory sink.
-  void set_metrics_sink(std::shared_ptr<MetricsSink> sink);
+  void set_metrics_sink(std::shared_ptr<MetricsSink> sink) override;
 
   /// The active sink.
   MetricsSink* metrics_sink() const { return sink_.get(); }
@@ -227,17 +190,39 @@ class SodaEngine {
   /// Snapshot of the built-in in-memory sink. When a custom sink is
   /// installed the built-in one stops receiving events and this freezes;
   /// snapshot the custom sink through its own interface instead.
-  MetricsSnapshot metrics_snapshot() const {
+  MetricsSnapshot metrics_snapshot() const override {
     return default_sink_->Snapshot();
   }
 
   /// Effective parallelism: worker count, or 1 when running inline.
-  size_t num_threads() const;
+  size_t num_threads() const override;
 
   const Soda& soda() const { return *soda_; }
 
  private:
   struct BatchItem;
+
+  /// Shared core of Search and SearchSession. `plan` == nullptr means a
+  /// plain (possibly constrained) search: probe the cache under
+  /// ConstrainedCacheKey, run the full pipeline on a miss. With a plan
+  /// slot the engine additionally resumes from a still-fresh matching
+  /// plan — skipping Step 1 (bindings changed) or Steps 1-4 (pins/bans
+  /// only) — and captures a fresh plan into the slot whenever it could
+  /// not reuse the held one. Outputs are byte-identical across all
+  /// paths.
+  Result<SearchOutput> SearchInternal(
+      const std::string& query, const SessionConstraints& constraints,
+      std::shared_ptr<TranslationPlan>* plan) const;
+
+  /// Whether a captured plan may still be resumed: its valid flag has
+  /// not been flipped by a freshness hook, and — when nobody watches it
+  /// — the change log has not advanced past its capture point.
+  bool PlanStillFresh(const TranslationPlan& plan) const;
+
+  /// Registers a freshly captured plan with the freshness manager so
+  /// base-data mutations touching its term vocabulary flip its valid
+  /// flag. No-op without a manager.
+  void RegisterPlan(const std::shared_ptr<TranslationPlan>& plan) const;
 
   /// Shared translation core of the batch entry points: normalize +
   /// dedup, probe the cache per unique key, then run Steps 1-2 per miss
@@ -271,6 +256,14 @@ class SodaEngine {
   void CacheInsert(const std::string& key, const SearchOutput& output) const;
 
   std::unique_ptr<Soda> soda_;
+  // Stage sub-lists for session resume, built once in the constructor
+  // from soda_->stages() (which owns the stage objects):
+  //   rank_on_  — everything after lookup (bindings changed: re-rank)
+  //   pre_sql_  — per-interpretation stages before sql (plan capture)
+  //   sql_      — sql alone (pins/bans only: regenerate statements)
+  std::vector<const PipelineStage*> stages_rank_on_;
+  std::vector<const PipelineStage*> stages_pre_sql_;
+  std::vector<const PipelineStage*> stages_sql_;
   FreshnessManager* freshness_ = nullptr;
   mutable LruCache<std::string, SearchOutput> cache_;
   std::shared_ptr<InMemoryMetricsSink> default_sink_;

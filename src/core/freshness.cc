@@ -3,8 +3,7 @@
 #include <utility>
 
 #include "common/strings.h"
-#include "core/engine.h"
-#include "core/sharded_engine.h"
+#include "core/service.h"
 #include "text/tokenizer.h"
 
 namespace soda {
@@ -29,24 +28,17 @@ FreshnessManager::~FreshnessManager() {
   for (const Target& target : targets_) target.detach();
 }
 
-template <typename Engine>
-void FreshnessManager::TrackImpl(Engine* engine) {
-  engine->set_freshness(this);
+void FreshnessManager::Track(SodaService* service) {
+  service->set_freshness(this);
   std::lock_guard<std::mutex> lock(mu_);
   targets_.push_back(Target{
-      [engine](const ChangeEvent& event) {
-        return engine->ApplyBaseDataDelta(event);
+      [service](const ChangeEvent& event) {
+        return service->ApplyBaseDataDelta(event);
       },
-      [engine](const std::function<bool(const std::string&)>& pred) {
-        return engine->InvalidateWhere(pred);
+      [service](const std::function<bool(const std::string&)>& pred) {
+        return service->InvalidateWhere(pred);
       },
-      [engine] { engine->set_freshness(nullptr); }});
-}
-
-void FreshnessManager::Track(SodaEngine* engine) { TrackImpl(engine); }
-
-void FreshnessManager::Track(ShardedSodaEngine* engine) {
-  TrackImpl(engine);
+      [service] { service->set_freshness(nullptr); }});
 }
 
 void FreshnessManager::RecordQuery(const std::string& key,
@@ -77,6 +69,28 @@ void FreshnessManager::RecordQuery(const std::string& key,
   }
   deps_by_key_[key] = std::move(deps);
   sink_->IncrementCounter("freshness.keys_tracked", 1);
+}
+
+void FreshnessManager::RecordPlan(const std::string& plan_key,
+                                  const std::vector<std::string>& terms,
+                                  std::function<void()> on_invalidate) {
+  Deps deps;
+  deps.terms = terms;  // plans carry no table dependency: a resume
+                       // regenerates SQL and re-executes snippets anyway
+  std::lock_guard<std::mutex> lock(mu_);
+  ForgetLocked(plan_key);
+  for (const std::string& term : deps.terms) {
+    keys_by_term_[term].insert(plan_key);
+  }
+  deps_by_key_[plan_key] = std::move(deps);
+  plan_hooks_[plan_key] = std::move(on_invalidate);
+  sink_->IncrementCounter("freshness.plans_tracked", 1);
+}
+
+void FreshnessManager::ForgetPlan(const std::string& plan_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ForgetLocked(plan_key);
+  plan_hooks_.erase(plan_key);
 }
 
 void FreshnessManager::Forget(const std::string& key) {
@@ -173,11 +187,33 @@ void FreshnessManager::OnChange(const ChangeEvent& event) {
   }
   sink_->IncrementCounter("freshness.delta_postings", delta_postings);
 
-  // 2. Keyed invalidation for exactly the dependent answers.
+  // 2. Keyed invalidation for exactly the dependent answers — and the
+  // dependent session plans, which live in the same reverse maps but
+  // resolve to a hook instead of a cache eviction. Partition them out
+  // under the mutex, fire the hooks outside it (they only flip an
+  // atomic, so firing under the exclusive data lock is safe and means
+  // no serve — readers hold the shared side — can resume a plan the
+  // mutation just voided).
   std::unordered_set<std::string> affected;
+  std::vector<std::function<void()>> plan_hooks;
   {
     std::lock_guard<std::mutex> lock(mu_);
     CollectAffectedLocked(event, &affected);
+    for (auto it = affected.begin(); it != affected.end();) {
+      auto hook = plan_hooks_.find(*it);
+      if (hook == plan_hooks_.end()) {
+        ++it;
+        continue;
+      }
+      plan_hooks.push_back(std::move(hook->second));
+      ForgetLocked(*it);
+      plan_hooks_.erase(hook);
+      it = affected.erase(it);
+    }
+  }
+  if (!plan_hooks.empty()) {
+    for (const std::function<void()>& hook : plan_hooks) hook();
+    sink_->IncrementCounter("freshness.plans_invalidated", plan_hooks.size());
   }
   if (!affected.empty()) {
     auto pred = [&affected](const std::string& key) {

@@ -33,7 +33,8 @@
 //
 // Counters (booked into the sink handed to the constructor):
 // freshness.events, freshness.delta_postings, freshness.keys_invalidated,
-// freshness.keys_tracked.
+// freshness.keys_tracked, freshness.plans_tracked,
+// freshness.plans_invalidated.
 //
 // Threading: OnChange runs under the change log's exclusive data lock;
 // RecordQuery runs under engines' shared locks. The manager's own state
@@ -69,8 +70,7 @@
 
 namespace soda {
 
-class SodaEngine;
-class ShardedSodaEngine;
+class SodaService;
 
 class FreshnessManager : public ChangeListener {
  public:
@@ -84,12 +84,12 @@ class FreshnessManager : public ChangeListener {
   FreshnessManager(const FreshnessManager&) = delete;
   FreshnessManager& operator=(const FreshnessManager&) = delete;
 
-  /// Tracks an engine: its index receives every delta, its cache every
-  /// keyed invalidation, and the engine reports its cache inserts back
-  /// here (set_freshness is called on it). The engine must outlive this
+  /// Tracks a service (serial engine or sharded router alike): its index
+  /// receives every delta, its cache every keyed invalidation, and the
+  /// service reports its cache inserts (and session plans) back here
+  /// (set_freshness is called on it). The service must outlive this
   /// manager.
-  void Track(SodaEngine* engine);
-  void Track(ShardedSodaEngine* engine);
+  void Track(SodaService* service);
 
   /// Records one cached answer's dependencies. Called by tracked engines
   /// under their shared data lock, next to the cache insert; re-recording
@@ -112,9 +112,25 @@ class FreshnessManager : public ChangeListener {
                      const std::function<bool(const std::string&)>&
                          still_cached);
 
+  /// Registers one session TranslationPlan under its lookup's term
+  /// vocabulary, in the same reverse map that invalidates cached
+  /// answers. `plan_key` must be unique among plans and cache keys (the
+  /// engine uses "plan:<address>", which no normalized query can
+  /// collide with); `on_invalidate` fires — under the exclusive data
+  /// lock, outside this manager's mutex — when a mutation touches any
+  /// of `terms`, and must be cheap and lock-free (the engine's hook
+  /// flips an atomic). Re-recording a key replaces hook and terms.
+  void RecordPlan(const std::string& plan_key,
+                  const std::vector<std::string>& terms,
+                  std::function<void()> on_invalidate);
+
+  /// Deregisters one plan (TranslationPlan's destructor calls this).
+  void ForgetPlan(const std::string& plan_key);
+
   /// ChangeListener: applies the event's delta to every tracked engine's
-  /// index, then invalidates exactly the dependent cache keys. Runs under
-  /// the change log's exclusive data lock.
+  /// index, then invalidates exactly the dependent cache keys and fires
+  /// the hooks of dependent session plans. Runs under the change log's
+  /// exclusive data lock.
   void OnChange(const ChangeEvent& event) override;
 
   /// Lifetime books (also exported as freshness.* counters).
@@ -141,10 +157,6 @@ class FreshnessManager : public ChangeListener {
   /// Drops `key` from the reverse maps using its recorded Deps.
   void ForgetLocked(const std::string& key);
 
-  /// Shared registration body of the two Track overloads.
-  template <typename Engine>
-  void TrackImpl(Engine* engine);
-
   ChangeLog* log_;
   std::shared_ptr<InMemoryMetricsSink> own_sink_;  // null when external
   std::shared_ptr<MetricsSink> sink_;
@@ -163,6 +175,10 @@ class FreshnessManager : public ChangeListener {
       keys_by_term_;
   std::unordered_map<std::string, std::unordered_set<std::string>>
       keys_by_table_;
+  /// Session plans, keyed like cache keys in the maps above but resolved
+  /// to an invalidation hook instead of a cache eviction. Membership
+  /// here is what distinguishes a plan key in an affected set.
+  std::unordered_map<std::string, std::function<void()>> plan_hooks_;
   uint64_t events_seen_ = 0;
   uint64_t keys_invalidated_ = 0;
 };

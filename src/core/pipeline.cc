@@ -27,6 +27,102 @@ void ObserveStage(MetricsSink* metrics, std::string_view stage_name,
 
 }  // namespace
 
+std::string EntryPointKey(const EntryPoint& ep) {
+  if (ep.kind == EntryPoint::Kind::kBaseData) {
+    return FoldForMatch(ep.table) + "." + FoldForMatch(ep.column) + "=" +
+           ep.value;
+  }
+  return ep.label + "@" + std::string(MetadataLayerName(ep.layer)) + "#" +
+         std::to_string(ep.node);
+}
+
+std::string Explanation::Render() const {
+  std::string out;
+  for (const ExplanationTerm& term : terms) {
+    if (!out.empty()) out += "; ";
+    out += term.phrase + " @ " +
+           std::string(MetadataLayerName(term.entry.layer));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SessionConstraints
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void InsertSortedUnique(std::vector<std::string>* list, std::string value) {
+  auto it = std::lower_bound(list->begin(), list->end(), value);
+  if (it != list->end() && *it == value) return;
+  list->insert(it, std::move(value));
+}
+
+void EraseValue(std::vector<std::string>* list, const std::string& value) {
+  auto it = std::lower_bound(list->begin(), list->end(), value);
+  if (it != list->end() && *it == value) list->erase(it);
+}
+
+}  // namespace
+
+void SessionConstraints::PinTable(const std::string& table) {
+  InsertSortedUnique(&pinned_tables, FoldForMatch(table));
+}
+
+void SessionConstraints::UnpinTable(const std::string& table) {
+  EraseValue(&pinned_tables, FoldForMatch(table));
+}
+
+void SessionConstraints::BanTable(const std::string& table) {
+  InsertSortedUnique(&banned_tables, FoldForMatch(table));
+}
+
+void SessionConstraints::UnbanTable(const std::string& table) {
+  EraseValue(&banned_tables, FoldForMatch(table));
+}
+
+void SessionConstraints::Bind(const std::string& term,
+                              const std::string& entry_key) {
+  std::string folded = FoldForMatch(term);
+  auto it = std::lower_bound(bindings.begin(), bindings.end(), folded,
+                             [](const TermBinding& binding,
+                                const std::string& t) {
+                               return binding.term < t;
+                             });
+  if (it != bindings.end() && it->term == folded) {
+    it->entry_key = entry_key;  // rebinding a term replaces its target
+    return;
+  }
+  bindings.insert(it, TermBinding{std::move(folded), entry_key});
+}
+
+void SessionConstraints::Unbind(const std::string& term) {
+  std::string folded = FoldForMatch(term);
+  auto it = std::lower_bound(bindings.begin(), bindings.end(), folded,
+                             [](const TermBinding& binding,
+                                const std::string& t) {
+                               return binding.term < t;
+                             });
+  if (it != bindings.end() && it->term == folded) bindings.erase(it);
+}
+
+std::string SessionConstraints::BindingsFingerprint() const {
+  std::string fp;
+  for (const TermBinding& binding : bindings) {
+    if (!fp.empty()) fp += ",";
+    fp += binding.term;
+    fp += "=";
+    fp += binding.entry_key;
+  }
+  return fp;
+}
+
+std::string SessionConstraints::Fingerprint() const {
+  if (empty()) return "";
+  return "p:" + Join(pinned_tables, ",") + "|b:" + Join(banned_tables, ",") +
+         "|t:" + BindingsFingerprint();
+}
+
 void StepTimings::Add(std::string_view stage_name, double ms) {
   if (stage_name == "lookup") {
     lookup_ms += ms;
@@ -166,9 +262,8 @@ void MaterializeInterpretation(const LookupOutput& lookup,
     remap[t] = state->entries.size();
     const EntryPoint& ep = term.candidates[state->interpretation.choice[t]];
     state->entries.push_back(ep);
-    if (!state->explanation.empty()) state->explanation += "; ";
-    state->explanation +=
-        term.phrase + " @ " + std::string(MetadataLayerName(ep.layer));
+    state->explanation.terms.push_back(
+        ExplanationTerm{term.phrase, ep, EntryPointKey(ep)});
   }
   for (OperatorBinding binding : lookup.operators) {
     if (binding.term_index < remap.size() &&
@@ -179,10 +274,54 @@ void MaterializeInterpretation(const LookupOutput& lookup,
   }
 }
 
+// Applies term bindings to the enumerated product: an interpretation
+// survives only if its choice for every bound term is the candidate
+// carrying the bound entry-point key. Bindings naming an absent term (or
+// a term that matched no candidates) are inert — they cannot constrain
+// what was never enumerated.
+void FilterInterpretationsByBindings(LookupOutput* lookup,
+                                     const SessionConstraints& constraints) {
+  for (const SessionConstraints::TermBinding& binding : constraints.bindings) {
+    size_t term_index = SIZE_MAX;
+    for (size_t t = 0; t < lookup->terms.size(); ++t) {
+      if (EqualsFolded(lookup->terms[t].phrase, binding.term)) {
+        term_index = t;
+        break;
+      }
+    }
+    if (term_index == SIZE_MAX) continue;
+    const LookupTerm& term = lookup->terms[term_index];
+    if (term.candidates.empty()) continue;
+    std::vector<bool> allowed(term.candidates.size());
+    for (size_t c = 0; c < term.candidates.size(); ++c) {
+      allowed[c] = EntryPointKey(term.candidates[c]) == binding.entry_key;
+    }
+    auto rejected = [&](const Interpretation& interpretation) {
+      return !allowed[interpretation.choice[term_index]];
+    };
+    lookup->interpretations.erase(
+        std::remove_if(lookup->interpretations.begin(),
+                       lookup->interpretations.end(), rejected),
+        lookup->interpretations.end());
+  }
+}
+
 }  // namespace
 
 Status RankStage::Run(QueryContext* ctx) const {
-  std::vector<Interpretation> ranked = RankAndTopN(ctx->lookup, *ctx->config);
+  std::vector<Interpretation> ranked;
+  if (ctx->constraints != nullptr && !ctx->constraints->bindings.empty()) {
+    // Bindings narrow the product BEFORE the top-N cut, so binding a term
+    // to a low-ranked entry point surfaces interpretations the
+    // unconstrained ranking would have dropped. Only the interpretation
+    // list is filtered — terms and candidate lists stay untouched, so the
+    // surviving choices keep indexing the original candidates.
+    LookupOutput constrained = ctx->lookup;
+    FilterInterpretationsByBindings(&constrained, *ctx->constraints);
+    ranked = RankAndTopN(constrained, *ctx->config);
+  } else {
+    ranked = RankAndTopN(ctx->lookup, *ctx->config);
+  }
   ctx->states.clear();
   ctx->states.reserve(ranked.size());
   for (Interpretation& interpretation : ranked) {
@@ -235,7 +374,8 @@ Status FiltersStage::RunOne(const QueryContext&,
 Status SqlStage::RunOne(const QueryContext& ctx,
                         InterpretationState* state) const {
   // Step 5 precondition: drop mutually exclusive inheritance siblings
-  // that no filter or column constrains (see TablesStep).
+  // that no filter or column constrains (see TablesStep). A pinned table
+  // counts as constrained — the user asked for it by name.
   std::vector<PhysicalColumnRef> constrained;
   for (const GeneratedFilter& filter : state->filters) {
     constrained.push_back(filter.column);
@@ -246,7 +386,10 @@ Status SqlStage::RunOne(const QueryContext& ctx,
   for (const auto& aggregation : state->tables->aggregations) {
     constrained.push_back(aggregation.column);
   }
-  tables_step_->PruneUnconstrainedSiblings(&*state->tables, constrained);
+  const SessionConstraints* session = ctx.constraints;
+  tables_step_->PruneUnconstrainedSiblings(
+      &*state->tables, constrained,
+      session != nullptr ? &session->pinned_tables : nullptr);
 
   Result<SelectStatement> stmt = generator_->Generate(
       ctx.parsed, *state->tables, state->filters, ctx.metrics);
@@ -254,11 +397,42 @@ Status SqlStage::RunOne(const QueryContext& ctx,
     state->dropped = true;
     return Status::OK();
   }
+  // Pin/ban enforcement over the statement actually emitted: banned
+  // tables retire the interpretation, pinned tables must all be read.
+  if (session != nullptr &&
+      (!session->pinned_tables.empty() || !session->banned_tables.empty())) {
+    auto reads_table = [&stmt](const std::string& folded) {
+      for (const TableRef& ref : stmt->from) {
+        if (FoldForMatch(ref.table) == folded) return true;
+      }
+      return false;
+    };
+    for (const std::string& banned : session->banned_tables) {
+      if (reads_table(banned)) {
+        state->dropped = true;
+        return Status::OK();
+      }
+    }
+    for (const std::string& pinned : session->pinned_tables) {
+      if (!reads_table(pinned)) {
+        state->dropped = true;
+        return Status::OK();
+      }
+    }
+  }
   state->fully_connected = state->tables->fully_connected;
   if (ctx.config->drop_disconnected && !state->fully_connected) {
     state->dropped = true;
     return Status::OK();
   }
+  // Complete the provenance record with what was actually emitted (the
+  // FROM list and joins reflect the pruning above).
+  state->explanation.tables.clear();
+  for (const TableRef& ref : stmt->from) {
+    state->explanation.tables.push_back(ref.table);
+  }
+  state->explanation.joins = state->tables->joins;
+  state->explanation.filters = state->filters;
   state->statement = std::move(*stmt);
   return Status::OK();
 }
@@ -335,7 +509,8 @@ SearchOutput FinalizeOutput(QueryContext&& ctx) {
     result.statement = std::move(*state.statement);
     result.sql = result.statement.ToSql();
     result.score = state.interpretation.score;
-    result.explanation = std::move(state.explanation);
+    result.explanation = state.explanation.Render();
+    result.provenance = std::move(state.explanation);
     result.fully_connected = state.fully_connected;
     output.results.push_back(std::move(result));
   }

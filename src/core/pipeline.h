@@ -48,17 +48,98 @@ inline double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(elapsed).count();
 }
 
+/// Canonical, stable identifier of one entry point, used by term bindings
+/// (SessionConstraints) and explanation keys: metadata hits render as
+/// "label@layer#node", base-data hits as "table.column=value".
+/// Deterministic across shard replicas — node ids derive from the shared
+/// immutable metadata graph.
+std::string EntryPointKey(const EntryPoint& ep);
+
+/// One matched term of an interpretation: the query phrase and the entry
+/// point the interpretation chose for it.
+struct ExplanationTerm {
+  std::string phrase;     // as segmented by Step 1 (folded)
+  EntryPoint entry;       // the chosen candidate
+  std::string entry_key;  // EntryPointKey(entry) — a valid BindTerm target
+};
+
+/// Typed provenance of one ranked answer: matched terms → chosen entry
+/// points (RankStage) → final FROM tables, join path edges and generated
+/// filters as actually emitted (SqlStage, after sibling pruning). The
+/// legacy one-line explanation string is rendered from this record, so
+/// the two can never drift apart.
+struct Explanation {
+  std::vector<ExplanationTerm> terms;
+  std::vector<std::string> tables;       // the statement's FROM list, in order
+  std::vector<JoinEdge> joins;           // join conditions the generator used
+  std::vector<GeneratedFilter> filters;  // generated predicates
+
+  /// The classic provenance line, e.g.
+  /// "customers @ domain ontology; zürich @ base data" — byte-identical
+  /// to the free-text explanation earlier versions carried.
+  std::string Render() const;
+};
+
 /// One ranked candidate: an executable SQL statement with provenance.
 struct SodaResult {
   SelectStatement statement;
   std::string sql;          // rendered statement
   double score = 0.0;       // ranking score of the interpretation
-  std::string explanation;  // entry points, e.g. "customers @ domain ontology"
+  std::string explanation;  // provenance.Render(), kept for display/logs
+  Explanation provenance;   // the structured record the line is rendered from
   bool fully_connected = true;
   /// Result snippet (up to config.snippet_rows rows) when execution is on.
   ResultSet snippet;
   bool executed = false;
   Status execution_status;
+};
+
+/// User-issued constraints on a translation, the session layer's levers
+/// (core/session.h). Semantics:
+///
+///   * PinTable(t)  — every emitted statement must read `t`; during
+///     sibling pruning a pinned table counts as constrained, so pinning
+///     an inheritance child keeps it in the FROM list.
+///   * BanTable(t)  — no emitted statement may read `t`.
+///   * Bind(term, entry_key) — interpretations whose choice for `term`
+///     is not the candidate with `entry_key` are discarded BEFORE the
+///     top-N cut, so binding to a low-ranked entry point surfaces
+///     interpretations the unconstrained ranking would have dropped. A
+///     binding whose term (or key) matches nothing is inert.
+///
+/// Tables are stored folded; all three lists are kept sorted + unique by
+/// the mutators, which makes Fingerprint() canonical — build instances
+/// through the mutators, not aggregate initialization.
+struct SessionConstraints {
+  struct TermBinding {
+    std::string term;       // folded phrase, as in LookupTerm::phrase
+    std::string entry_key;  // EntryPointKey of the required candidate
+  };
+
+  std::vector<std::string> pinned_tables;
+  std::vector<std::string> banned_tables;
+  std::vector<TermBinding> bindings;  // sorted by term, one per term
+
+  void PinTable(const std::string& table);
+  void UnpinTable(const std::string& table);
+  void BanTable(const std::string& table);
+  void UnbanTable(const std::string& table);
+  void Bind(const std::string& term, const std::string& entry_key);
+  void Unbind(const std::string& term);
+
+  bool empty() const {
+    return pinned_tables.empty() && banned_tables.empty() && bindings.empty();
+  }
+
+  /// Canonical fingerprint of the full constraint set ("" when empty).
+  /// Folded into the engines' cache keys, so constrained and
+  /// unconstrained answers to one query never share a cache entry.
+  std::string Fingerprint() const;
+
+  /// Fingerprint of the bindings alone — the part that affects Steps 2-4.
+  /// Pin/ban only gate Step 5, which is what lets a session reuse its
+  /// post-Filters states across pin/ban changes.
+  std::string BindingsFingerprint() const;
 };
 
 /// Per-step wall-clock timings in milliseconds (paper Section 5.2.2
@@ -98,6 +179,11 @@ struct SearchOutput {
   size_t cache_misses = 0;
   size_t threads_used = 1;  // pool width that produced this answer
 
+  /// How many of the five pipeline stages this response skipped: 0 for a
+  /// cold translation, 1/4 when a session resumed a cached plan
+  /// (lookup, or lookup+rank+tables+filters), 5 on a cache hit.
+  size_t stages_skipped = 0;
+
   /// The base-data value vocabulary this answer depends on: every folded
   /// token Step 1 probed against the classification/inverted indexes
   /// (matched phrases, ignored words, aggregation and group-by
@@ -122,10 +208,11 @@ struct InterpretationState {
 
   /// Materialized by RankStage: the chosen entry point per non-empty term,
   /// the operator bindings remapped to the compacted entry indexes, and
-  /// the human-readable provenance string.
+  /// the typed provenance record (terms filled by RankStage; tables,
+  /// joins and filters filled by SqlStage from the emitted statement).
   std::vector<EntryPoint> entries;
   std::vector<OperatorBinding> operators;
-  std::string explanation;
+  Explanation explanation;
 
   /// Stage outputs.
   std::optional<TablesOutput> tables;
@@ -156,6 +243,18 @@ struct QueryContext {
   /// stages once, per-interpretation stages once per state). Must be
   /// thread-safe: the engine observes from worker threads.
   MetricsSink* metrics = nullptr;
+
+  /// Optional session constraints (nullptr = unconstrained). Constraint
+  /// plumbing per stage: LookupStage and FiltersStage are deliberately
+  /// constraint-independent (their outputs are reusable across any
+  /// constraint change); RankStage applies term bindings before the
+  /// top-N cut; TablesStage is binding-dependent only through the states
+  /// RankStage built; SqlStage protects pinned tables from sibling
+  /// pruning and enforces pin/ban on the emitted statement. The pointee
+  /// must outlive the pipeline run; applied identically by every driver,
+  /// so constrained output is byte-identical serial vs. engine vs.
+  /// session-resume.
+  const SessionConstraints* constraints = nullptr;
 
   InputQuery parsed;
   LookupOutput lookup;

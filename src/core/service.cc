@@ -1,0 +1,61 @@
+#include "core/service.h"
+
+#include <utility>
+
+namespace soda {
+
+// ---------------------------------------------------------------------------
+// SnippetBarrier
+// ---------------------------------------------------------------------------
+
+void SnippetBarrier::Expect(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expected_ += n;
+}
+
+void SnippetBarrier::Deliver(std::exception_ptr exception) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++delivered_;
+  if (exception) {
+    ++exceptions_;
+    if (!first_exception_) first_exception_ = std::move(exception);
+  }
+  if (delivered_ >= expected_) done_.notify_all();
+}
+
+void SnippetBarrier::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [&] { return delivered_ >= expected_; });
+}
+
+size_t SnippetBarrier::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return expected_ - delivered_;
+}
+
+size_t SnippetBarrier::delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+size_t SnippetBarrier::callback_exceptions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exceptions_;
+}
+
+std::exception_ptr SnippetBarrier::first_exception() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_exception_;
+}
+
+// ---------------------------------------------------------------------------
+// Cache-key composition
+// ---------------------------------------------------------------------------
+
+std::string ConstrainedCacheKey(const std::string& normalized_key,
+                                const SessionConstraints& constraints) {
+  if (constraints.empty()) return normalized_key;
+  return normalized_key + '\x1f' + constraints.Fingerprint();
+}
+
+}  // namespace soda

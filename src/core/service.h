@@ -1,0 +1,232 @@
+// SodaService — the abstract serving surface of the SODA stack.
+//
+// Both engines implement this interface:
+//
+//   SodaEngine         (core/engine.h)          one worker pool + one cache
+//   ShardedSodaEngine  (core/sharded_engine.h)  N replicas behind a router
+//
+// Everything above the engines — the interactive session layer
+// (core/session.h), the FreshnessManager (core/freshness.h), the demos
+// and the determinism tests — programs against SodaService, so serial
+// vs. sharded is a construction-time choice only: build whichever engine
+// fits the deployment and hand it around as a SodaService*.
+//
+// The interface also carries the session machinery shared by both
+// implementations: SessionConstraints travel with every Search (the
+// unconstrained overload is a non-virtual convenience), SearchSession
+// additionally captures/reuses a TranslationPlan — the session-cached
+// Steps 1-2 (+3-4) output that lets a Refine re-run only the stages a
+// constraint change can affect — and ConstrainedCacheKey defines how the
+// constraint fingerprint is folded into the result-cache key.
+
+#ifndef SODA_CORE_SERVICE_H_
+#define SODA_CORE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "common/metrics.h"
+#include "core/pipeline.h"
+
+namespace soda {
+
+class FreshnessManager;
+struct ChangeEvent;
+
+/// Delivered once per (query_index, result_index) pair by the async entry
+/// points, after that result's snippet finished executing (or was skipped
+/// because execution is disabled — check result.executed). Invoked from
+/// pool threads (or the caller's thread on inline pools); implementations
+/// must be thread-safe across results. Exceptions thrown by the callback
+/// are caught, counted on the barrier, and never abort the stream.
+using SnippetCallback = std::function<void(
+    size_t query_index, size_t result_index, const SodaResult& result)>;
+
+/// Completion barrier for async snippet streaming. One barrier can span
+/// several SearchAsync/SearchAllAsync submissions; Wait() returns once
+/// every expected callback has been delivered (including ones that
+/// threw). The barrier must outlive the engine calls it was passed to and
+/// must not be destroyed before Wait() has returned.
+class SnippetBarrier {
+ public:
+  SnippetBarrier() = default;
+  SnippetBarrier(const SnippetBarrier&) = delete;
+  SnippetBarrier& operator=(const SnippetBarrier&) = delete;
+
+  /// Blocks until every expected snippet callback has been delivered.
+  /// Deterministic: after Wait() returns, no further callbacks fire for
+  /// the submissions registered so far.
+  void Wait();
+
+  /// Callbacks registered but not yet delivered.
+  size_t pending() const;
+  /// Callbacks delivered so far (throwing ones included).
+  size_t delivered() const;
+  /// Callbacks that exited via an exception. The stream keeps draining;
+  /// the first exception is retained for inspection.
+  size_t callback_exceptions() const;
+  std::exception_ptr first_exception() const;
+
+ private:
+  friend class SodaEngine;
+
+  void Expect(size_t n);
+  void Deliver(std::exception_ptr exception);
+
+  mutable std::mutex mu_;
+  std::condition_variable done_;
+  size_t expected_ = 0;
+  size_t delivered_ = 0;
+  size_t exceptions_ = 0;
+  std::exception_ptr first_exception_;
+};
+
+/// A session's cached prefix of one question's translation: the parsed
+/// input and Step-1 lookup (constraint-independent), plus the
+/// post-Filters interpretation states ranked under `bindings_fp`. Held by
+/// SodaSession via shared_ptr and handed back to SearchSession, which
+/// resumes from it — pin/ban-only changes re-run Step 5 alone, binding
+/// changes re-rank from Step 2 — with output byte-identical to a cold
+/// constrained translation.
+///
+/// Freshness: when a FreshnessManager watches the owning engine, the plan
+/// is registered under its lookup's term vocabulary in the same reverse
+/// maps that invalidate cached answers; a base-data mutation that could
+/// change the lookup flips `valid` (under the exclusive data lock, so
+/// no resume can race it) and the next Refine re-translates. Without a
+/// manager, `captured_at_sequence` is compared against the change log
+/// instead — any mutation voids the plan. Plans deregister themselves on
+/// destruction; destroy sessions/plans before the manager they are
+/// registered with.
+struct TranslationPlan {
+  std::string key;  // NormalizedQueryKey of the question
+  InputQuery parsed;
+  LookupOutput lookup;
+  std::string bindings_fp;  // BindingsFingerprint the states were ranked under
+  std::vector<InterpretationState> states;  // post-Filters, pre-Sql snapshot
+  std::vector<std::string> freshness_terms;
+  uint64_t captured_at_sequence = 0;
+  bool watched = false;  // registered with a FreshnessManager
+  std::atomic<bool> valid{true};
+  std::function<void()> deregister;
+
+  TranslationPlan() = default;
+  TranslationPlan(const TranslationPlan&) = delete;
+  TranslationPlan& operator=(const TranslationPlan&) = delete;
+  ~TranslationPlan() {
+    if (deregister) deregister();
+  }
+};
+
+/// The result-cache key of a constrained search: the normalized query
+/// alone when the constraints are empty (bit-compatible with every
+/// pre-session cache key), else the normalized query + 0x1F (ASCII unit
+/// separator — cannot appear in a whitespace-normalized query) + the
+/// canonical constraint fingerprint. Pinned and unpinned variants of one
+/// query therefore never share a cache entry, while InvalidateWhere
+/// predicates that substring-match table/term names keep covering both.
+std::string ConstrainedCacheKey(const std::string& normalized_key,
+                                const SessionConstraints& constraints);
+
+class SodaService {
+ public:
+  virtual ~SodaService() = default;
+
+  /// Unconstrained search — the classic entry point, now a convenience
+  /// over the constrained overload.
+  Result<SearchOutput> Search(const std::string& query) const {
+    return Search(query, SessionConstraints{});
+  }
+
+  /// Brace-list convenience: service.SearchAll({"a", "b"}). One shared
+  /// helper — implementations only provide the span overload.
+  std::vector<Result<SearchOutput>> SearchAll(
+      std::initializer_list<std::string> queries) const {
+    return SearchAll(
+        std::span<const std::string>(queries.begin(), queries.size()));
+  }
+
+  /// Cached, concurrent search under `constraints` (empty = classic
+  /// unconstrained behavior, same cache entries). Constrained answers
+  /// are cached under ConstrainedCacheKey.
+  virtual Result<SearchOutput> Search(
+      const std::string& query, const SessionConstraints& constraints) const = 0;
+
+  /// Batched search: one dashboard refresh in, per-query outputs out, in
+  /// input order, with in-batch dedup of identical normalized queries.
+  virtual std::vector<Result<SearchOutput>> SearchAll(
+      std::span<const std::string> queries) const = 0;
+
+  /// Async search: translated, ranked SQL returns immediately; snippets
+  /// stream through `on_snippet`; `barrier` is the completion point.
+  virtual Result<SearchOutput> SearchAsync(const std::string& query,
+                                           SnippetCallback on_snippet,
+                                           SnippetBarrier* barrier) const = 0;
+
+  /// Batched async search.
+  virtual std::vector<Result<SearchOutput>> SearchAllAsync(
+      std::span<const std::string> queries, SnippetCallback on_snippet,
+      SnippetBarrier* barrier) const = 0;
+
+  /// Session entry point: as Search(query, constraints), but additionally
+  /// maintains `*plan` (required non-null; *plan may be null). When the
+  /// held plan matches `query` and is still fresh, the engine resumes
+  /// from it — skipping lookup (bindings changed) or lookup + rank +
+  /// tables + filters (pins/bans only) — and books
+  /// session.{refines,stages_skipped,constraint_hits}. Otherwise the
+  /// query translates cold and a fresh plan is captured into *plan.
+  /// Output is byte-identical either way. On a sharded engine the plan's
+  /// query routes by its normalized text only (the fingerprint is NOT
+  /// hashed), so every constrained variant of one question shares a
+  /// shard: session affinity.
+  virtual Result<SearchOutput> SearchSession(
+      const std::string& query, const SessionConstraints& constraints,
+      std::shared_ptr<TranslationPlan>* plan) const = 0;
+
+  /// Cache observability and control (fleet-level sums on the router).
+  virtual CacheStats cache_stats() const = 0;
+  virtual void ClearCache() const = 0;
+
+  /// Keyed cache invalidation: evicts every cached answer whose key
+  /// satisfies `pred`, returns how many. Keys are normalized queries,
+  /// extended per ConstrainedCacheKey for constrained answers.
+  virtual size_t InvalidateWhere(
+      const std::function<bool(const std::string&)>& pred) const = 0;
+
+  /// Incremental base-data maintenance: forwards one storage ChangeEvent
+  /// to the inverted index (every replica's, on the router). MUST run
+  /// under the database change log's exclusive data lock (i.e. from a
+  /// ChangeListener). Returns the number of new posting entries.
+  virtual size_t ApplyBaseDataDelta(const ChangeEvent& event) = 0;
+
+  /// Registers the freshness manager cache inserts (and session plans)
+  /// are reported to. Install before serving traffic; nullptr detaches.
+  /// Normally called by FreshnessManager::Track.
+  virtual void set_freshness(FreshnessManager* freshness) = 0;
+
+  /// Replaces the metrics sink on the engine (every shard, on the
+  /// router). Install before serving traffic; nullptr restores the
+  /// built-in in-memory sink.
+  virtual void set_metrics_sink(std::shared_ptr<MetricsSink> sink) = 0;
+
+  /// Snapshot of the built-in in-memory sink(s).
+  virtual MetricsSnapshot metrics_snapshot() const = 0;
+
+  /// Effective per-pool parallelism.
+  virtual size_t num_threads() const = 0;
+};
+
+}  // namespace soda
+
+#endif  // SODA_CORE_SERVICE_H_

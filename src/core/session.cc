@@ -1,0 +1,85 @@
+#include "core/session.h"
+
+#include "common/strings.h"
+
+namespace soda {
+
+Result<SearchOutput> SodaSession::Run() {
+  Result<SearchOutput> output =
+      service_->SearchSession(query_, constraints_, &plan_);
+  if (output.ok()) last_stages_skipped_ = output->stages_skipped;
+  return output;
+}
+
+Result<SearchOutput> SodaSession::Ask(const std::string& query) {
+  query_ = query;
+  constraints_ = SessionConstraints{};
+  plan_.reset();
+  return Run();
+}
+
+Result<SearchOutput> SodaSession::Refine() {
+  if (query_.empty()) {
+    return Status::InvalidArgument("Refine before any Ask: no question held");
+  }
+  ++refines_;
+  return Run();
+}
+
+Result<SearchOutput> SodaSession::Refine(const std::string& query) {
+  query_ = query;
+  return Refine();
+}
+
+SodaSession& SodaSession::PinTable(const std::string& table) {
+  constraints_.PinTable(table);
+  return *this;
+}
+
+SodaSession& SodaSession::UnpinTable(const std::string& table) {
+  constraints_.UnpinTable(table);
+  return *this;
+}
+
+SodaSession& SodaSession::BanTable(const std::string& table) {
+  constraints_.BanTable(table);
+  return *this;
+}
+
+SodaSession& SodaSession::UnbanTable(const std::string& table) {
+  constraints_.UnbanTable(table);
+  return *this;
+}
+
+SodaSession& SodaSession::BindTerm(const std::string& term,
+                                   const std::string& entry_key) {
+  constraints_.Bind(term, entry_key);
+  return *this;
+}
+
+SodaSession& SodaSession::UnbindTerm(const std::string& term) {
+  constraints_.Unbind(term);
+  return *this;
+}
+
+SodaSession& SodaSession::ClearConstraints() {
+  constraints_ = SessionConstraints{};
+  return *this;
+}
+
+std::vector<std::pair<std::string, std::string>> SodaSession::TermCandidates(
+    const std::string& term) const {
+  std::vector<std::pair<std::string, std::string>> candidates;
+  if (plan_ == nullptr) return candidates;
+  for (const LookupTerm& lookup_term : plan_->lookup.terms) {
+    if (!EqualsFolded(lookup_term.phrase, term)) continue;
+    candidates.reserve(lookup_term.candidates.size());
+    for (const EntryPoint& candidate : lookup_term.candidates) {
+      candidates.emplace_back(EntryPointKey(candidate), candidate.ToString());
+    }
+    break;
+  }
+  return candidates;
+}
+
+}  // namespace soda

@@ -84,10 +84,22 @@ ShardedSodaEngine::ShardedSodaEngine(
 // Routed entry points
 // ---------------------------------------------------------------------------
 
-Result<SearchOutput> ShardedSodaEngine::Search(const std::string& query) const {
+Result<SearchOutput> ShardedSodaEngine::Search(
+    const std::string& query, const SessionConstraints& constraints) const {
+  // Route by the normalized query alone: constrained variants of one
+  // question share its shard (and therefore its plans and cache locality).
   size_t shard = ShardOfKey(NormalizedQueryKey(query), shards_.size());
   router_sink_->IncrementCounter("router.shard_queries", 1);
-  return shards_[shard]->Search(query);
+  return shards_[shard]->Search(query, constraints);
+}
+
+Result<SearchOutput> ShardedSodaEngine::SearchSession(
+    const std::string& query, const SessionConstraints& constraints,
+    std::shared_ptr<TranslationPlan>* plan) const {
+  size_t shard = ShardOfKey(NormalizedQueryKey(query), shards_.size());
+  router_sink_->IncrementCounter("router.shard_queries", 1);
+  router_sink_->IncrementCounter("router.session_queries", 1);
+  return shards_[shard]->SearchSession(query, constraints, plan);
 }
 
 std::vector<Result<SearchOutput>> ShardedSodaEngine::SearchAll(
@@ -233,8 +245,7 @@ void ShardedSodaEngine::set_freshness(FreshnessManager* freshness) {
   }
 }
 
-void ShardedSodaEngine::set_metrics_sink(
-    const std::shared_ptr<MetricsSink>& sink) {
+void ShardedSodaEngine::set_metrics_sink(std::shared_ptr<MetricsSink> sink) {
   for (const std::unique_ptr<SodaEngine>& shard : shards_) {
     shard->set_metrics_sink(sink);
   }

@@ -12,7 +12,11 @@
 //      (NormalizedQueryKey). Deterministic and platform-independent, so
 //      a query's cache entry lives on exactly one shard, repeats always
 //      hit the shard that computed them, and the shard map is stable
-//      across runs and machines;
+//      across runs and machines. Session traffic routes by the same key
+//      — the constraint fingerprint is deliberately NOT hashed — so
+//      every constrained variant of one question lands on one shard
+//      (session affinity: a Refine always finds the shard whose cache
+//      and plans know the question);
 //   2. batched admission — SearchAll splits a batch into per-shard
 //      sub-batches, runs them concurrently on a persistent router-side
 //      dispatch pool, and re-merges the per-query Results into input
@@ -45,6 +49,7 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
+#include "core/service.h"
 
 namespace soda {
 
@@ -55,7 +60,7 @@ namespace soda {
 /// placement logic (e.g. cache warmers) that must agree with the router.
 size_t ShardOfKey(const std::string& normalized_key, size_t num_shards);
 
-class ShardedSodaEngine {
+class ShardedSodaEngine : public SodaService {
  public:
   /// Builds config.num_shards SodaEngine replicas over the same catalog
   /// and graph (each replica copies the pattern library and builds its
@@ -72,10 +77,23 @@ class ShardedSodaEngine {
   /// hold no nulls (asserted): every routing path indexes into it.
   explicit ShardedSodaEngine(std::vector<std::unique_ptr<SodaEngine>> shards);
 
+  using SodaService::Search;
+  using SodaService::SearchAll;
+
   /// Routes the query to its shard and delegates. Same contract as
   /// SodaEngine::Search; repeats of one query always land on the same
-  /// shard, so its cache behaves exactly like a single engine's.
-  Result<SearchOutput> Search(const std::string& query) const;
+  /// shard (constraints excluded from the routing key), so its cache
+  /// behaves exactly like a single engine's.
+  Result<SearchOutput> Search(
+      const std::string& query,
+      const SessionConstraints& constraints) const override;
+
+  /// Session search with affinity: the plan's question routes by its
+  /// normalized text, so every Refine resumes on the shard that captured
+  /// the plan. Books router.session_queries.
+  Result<SearchOutput> SearchSession(
+      const std::string& query, const SessionConstraints& constraints,
+      std::shared_ptr<TranslationPlan>* plan) const override;
 
   /// Batched admission point: splits the batch by shard, runs the
   /// occupied shards' SearchAll concurrently, and merges the per-query
@@ -83,14 +101,7 @@ class ShardedSodaEngine {
   /// single engine; in-batch dedup still applies (identical normalized
   /// queries route identically, so they meet in one sub-batch).
   std::vector<Result<SearchOutput>> SearchAll(
-      std::span<const std::string> queries) const;
-
-  /// Brace-list convenience: router.SearchAll({"a", "b"}).
-  std::vector<Result<SearchOutput>> SearchAll(
-      std::initializer_list<std::string> queries) const {
-    return SearchAll(
-        std::span<const std::string>(queries.begin(), queries.size()));
-  }
+      std::span<const std::string> queries) const override;
 
   /// Async admission: per-shard SearchAllAsync with the callback's
   /// query_index remapped to the caller's batch position. All shards'
@@ -99,26 +110,26 @@ class ShardedSodaEngine {
   /// shard's pool concurrently.
   std::vector<Result<SearchOutput>> SearchAllAsync(
       std::span<const std::string> queries, SnippetCallback on_snippet,
-      SnippetBarrier* barrier) const;
+      SnippetBarrier* barrier) const override;
 
   /// Single-query async, routed to its shard.
   Result<SearchOutput> SearchAsync(const std::string& query,
                                    SnippetCallback on_snippet,
-                                   SnippetBarrier* barrier) const;
+                                   SnippetBarrier* barrier) const override;
 
   /// Sum of every shard's cache books (hits/misses/dedup/invalidations;
   /// capacity and size sum too — they describe the fleet).
-  CacheStats cache_stats() const;
+  CacheStats cache_stats() const override;
 
   /// Fans out to every shard.
-  void ClearCache() const;
+  void ClearCache() const override;
 
   /// Keyed invalidation fan-out: forwards `pred` (over normalized query
   /// keys) to every shard and returns the total number of evicted
   /// entries. Each key lives on exactly one shard, so the total equals
   /// what a single engine would have evicted.
   size_t InvalidateWhere(
-      const std::function<bool(const std::string&)>& pred) const;
+      const std::function<bool(const std::string&)>& pred) const override;
 
   /// Incremental base-data maintenance fan-out: every replica owns its
   /// own inverted index over the shared database, so one storage
@@ -126,12 +137,12 @@ class ShardedSodaEngine {
   /// SodaEngine::ApplyBaseDataDelta (call under the change log's
   /// exclusive data lock, i.e. from a ChangeListener). Returns the sum
   /// of new posting entries across shards.
-  size_t ApplyBaseDataDelta(const ChangeEvent& event);
+  size_t ApplyBaseDataDelta(const ChangeEvent& event) override;
 
   /// Registers the freshness manager on every shard (each replica
   /// reports its own cache inserts; the manager dedups by key). nullptr
   /// detaches. Normally called by FreshnessManager::Track.
-  void set_freshness(FreshnessManager* freshness);
+  void set_freshness(FreshnessManager* freshness) override;
 
   /// Installs `sink` on every shard — the exporter hook for fleet
   /// deployments (MetricsSink implementations are thread-safe, so one
@@ -140,19 +151,19 @@ class ShardedSodaEngine {
   /// nullptr restores each shard's built-in sink. The router's own
   /// router.* samples stay in its internal sink either way and keep
   /// appearing in metrics_snapshot().
-  void set_metrics_sink(const std::shared_ptr<MetricsSink>& sink);
+  void set_metrics_sink(std::shared_ptr<MetricsSink> sink) override;
 
   /// Fleet view: every shard's snapshot merged (counters add, histograms
   /// merge on the shared bucket grid) plus the router's own
   /// router.shard_batch_size / router.shard_queries / router.batches.
   /// Shards whose built-in sink was replaced via set_metrics_sink stop
   /// contributing new samples here — snapshot the custom sink instead.
-  MetricsSnapshot metrics_snapshot() const;
+  MetricsSnapshot metrics_snapshot() const override;
 
   size_t num_shards() const { return shards_.size(); }
 
   /// Per-shard worker width (all shards share one config).
-  size_t num_threads() const { return shards_.front()->num_threads(); }
+  size_t num_threads() const override { return shards_.front()->num_threads(); }
 
   /// Direct access to one replica, for tests and per-shard inspection.
   const SodaEngine& shard(size_t i) const { return *shards_[i]; }

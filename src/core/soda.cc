@@ -9,9 +9,11 @@ namespace soda {
 Result<std::unique_ptr<Soda>> Soda::Create(
     const Database* db, const MetadataGraph* graph, PatternLibrary patterns,
     SodaConfig config, std::shared_ptr<EntryPointClosure> shared_closure) {
-  auto soda = std::make_unique<Soda>(db, graph, std::move(patterns), config,
-                                     std::move(shared_closure));
-  SODA_RETURN_NOT_OK(soda->init_status());
+  // Not make_unique: the constructor is private to force construction
+  // through this factory (and its init_status_ check).
+  std::unique_ptr<Soda> soda(new Soda(db, graph, std::move(patterns), config,
+                                      std::move(shared_closure)));
+  SODA_RETURN_NOT_OK(soda->init_status_);
   return soda;
 }
 
@@ -66,8 +68,6 @@ void Soda::ExecuteSnippet(SodaResult* result, MetricsSink* metrics) const {
 
 Result<SearchOutput> Soda::Search(const std::string& query,
                                   MetricsSink* metrics) const {
-  SODA_RETURN_NOT_OK(init_status_);
-
   // Live-data discipline: hold the database's shared data lock for the
   // whole serve, so concurrent appends (exclusive holders) can never
   // interleave with the pipeline, the index probes or the snippet scan.

@@ -75,7 +75,9 @@ class Soda {
   /// Builds the search engine over an existing catalog + metadata graph,
   /// propagating any index-construction failure (e.g. a malformed join
   /// pattern) instead of deferring it. `db` and `graph` must outlive the
-  /// returned instance. This is the preferred way to construct a Soda.
+  /// returned instance. This is the only way to construct a Soda — a
+  /// returned instance is always fully initialized, so Search never has
+  /// to report a construction-time failure after the fact.
   ///
   /// `shared_closure` (optional) supplies an entry-point traversal memo
   /// shared with other Soda instances — the sharded router passes one
@@ -90,15 +92,6 @@ class Soda {
       const Database* db, const MetadataGraph* graph, PatternLibrary patterns,
       SodaConfig config,
       std::shared_ptr<EntryPointClosure> shared_closure = nullptr);
-
-  /// Direct construction. The inverted index over `db` and the
-  /// classification index are built here (the paper reports index
-  /// construction separately from query processing). Construction-time
-  /// failures are stored and returned by the first Search call; prefer
-  /// Create, which surfaces them immediately.
-  Soda(const Database* db, const MetadataGraph* graph,
-       PatternLibrary patterns, SodaConfig config,
-       std::shared_ptr<EntryPointClosure> shared_closure = nullptr);
 
   /// Runs the five-step pipeline on a query string: the ordered stage
   /// list from stages(), executed serially, followed by snippet
@@ -120,9 +113,6 @@ class Soda {
   /// The ordered stage list (lookup, rank, tables, filters, sql). The
   /// SodaEngine drives these same stages concurrently.
   const std::vector<const PipelineStage*>& stages() const { return stages_; }
-
-  /// OK when construction fully succeeded.
-  const Status& init_status() const { return init_status_; }
 
   /// Executes `statement` with the snippet row limit and stores the
   /// outcome on `result`. Used by both drivers after the merge. When
@@ -166,6 +156,12 @@ class Soda {
   }
 
  private:
+  /// Index construction happens here (the paper reports it separately
+  /// from query processing); any failure lands in init_status_, which
+  /// Create checks before handing the instance out.
+  Soda(const Database* db, const MetadataGraph* graph, PatternLibrary patterns,
+       SodaConfig config, std::shared_ptr<EntryPointClosure> shared_closure);
+
   const Database* db_;
   const MetadataGraph* graph_;
   PatternLibrary patterns_;

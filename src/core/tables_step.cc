@@ -147,7 +147,8 @@ void TablesStep::Traverse(NodeId start, TablesOutput* out,
 
 void TablesStep::PruneUnconstrainedSiblings(
     TablesOutput* tables,
-    const std::vector<PhysicalColumnRef>& constrained_columns) const {
+    const std::vector<PhysicalColumnRef>& constrained_columns,
+    const std::vector<std::string>* protected_tables) const {
   const MetadataGraph& graph = *matcher_->graph();
 
   auto in_tables = [&](const std::string& name) {
@@ -185,6 +186,14 @@ void TablesStep::PruneUnconstrainedSiblings(
       if (EqualsFolded(column.table, child)) {
         constrained = true;
         break;
+      }
+    }
+    if (!constrained && protected_tables != nullptr) {
+      for (const std::string& protected_table : *protected_tables) {
+        if (EqualsFolded(protected_table, child)) {
+          constrained = true;
+          break;
+        }
       }
     }
     if (constrained) continue;

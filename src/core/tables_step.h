@@ -102,10 +102,14 @@ class TablesStep {
   /// statement is unsatisfiable, so an inheritance child is dropped when
   /// (a) a sibling child is also among the tables, (b) no filter, entry
   /// column or aggregation constrains it, and (c) all its joins lead to
-  /// one single neighbor (it is a pure leaf).
+  /// one single neighbor (it is a pure leaf). `protected_tables`
+  /// (optional, folded names) are treated as constrained no matter what —
+  /// the session layer passes its pinned tables so a pin can keep an
+  /// otherwise-droppable inheritance child.
   void PruneUnconstrainedSiblings(
       TablesOutput* tables,
-      const std::vector<PhysicalColumnRef>& constrained_columns) const;
+      const std::vector<PhysicalColumnRef>& constrained_columns,
+      const std::vector<std::string>* protected_tables = nullptr) const;
 
  private:
   void Traverse(NodeId start, TablesOutput* out,

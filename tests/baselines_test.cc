@@ -18,8 +18,10 @@ class BaselinesTest : public ::testing::Test {
     warehouse_ = BuildEnterpriseWarehouse().value().release();
     SodaConfig config;
     config.execute_snippets = false;
-    soda_ = new Soda(&warehouse_->db, &warehouse_->graph,
-                     CreditSuissePatternLibrary(), config);
+    soda_ = Soda::Create(&warehouse_->db, &warehouse_->graph,
+                         CreditSuissePatternLibrary(), config)
+                .value()
+                .release();
     metadata_only_ = new ClassificationIndex();
     metadata_only_->Build(warehouse_->graph, nullptr);
     context_ = new BaselineContext();

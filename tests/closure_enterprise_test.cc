@@ -41,8 +41,9 @@ TEST(ClosureEnterpriseTest, ShardedClosureOnMatchesSerialOff) {
   SodaConfig off_config;
   off_config.enable_closures = false;
   off_config.execute_snippets = false;
-  Soda baseline(&warehouse->db, &warehouse->graph,
-                CreditSuissePatternLibrary(), off_config);
+  auto baseline = Soda::Create(&warehouse->db, &warehouse->graph,
+                               CreditSuissePatternLibrary(), off_config);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
   std::vector<std::string> queries;
   for (const BenchmarkQuery& bench : EnterpriseWorkload()) {
     queries.push_back(bench.keywords);
@@ -61,7 +62,7 @@ TEST(ClosureEnterpriseTest, ShardedClosureOnMatchesSerialOff) {
       ASSERT_TRUE(router.ok()) << router.status();
       auto outputs = (*router)->SearchAll(queries);
       for (size_t q = 0; q < queries.size(); ++q) {
-        auto expected = baseline.Search(queries[q]);
+        auto expected = (*baseline)->Search(queries[q]);
         ASSERT_TRUE(expected.ok()) << expected.status();
         ASSERT_TRUE(outputs[q].ok()) << outputs[q].status();
         EXPECT_EQ(Fingerprint(*outputs[q]), Fingerprint(*expected))

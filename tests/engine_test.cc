@@ -76,12 +76,13 @@ class EngineMiniBankTest : public ::testing::Test {
 MiniBank* EngineMiniBankTest::bank_ = nullptr;
 
 TEST_F(EngineMiniBankTest, ConcurrentEngineMatchesSerialPipeline) {
-  Soda serial(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
-              SodaConfig{});
+  auto serial = Soda::Create(&bank_->db, &bank_->graph,
+                             CreditSuissePatternLibrary(), SodaConfig{});
+  ASSERT_TRUE(serial.ok()) << serial.status();
   auto engine = MakeEngine(/*threads=*/4, /*cache_capacity=*/0);
   EXPECT_EQ(engine->num_threads(), 4u);
   for (const std::string& query : MiniBankQueries()) {
-    auto expected = serial.Search(query);
+    auto expected = (*serial)->Search(query);
     auto actual = engine->Search(query);
     ASSERT_TRUE(expected.ok()) << expected.status();
     ASSERT_TRUE(actual.ok()) << actual.status();
@@ -169,13 +170,6 @@ TEST_F(EngineMiniBankTest, CreateFailsOnBrokenPatternLibrary) {
                                    PatternLibrary{}, SodaConfig{});
   ASSERT_FALSE(engine.ok());
   EXPECT_EQ(engine.status().code(), broken.status().code());
-
-  // The legacy constructor stores the failure and fails Search with it.
-  Soda legacy(&bank_->db, &bank_->graph, PatternLibrary{}, SodaConfig{});
-  EXPECT_FALSE(legacy.init_status().ok());
-  auto search = legacy.Search("customers");
-  ASSERT_FALSE(search.ok());
-  EXPECT_EQ(search.status().code(), broken.status().code());
 }
 
 // SearchAll batch determinism (vs independent Search calls, dedup

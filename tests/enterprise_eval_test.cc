@@ -25,8 +25,10 @@ class EnterpriseEvalTest : public ::testing::Test {
     warehouse_ = built.value().release();
     SodaConfig config;
     config.execute_snippets = false;
-    soda_ = new Soda(&warehouse_->db, &warehouse_->graph,
-                     CreditSuissePatternLibrary(), config);
+    soda_ = Soda::Create(&warehouse_->db, &warehouse_->graph,
+                         CreditSuissePatternLibrary(), config)
+                .value()
+                .release();
     auto evaluations = EvaluateWorkload(*soda_, EnterpriseWorkload());
     ASSERT_TRUE(evaluations.ok()) << evaluations.status();
     for (auto& evaluation : *evaluations) {
@@ -154,6 +156,37 @@ TEST_F(EnterpriseEvalTest, Q9AllCountsWrong) {
 TEST_F(EnterpriseEvalTest, Q10ExplicitAggregation) {
   EXPECT_DOUBLE_EQ(Eval("10.0").best.precision, 1.0);
   EXPECT_DOUBLE_EQ(Eval("10.0").best.recall, 1.0);
+}
+
+// Enterprise half of the explanation-identity check (the minibank half
+// lives in session_test.cc, inside the sanitizer filter): the rendered
+// provenance line equals the structured record's rendering on every
+// workload answer, the record's tables mirror the emitted FROM list, and
+// every matched term names a bindable entry point.
+TEST_F(EnterpriseEvalTest, ExplanationMatchesRenderedLine) {
+  size_t total_results = 0;
+  for (const BenchmarkQuery& query : EnterpriseWorkload()) {
+    auto output = soda_->Search(query.keywords);
+    ASSERT_TRUE(output.ok()) << query.id << ": " << output.status();
+    total_results += output->results.size();
+    for (const SodaResult& result : output->results) {
+      EXPECT_EQ(result.explanation, result.provenance.Render()) << query.id;
+      // Pure operator queries (e.g. Q10.0's explicit aggregation) consume
+      // every term into predicates and legitimately explain nothing.
+      EXPECT_EQ(result.provenance.terms.empty(), result.explanation.empty())
+          << query.id;
+      for (const ExplanationTerm& term : result.provenance.terms) {
+        EXPECT_EQ(term.entry_key, EntryPointKey(term.entry)) << query.id;
+      }
+      ASSERT_EQ(result.provenance.tables.size(), result.statement.from.size())
+          << query.id;
+      for (size_t i = 0; i < result.statement.from.size(); ++i) {
+        EXPECT_EQ(result.provenance.tables[i], result.statement.from[i].table)
+            << query.id;
+      }
+    }
+  }
+  EXPECT_GT(total_results, 0u);
 }
 
 }  // namespace

@@ -18,8 +18,10 @@ class LookupRankTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     bank_ = BuildMiniBank().value().release();
-    soda_ = new Soda(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
-                     SodaConfig{});
+    soda_ = Soda::Create(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
+                         SodaConfig{})
+                .value()
+                .release();
   }
   static void TearDownTestSuite() {
     delete soda_;

@@ -18,8 +18,10 @@ class MiniBankSodaTest : public ::testing::Test {
     auto built = BuildMiniBank();
     ASSERT_TRUE(built.ok()) << built.status();
     bank_ = built.value().release();
-    soda_ = new Soda(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
-                     SodaConfig{});
+    soda_ = Soda::Create(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
+                         SodaConfig{})
+                .value()
+                .release();
   }
   static void TearDownTestSuite() {
     delete soda_;

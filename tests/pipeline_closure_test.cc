@@ -79,10 +79,14 @@ class PipelineClosureTest : public ::testing::Test {
     SodaConfig off_config = Config(false);
     on_config.execute_snippets = false;
     off_config.execute_snippets = false;
-    enterprise_on_ = new Soda(&enterprise_->db, &enterprise_->graph,
-                              CreditSuissePatternLibrary(), on_config);
-    enterprise_off_ = new Soda(&enterprise_->db, &enterprise_->graph,
-                               CreditSuissePatternLibrary(), off_config);
+    enterprise_on_ = Soda::Create(&enterprise_->db, &enterprise_->graph,
+                                  CreditSuissePatternLibrary(), on_config)
+                         .value()
+                         .release();
+    enterprise_off_ = Soda::Create(&enterprise_->db, &enterprise_->graph,
+                                   CreditSuissePatternLibrary(), off_config)
+                          .value()
+                          .release();
   }
   static void TearDownTestSuite() {
     delete enterprise_off_;
@@ -113,13 +117,15 @@ Soda* PipelineClosureTest::enterprise_off_ = nullptr;
 // ---------------------------------------------------------------------------
 
 TEST_F(PipelineClosureTest, SerialMiniBankClosureOnMatchesOff) {
-  Soda on(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
-          Config(true));
-  Soda off(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
-           Config(false));
+  auto on = Soda::Create(&bank_->db, &bank_->graph,
+                         CreditSuissePatternLibrary(), Config(true));
+  auto off = Soda::Create(&bank_->db, &bank_->graph,
+                          CreditSuissePatternLibrary(), Config(false));
+  ASSERT_TRUE(on.ok()) << on.status();
+  ASSERT_TRUE(off.ok()) << off.status();
   for (const std::string& query : MiniBankQueries()) {
-    auto with = on.Search(query);
-    auto without = off.Search(query);
+    auto with = (*on)->Search(query);
+    auto without = (*off)->Search(query);
     ASSERT_TRUE(with.ok()) << with.status();
     ASSERT_TRUE(without.ok()) << without.status();
     EXPECT_EQ(Fingerprint(*with), Fingerprint(*without)) << query;
@@ -141,12 +147,13 @@ TEST_F(PipelineClosureTest, SerialEnterpriseClosureOnMatchesOff) {
 // ---------------------------------------------------------------------------
 
 TEST_F(PipelineClosureTest, ShardedMiniBankSweepClosureOnMatchesSerialOff) {
-  Soda baseline(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
-                Config(false));
+  auto baseline = Soda::Create(&bank_->db, &bank_->graph,
+                               CreditSuissePatternLibrary(), Config(false));
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
   std::vector<std::string> queries = MiniBankQueries();
   std::vector<std::string> expected;
   for (const std::string& query : queries) {
-    auto output = baseline.Search(query);
+    auto output = (*baseline)->Search(query);
     ASSERT_TRUE(output.ok()) << output.status();
     expected.push_back(Fingerprint(*output));
   }

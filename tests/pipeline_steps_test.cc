@@ -18,8 +18,10 @@ class PipelineStepsTest : public ::testing::Test {
     bank_ = BuildMiniBank().value().release();
     SodaConfig config;
     config.execute_snippets = false;
-    soda_ = new Soda(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
-                     config);
+    soda_ = Soda::Create(&bank_->db, &bank_->graph, CreditSuissePatternLibrary(),
+                         config)
+                .value()
+                .release();
   }
   static void TearDownTestSuite() {
     delete soda_;

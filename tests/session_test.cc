@@ -1,0 +1,444 @@
+// Tests for the interactive-session layer (core/session.h): structured
+// explanations that can never drift from the rendered line, pin/ban/bind
+// constraint enforcement, constraint-keyed cache isolation, and the
+// acceptance bar — Refine resumes the captured TranslationPlan (skipping
+// stages per the constraint-change matrix) yet answers byte-identically
+// to a cold constrained translation, at any shards x threads, closures
+// on and off; a base-data mutation invalidates the plan and the next
+// Refine silently runs the full pipeline again.
+//
+// Minibank only, deliberately: this binary is inside the sanitizer ctest
+// filter (ci.sh adds 'session'); the enterprise explanation identity
+// check lives in enterprise_eval_test.cc with the other heavy suites.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/freshness.h"
+#include "core/session.h"
+#include "core/sharded_engine.h"
+#include "core/soda.h"
+#include "datasets/minibank.h"
+#include "pattern/library.h"
+#include "sql/value.h"
+
+namespace soda {
+namespace {
+
+// Order-sensitive answer fingerprint (snippets included): "byte-identical"
+// is literal; engine bookkeeping (cache counters, stages_skipped) is
+// deliberately excluded — a resumed plan is an optimization, never a
+// semantic.
+std::string Fingerprint(const SearchOutput& output) {
+  std::string fp = "complexity=" + std::to_string(output.complexity) + "\n";
+  for (const std::string& word : output.ignored_words) {
+    fp += "ignored=" + word + "\n";
+  }
+  for (const SodaResult& result : output.results) {
+    fp += result.sql + "\n";
+    fp += "score=" + std::to_string(result.score) + "\n";
+    fp += "explanation=" + result.explanation + "\n";
+    fp += "connected=" + std::to_string(result.fully_connected) + "\n";
+    fp += "executed=" + std::to_string(result.executed) + "\n";
+    if (result.executed) fp += result.snippet.ToAsciiTable() + "\n";
+  }
+  return fp;
+}
+
+std::vector<std::string> MiniBankQueries() {
+  return {
+      "customers Zürich financial instruments",
+      "trading volume transaction date between date(2010-01-01) "
+      "date(2011-12-31)",
+      "addresses Sara Guttinger",
+      "sum(investments) group by (currency)",
+      "private customers family name",
+  };
+}
+
+// The query every bind test steers: complexity 2 (paper Figure 5), with
+// two candidates for "financial instruments" to bind between.
+const char kSteerable[] = "customers Zürich financial instruments";
+
+// The query the pin/ban tests steer: three results whose FROM lists
+// differ, so there is a table read by some results and not others.
+const char kMultiResult[] = "private customers family name";
+
+// Same mutation the freshness tests replay: a new individual with a
+// Zürich address, touching tables and tokens the steerable query reads.
+void AppendZebraQuuxville(Database* db) {
+  Table* individuals = db->FindTable("individuals");
+  Table* addresses = db->FindTable("addresses");
+  ASSERT_NE(individuals, nullptr);
+  ASSERT_NE(addresses, nullptr);
+  int64_t id = static_cast<int64_t>(individuals->num_rows()) + 1000;
+  ASSERT_TRUE(individuals
+                  ->Append({Value::Int(id), Value::Str("Zebra"),
+                            Value::Str("Quuxville"), Value::Int(90000),
+                            Value::DateV(Date::FromYmd(1980, 1, 1))})
+                  .ok());
+  ASSERT_TRUE(addresses
+                  ->Append({Value::Int(id), Value::Int(id),
+                            Value::Str("Teststrasse 1"), Value::Str("Zürich"),
+                            Value::Str("CH")})
+                  .ok());
+}
+
+bool ResultReadsTable(const SodaResult& result, const std::string& table) {
+  for (const TableRef& ref : result.statement.from) {
+    if (ref.table == table) return true;
+  }
+  return false;
+}
+
+// A table read by at least one result but not by all of them — banning
+// it leaves survivors, pinning it drops some, so both levers can be
+// observed doing real work. Empty when the results are table-uniform.
+std::string PartialTable(const SearchOutput& output) {
+  std::set<std::string> all;
+  for (const SodaResult& result : output.results) {
+    for (const TableRef& ref : result.statement.from) all.insert(ref.table);
+  }
+  for (const std::string& table : all) {
+    size_t readers = 0;
+    for (const SodaResult& result : output.results) {
+      if (ResultReadsTable(result, table)) ++readers;
+    }
+    if (readers > 0 && readers < output.results.size()) return table;
+  }
+  return "";
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto built = BuildMiniBank();
+    ASSERT_TRUE(built.ok()) << built.status();
+    bank_ = built.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bank_;
+    bank_ = nullptr;
+  }
+
+  static SodaConfig Config(size_t threads = 2, size_t cache = 0) {
+    SodaConfig config;
+    config.num_threads = threads;
+    config.cache_capacity = cache;
+    return config;
+  }
+
+  static std::unique_ptr<SodaEngine> Engine(const SodaConfig& config) {
+    auto engine = SodaEngine::Create(&bank_->db, &bank_->graph,
+                                     CreditSuissePatternLibrary(), config);
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    return std::move(engine).value();
+  }
+
+  static MiniBank* bank_;
+};
+
+MiniBank* SessionTest::bank_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Structured explanations
+// ---------------------------------------------------------------------------
+
+// The legacy one-line explanation is rendered from the structured record,
+// so the two can never disagree; the record's tables mirror the emitted
+// statement's FROM list and every matched term names a bindable entry.
+TEST_F(SessionTest, ExplanationMatchesRenderedLine) {
+  auto engine = Engine(Config());
+  size_t total_results = 0;
+  for (const std::string& query : MiniBankQueries()) {
+    auto output = engine->Search(query);
+    ASSERT_TRUE(output.ok()) << query << ": " << output.status();
+    total_results += output->results.size();
+    for (const SodaResult& result : output->results) {
+      EXPECT_EQ(result.explanation, result.provenance.Render()) << query;
+      // Pure operator queries consume every term into predicates and
+      // legitimately explain nothing.
+      EXPECT_EQ(result.provenance.terms.empty(), result.explanation.empty())
+          << query;
+      for (const ExplanationTerm& term : result.provenance.terms) {
+        EXPECT_FALSE(term.phrase.empty()) << query;
+        EXPECT_EQ(term.entry_key, EntryPointKey(term.entry)) << query;
+      }
+      ASSERT_EQ(result.provenance.tables.size(),
+                result.statement.from.size())
+          << query;
+      for (size_t i = 0; i < result.statement.from.size(); ++i) {
+        EXPECT_EQ(result.provenance.tables[i], result.statement.from[i].table)
+            << query;
+      }
+    }
+  }
+  EXPECT_GT(total_results, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Constraint semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, BanAndPinEnforced) {
+  auto engine = Engine(Config());
+  SodaSession session(engine.get());
+  auto first = session.Ask(kMultiResult);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_GT(first->results.size(), 1u);
+
+  const std::string target = PartialTable(*first);
+  ASSERT_FALSE(target.empty())
+      << "expected a table read by some but not all results";
+
+  auto banned = session.BanTable(target).Refine();
+  ASSERT_TRUE(banned.ok()) << banned.status();
+  ASSERT_FALSE(banned->results.empty());
+  for (const SodaResult& result : banned->results) {
+    EXPECT_FALSE(ResultReadsTable(result, target)) << result.sql;
+  }
+
+  auto pinned = session.UnbanTable(target).PinTable(target).Refine();
+  ASSERT_TRUE(pinned.ok()) << pinned.status();
+  ASSERT_FALSE(pinned->results.empty());
+  for (const SodaResult& result : pinned->results) {
+    EXPECT_TRUE(ResultReadsTable(result, target)) << result.sql;
+  }
+  // The two constrained answers partition the unconstrained one.
+  EXPECT_EQ(banned->results.size() + pinned->results.size(),
+            first->results.size());
+}
+
+TEST_F(SessionTest, BindTermRestrictsChosenEntryPoints) {
+  auto engine = Engine(Config());
+  SodaSession session(engine.get());
+  ASSERT_TRUE(session.Ask(kSteerable).ok());
+
+  auto candidates = session.TermCandidates("financial instruments");
+  ASSERT_EQ(candidates.size(), 2u);  // paper Figure 5: 1 x 1 x 2
+  EXPECT_NE(candidates[0].first, candidates[1].first);
+
+  std::set<std::string> keys_seen;
+  for (const auto& [entry_key, description] : candidates) {
+    SCOPED_TRACE(description);
+    auto bound = session.BindTerm("financial instruments", entry_key)
+                     .Refine();
+    ASSERT_TRUE(bound.ok()) << bound.status();
+    ASSERT_FALSE(bound->results.empty());
+    for (const SodaResult& result : bound->results) {
+      for (const ExplanationTerm& term : result.provenance.terms) {
+        if (term.phrase == "financial instruments") {
+          EXPECT_EQ(term.entry_key, entry_key);
+          keys_seen.insert(term.entry_key);
+        }
+      }
+    }
+  }
+  // Binding to the second candidate surfaced the other interpretation.
+  EXPECT_EQ(keys_seen.size(), 2u);
+
+  // A binding whose term matches nothing is inert: same answer bytes as
+  // the unconstrained translation.
+  auto unconstrained = engine->Search(kSteerable);
+  ASSERT_TRUE(unconstrained.ok());
+  auto inert = session.ClearConstraints()
+                   .BindTerm("no such term", candidates[0].first)
+                   .Refine();
+  ASSERT_TRUE(inert.ok()) << inert.status();
+  EXPECT_EQ(Fingerprint(*inert), Fingerprint(*unconstrained));
+}
+
+TEST_F(SessionTest, RefineBeforeAskErrors) {
+  auto engine = Engine(Config());
+  SodaSession session(engine.get());
+  auto refined = session.Refine();
+  EXPECT_FALSE(refined.ok());
+  EXPECT_EQ(session.refines(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance bar: Refine == cold constrained translation, byte for byte
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, RefineMatchesColdConstrainedTranslation) {
+  for (size_t shards : {1u, 4u}) {
+    for (size_t threads : {1u, 4u}) {
+      for (bool closures : {true, false}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards) +
+                     " threads=" + std::to_string(threads) +
+                     " closures=" + std::to_string(closures));
+        SodaConfig config;
+        config.num_shards = shards;
+        config.num_threads = threads;
+        config.enable_closures = closures;
+        config.cache_capacity = 0;  // every serve translates
+        auto router = ShardedSodaEngine::Create(&bank_->db, &bank_->graph,
+                                                CreditSuissePatternLibrary(),
+                                                config);
+        ASSERT_TRUE(router.ok()) << router.status();
+        SodaService* service = router->get();
+
+        SodaSession session(service);
+        auto first = session.Ask(kMultiResult);
+        ASSERT_TRUE(first.ok()) << first.status();
+        EXPECT_EQ(session.last_stages_skipped(), 0u);
+
+        // Pin/ban change: Step 5 only.
+        const std::string target = PartialTable(*first);
+        ASSERT_FALSE(target.empty());
+        auto refined = session.BanTable(target).Refine();
+        ASSERT_TRUE(refined.ok()) << refined.status();
+        EXPECT_GT(session.last_stages_skipped(), 0u);
+        EXPECT_NE(Fingerprint(*refined), Fingerprint(*first));
+        auto cold = service->Search(kMultiResult, session.constraints());
+        ASSERT_TRUE(cold.ok()) << cold.status();
+        EXPECT_EQ(Fingerprint(*refined), Fingerprint(*cold));
+
+        // Binding change on top: re-ranks from the cached lookup.
+        auto candidates = session.TermCandidates("name");
+        ASSERT_EQ(candidates.size(), 7u);
+        auto rebound = session.BindTerm("name", candidates[2].first).Refine();
+        ASSERT_TRUE(rebound.ok()) << rebound.status();
+        EXPECT_GT(session.last_stages_skipped(), 0u);
+        auto cold_bound = service->Search(kMultiResult, session.constraints());
+        ASSERT_TRUE(cold_bound.ok()) << cold_bound.status();
+        EXPECT_EQ(Fingerprint(*rebound), Fingerprint(*cold_bound));
+
+        MetricsSnapshot snapshot = service->metrics_snapshot();
+        EXPECT_GT(snapshot.counter("session.stages_skipped"), 0u);
+        EXPECT_EQ(snapshot.counter("session.refines"), 2u);
+        EXPECT_EQ(snapshot.counter("router.session_queries"), 3u);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Constraint-keyed caching
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, ConstraintedAnswersCacheSeparately) {
+  auto engine = Engine(Config(/*threads=*/2, /*cache=*/64));
+  auto miss = engine->Search(kMultiResult);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->from_cache);
+  auto hit = engine->Search(kMultiResult);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->from_cache);
+
+  const std::string target = PartialTable(*miss);
+  ASSERT_FALSE(target.empty());
+  SessionConstraints constraints;
+  constraints.BanTable(target);
+  auto constrained = engine->Search(kMultiResult, constraints);
+  ASSERT_TRUE(constrained.ok());
+  // Same question, different constraints: a fresh translation, not the
+  // cached unconstrained answer.
+  EXPECT_FALSE(constrained->from_cache);
+  EXPECT_NE(Fingerprint(*constrained), Fingerprint(*miss));
+
+  auto constrained_again = engine->Search(kMultiResult, constraints);
+  ASSERT_TRUE(constrained_again.ok());
+  EXPECT_TRUE(constrained_again->from_cache);
+  EXPECT_EQ(Fingerprint(*constrained_again), Fingerprint(*constrained));
+
+  // And the unconstrained entry survived untouched.
+  auto still_cached = engine->Search(kMultiResult);
+  ASSERT_TRUE(still_cached.ok());
+  EXPECT_TRUE(still_cached->from_cache);
+
+  MetricsSnapshot snapshot = engine->metrics_snapshot();
+  EXPECT_EQ(snapshot.counter("session.constraint_hits"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Stage-skip accounting and plan freshness
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, StageSkipMatrixAndCounters) {
+  auto engine = Engine(Config(/*threads=*/2, /*cache=*/0));
+  SodaSession session(engine.get());
+  ASSERT_TRUE(session.Ask(kSteerable).ok());
+  EXPECT_EQ(session.last_stages_skipped(), 0u);
+
+  const std::string target = "fi_contains_sec";
+  // Pin/ban-only change: everything up to Step 5 is reused.
+  ASSERT_TRUE(session.BanTable(target).Refine().ok());
+  EXPECT_EQ(session.last_stages_skipped(), 4u);
+
+  // Binding change: only Step 1 is reused.
+  auto candidates = session.TermCandidates("financial instruments");
+  ASSERT_EQ(candidates.size(), 2u);
+  ASSERT_TRUE(session.BindTerm("financial instruments", candidates[0].first)
+                  .Refine()
+                  .ok());
+  EXPECT_EQ(session.last_stages_skipped(), 1u);
+
+  // No change since the recapture: back to the Step-5-only resume.
+  ASSERT_TRUE(session.Refine().ok());
+  EXPECT_EQ(session.last_stages_skipped(), 4u);
+
+  // A new question cannot resume anything.
+  ASSERT_TRUE(session.Refine("addresses Sara Guttinger").ok());
+  EXPECT_EQ(session.last_stages_skipped(), 0u);
+
+  EXPECT_EQ(session.refines(), 4u);
+  MetricsSnapshot snapshot = engine->metrics_snapshot();
+  EXPECT_EQ(snapshot.counter("session.refines"), 4u);
+  EXPECT_EQ(snapshot.counter("session.stages_skipped"), 4u + 1u + 4u);
+}
+
+TEST_F(SessionTest, MutationInvalidatesPlanAndRefineMatchesColdEngine) {
+  // This test mutates the database, so it builds its own mini-bank.
+  auto bank = BuildMiniBank().value();
+  SodaConfig config = Config(/*threads=*/2, /*cache=*/0);
+  auto engine = SodaEngine::Create(&bank->db, &bank->graph,
+                                   CreditSuissePatternLibrary(), config)
+                    .value();
+  FreshnessManager freshness(&bank->db.change_log());
+  freshness.Track(engine.get());
+
+  {
+    SodaSession session(engine.get());
+    ASSERT_TRUE(session.Ask(kSteerable).ok());
+    ASSERT_TRUE(session.BanTable("fi_contains_sec").Refine().ok());
+    EXPECT_EQ(session.last_stages_skipped(), 4u);
+    MetricsSnapshot before = freshness.metrics_snapshot();
+    EXPECT_GT(before.counter("freshness.plans_tracked"), 0u);
+
+    // The appended rows carry tokens the plan's lookup probed ("zürich"):
+    // the freshness hook flips the plan, and the next Refine quietly runs
+    // the full pipeline against the new base data.
+    AppendZebraQuuxville(&bank->db);
+    MetricsSnapshot after = freshness.metrics_snapshot();
+    EXPECT_GT(after.counter("freshness.plans_invalidated"), 0u);
+
+    auto refined = session.Refine();
+    ASSERT_TRUE(refined.ok()) << refined.status();
+    EXPECT_EQ(session.last_stages_skipped(), 0u);
+
+    auto cold_engine = SodaEngine::Create(&bank->db, &bank->graph,
+                                          CreditSuissePatternLibrary(), config)
+                           .value();
+    auto cold = cold_engine->Search(kSteerable, session.constraints());
+    ASSERT_TRUE(cold.ok()) << cold.status();
+    EXPECT_EQ(Fingerprint(*refined), Fingerprint(*cold));
+
+    // Recaptured against the mutated data: refining resumes again.
+    ASSERT_TRUE(session.UnbanTable("fi_contains_sec")
+                    .BanTable("securities")
+                    .Refine()
+                    .ok());
+    EXPECT_EQ(session.last_stages_skipped(), 4u);
+  }  // session (and its plan) deregister before the manager dies
+}
+
+}  // namespace
+}  // namespace soda

@@ -28,11 +28,15 @@ class SodaPropertyTest : public ::testing::TestWithParam<const char*> {
  protected:
   static void SetUpTestSuite() {
     bank_ = BuildMiniBank().value().release();
-    bank_soda_ = new Soda(&bank_->db, &bank_->graph,
-                          CreditSuissePatternLibrary(), SodaConfig{});
+    bank_soda_ = Soda::Create(&bank_->db, &bank_->graph,
+                              CreditSuissePatternLibrary(), SodaConfig{})
+                     .value()
+                     .release();
     warehouse_ = BuildEnterpriseWarehouse().value().release();
-    warehouse_soda_ = new Soda(&warehouse_->db, &warehouse_->graph,
-                               CreditSuissePatternLibrary(), SodaConfig{});
+    warehouse_soda_ = Soda::Create(&warehouse_->db, &warehouse_->graph,
+                                   CreditSuissePatternLibrary(), SodaConfig{})
+                          .value()
+                          .release();
   }
   static void TearDownTestSuite() {
     delete warehouse_soda_;
