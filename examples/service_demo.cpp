@@ -13,9 +13,20 @@
 // exposition format. Everything serves through the abstract SodaService
 // interface — the demo would read the same over a single SodaEngine —
 // including an interactive session (pin/ban/bind + incremental Refine).
+//
+// With --serve the same stack goes behind the HTTP front end
+// (net/http_server.h) instead: the process prints its port + curl
+// quickstart lines and serves /search, /metrics and /healthz until
+// SIGINT/SIGTERM, then drains gracefully. The CI server smoke stage
+// drives exactly this mode.
+
+#include <csignal>
+#include <cstring>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,10 +36,119 @@
 #include "core/session.h"
 #include "core/sharded_engine.h"
 #include "datasets/minibank.h"
+#include "net/http_server.h"
 #include "pattern/library.h"
 #include "storage/change_log.h"
 
-int main() {
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s [--serve] [--port N] [--shards N] [--threads N]\n"
+      "\n"
+      "Without flags: the scripted demo (router, sessions, freshness,\n"
+      "async streaming, metrics) against the mini-bank warehouse.\n"
+      "\n"
+      "--serve: the same stack behind the HTTP front end. Quickstart:\n"
+      "  %s --serve            # prints 'serving on http://127.0.0.1:PORT'\n"
+      "  curl http://127.0.0.1:PORT/healthz\n"
+      "  curl -X POST -d '{\"query\":\"addresses Sara Guttinger\"}' \\\n"
+      "       http://127.0.0.1:PORT/search\n"
+      "  curl -X POST -d '{\"queries\":[\"customers Z\\u00fcrich financial "
+      "instruments\"]}' \\\n"
+      "       'http://127.0.0.1:PORT/search?stream=1'   # chunked ndjson\n"
+      "  curl http://127.0.0.1:PORT/metrics             # Prometheus text\n"
+      "SIGINT/SIGTERM drain gracefully (in-flight requests complete).\n",
+      argv0, argv0);
+}
+
+// The HTTP serving mode: mini-bank + sharded engine + freshness wiring
+// behind a SodaHttpServer, alive until a stop signal.
+int RunServe(uint16_t port, size_t shards, size_t threads) {
+  auto bank = soda::BuildMiniBank();
+  if (!bank.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 bank.status().ToString().c_str());
+    return 1;
+  }
+  soda::SodaConfig config;
+  config.num_shards = shards;
+  config.num_threads = threads;
+  config.cache_capacity = 64;
+  auto created = soda::ShardedSodaEngine::Create(
+      &(*bank)->db, &(*bank)->graph, soda::CreditSuissePatternLibrary(),
+      config);
+  if (!created.ok()) {
+    std::fprintf(stderr, "engine construction failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  soda::FreshnessManager freshness(&(*bank)->db.change_log());
+  freshness.Track(created->get());
+
+  soda::HttpServerOptions options;
+  options.port = port;
+  options.extra_metrics = [&freshness] {
+    return freshness.metrics_snapshot();
+  };
+  soda::SodaHttpServer server(created->get(), options);
+  soda::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::printf("serving on http://127.0.0.1:%u (%zu shards x %zu threads)\n",
+              server.port(), created->get()->num_shards(),
+              created->get()->num_threads());
+  std::printf("  curl http://127.0.0.1:%u/healthz\n", server.port());
+  std::printf("  curl -X POST -d '{\"query\":\"addresses Sara Guttinger\"}' "
+              "http://127.0.0.1:%u/search\n",
+              server.port());
+  std::printf("  curl http://127.0.0.1:%u/metrics\n", server.port());
+  std::fflush(stdout);
+
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("stop signal received — draining\n");
+  server.Stop();
+  std::printf("drained; served %llu request(s)\n",
+              static_cast<unsigned long long>(
+                  server.server_metrics().counter("server.requests")));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool serve = false;
+  uint16_t port = 0;
+  size_t shards = 2;
+  size_t threads = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::strtoul(argv[++i], nullptr, 10);
+    } else {
+      PrintUsage(argv[0]);
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
+    }
+  }
+  if (serve) return RunServe(port, shards, threads);
+
   auto bank = soda::BuildMiniBank();
   if (!bank.ok()) {
     std::fprintf(stderr, "build failed: %s\n",

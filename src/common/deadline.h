@@ -1,0 +1,59 @@
+// Monotonic deadline arithmetic for the serving layer.
+//
+// The HTTP front end (net/http_server.h) budgets every request against a
+// wall-clock deadline: the read loop polls against it, admission rejects
+// are stamped with the remaining budget, and a response that finished
+// computing after its budget expired is replaced by 504. The class is a
+// thin wrapper over steady_clock so callers never juggle time_points and
+// the "no deadline" case reads as such at call sites.
+
+#ifndef SODA_COMMON_DEADLINE_H_
+#define SODA_COMMON_DEADLINE_H_
+
+#include <algorithm>
+#include <chrono>
+
+namespace soda {
+
+class Deadline {
+ public:
+  /// No deadline: never expires, infinite remaining budget.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now. Non-positive budgets construct
+  /// an already-expired deadline (useful for tests).
+  static Deadline AfterMs(double ms) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool infinite() const { return !has_deadline_; }
+
+  bool expired() const {
+    return has_deadline_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Milliseconds of budget left, clamped to 0. A large sentinel (one
+  /// hour) for infinite deadlines, so the value is always safe to feed
+  /// to poll()-style timeouts.
+  double remaining_ms() const {
+    if (!has_deadline_) return 3600.0 * 1000.0;
+    std::chrono::duration<double, std::milli> left =
+        at_ - std::chrono::steady_clock::now();
+    return std::max(0.0, left.count());
+  }
+
+ private:
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+}  // namespace soda
+
+#endif  // SODA_COMMON_DEADLINE_H_

@@ -197,6 +197,9 @@ class SodaEngine : public SodaService {
   /// Effective parallelism: worker count, or 1 when running inline.
   size_t num_threads() const override;
 
+  /// Worker-pool backlog (see SodaService::queue_depth).
+  size_t queue_depth() const override { return pool_.queue_depth(); }
+
   const Soda& soda() const { return *soda_; }
 
  private:

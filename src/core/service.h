@@ -225,6 +225,14 @@ class SodaService {
 
   /// Effective per-pool parallelism.
   virtual size_t num_threads() const = 0;
+
+  /// Instantaneous backlog: tasks queued but not yet claimed across the
+  /// engine's worker pools (the router adds its dispatch pool and every
+  /// shard's pool). A load signal, not an exact count — sampled without
+  /// a global lock, so concurrent submits/claims may skew it by a few.
+  /// The HTTP front end's admission control sheds against this plus its
+  /// own in-flight count (net/http_server.h).
+  virtual size_t queue_depth() const = 0;
 };
 
 }  // namespace soda

@@ -251,6 +251,14 @@ void ShardedSodaEngine::set_metrics_sink(std::shared_ptr<MetricsSink> sink) {
   }
 }
 
+size_t ShardedSodaEngine::queue_depth() const {
+  size_t depth = dispatch_pool_.queue_depth();
+  for (const std::unique_ptr<SodaEngine>& shard : shards_) {
+    depth += shard->queue_depth();
+  }
+  return depth;
+}
+
 MetricsSnapshot ShardedSodaEngine::metrics_snapshot() const {
   MetricsSnapshot merged = router_sink_->Snapshot();
   for (const std::unique_ptr<SodaEngine>& shard : shards_) {

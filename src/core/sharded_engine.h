@@ -165,6 +165,13 @@ class ShardedSodaEngine : public SodaService {
   /// Per-shard worker width (all shards share one config).
   size_t num_threads() const override { return shards_.front()->num_threads(); }
 
+  /// Fleet backlog: the router's own dispatch-pool queue plus every
+  /// shard pool's queue (see SodaService::queue_depth). This is the
+  /// depth signal the HTTP front end's admission watermark compares
+  /// against — a batch wave that outruns the shards shows up here
+  /// before latency does.
+  size_t queue_depth() const override;
+
   /// Direct access to one replica, for tests and per-shard inspection.
   const SodaEngine& shard(size_t i) const { return *shards_[i]; }
 

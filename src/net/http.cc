@@ -1,0 +1,442 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace soda {
+
+namespace {
+
+char AsciiLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool AsciiIEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (AsciiLower(a[i]) != AsciiLower(b[i])) return false;
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Splits the header block (request/status line excluded) into
+// name/value pairs. Returns false on a malformed field line.
+template <typename Map>
+bool ParseHeaderFields(std::string_view block, Map* headers) {
+  size_t pos = 0;
+  while (pos < block.size()) {
+    size_t eol = block.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = block.size();
+    std::string_view line = block.substr(pos, eol - pos);
+    pos = eol + (eol < block.size() ? 2 : 0);
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return false;
+    std::string_view name = Trim(line.substr(0, colon));
+    if (name.empty()) return false;
+    std::string_view value = Trim(line.substr(colon + 1));
+    (*headers)[std::string(name)] = std::string(value);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool AsciiCaseLess::operator()(std::string_view a, std::string_view b) const {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    char la = AsciiLower(a[i]);
+    char lb = AsciiLower(b[i]);
+    if (la != lb) return la < lb;
+  }
+  return a.size() < b.size();
+}
+
+// ---------------------------------------------------------------------------
+// Request / response records
+// ---------------------------------------------------------------------------
+
+std::string_view HttpRequest::path() const {
+  std::string_view t = target;
+  size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+std::string_view HttpRequest::query() const {
+  std::string_view t = target;
+  size_t q = t.find('?');
+  return q == std::string_view::npos ? std::string_view() : t.substr(q + 1);
+}
+
+bool HttpRequest::HasQueryParam(std::string_view key,
+                                std::string_view value) const {
+  std::string_view q = query();
+  while (!q.empty()) {
+    size_t amp = q.find('&');
+    std::string_view pair =
+        amp == std::string_view::npos ? q : q.substr(0, amp);
+    q = amp == std::string_view::npos ? std::string_view() : q.substr(amp + 1);
+    size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    if (AsciiIEquals(pair.substr(0, eq), key) &&
+        AsciiIEquals(pair.substr(eq + 1), value)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view HttpRequest::header(std::string_view name) const {
+  auto it = headers.find(name);
+  return it == headers.end() ? std::string_view() : std::string_view(it->second);
+}
+
+bool HttpRequest::keep_alive() const {
+  std::string_view connection = header("Connection");
+  if (AsciiIEquals(connection, "close")) return false;
+  if (AsciiIEquals(connection, "keep-alive")) return true;
+  return version != "HTTP/1.0";
+}
+
+void HttpResponse::SetHeader(std::string name, std::string value) {
+  for (auto& [existing, existing_value] : headers) {
+    if (AsciiIEquals(existing, name)) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  headers.emplace_back(std::move(name), std::move(value));
+}
+
+std::string_view HttpResponse::header(std::string_view name) const {
+  for (const auto& [existing, value] : headers) {
+    if (AsciiIEquals(existing, name)) return value;
+  }
+  return std::string_view();
+}
+
+std::string_view ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Content Too Large";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return "Unknown";
+  }
+}
+
+namespace {
+
+void AppendStatusAndHeaders(std::string* out, const HttpResponse& response,
+                            bool keep_alive) {
+  out->append("HTTP/1.1 ");
+  out->append(std::to_string(response.status));
+  out->push_back(' ');
+  out->append(ReasonPhrase(response.status));
+  out->append("\r\n");
+  for (const auto& [name, value] : response.headers) {
+    if (AsciiIEquals(name, "Content-Length") ||
+        AsciiIEquals(name, "Connection") ||
+        AsciiIEquals(name, "Transfer-Encoding")) {
+      continue;  // framing headers are owned by the serializer
+    }
+    out->append(name);
+    out->append(": ");
+    out->append(value);
+    out->append("\r\n");
+  }
+  out->append(keep_alive ? "Connection: keep-alive\r\n"
+                         : "Connection: close\r\n");
+}
+
+}  // namespace
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  AppendStatusAndHeaders(&out, response, keep_alive);
+  out.append("Content-Length: ");
+  out.append(std::to_string(response.body.size()));
+  out.append("\r\n\r\n");
+  out.append(response.body);
+  return out;
+}
+
+std::string SerializeChunkedHead(const HttpResponse& head, bool keep_alive) {
+  std::string out;
+  AppendStatusAndHeaders(&out, head, keep_alive);
+  out.append("Transfer-Encoding: chunked\r\n\r\n");
+  return out;
+}
+
+std::string SerializeChunk(std::string_view payload) {
+  std::string out;
+  char size_hex[24];
+  std::snprintf(size_hex, sizeof(size_hex), "%zx\r\n", payload.size());
+  out.append(size_hex);
+  out.append(payload);
+  out.append("\r\n");
+  return out;
+}
+
+std::string SerializeLastChunk() { return "0\r\n\r\n"; }
+
+// ---------------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------------
+
+HttpRequestParser::State HttpRequestParser::Fail(int status,
+                                                 std::string detail) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_detail_ = std::move(detail);
+  return state_;
+}
+
+void HttpRequestParser::Reset() {
+  // Keep any bytes that belong to the next pipelined request.
+  buffer_.erase(0, header_end_ + body_length_);
+  header_end_ = 0;
+  body_length_ = 0;
+  headers_done_ = false;
+  state_ = State::kIncomplete;
+  request_ = HttpRequest{};
+  error_status_ = 0;
+  error_detail_.clear();
+  if (!buffer_.empty()) state_ = TryParse();
+}
+
+HttpRequestParser::State HttpRequestParser::Feed(std::string_view data) {
+  if (state_ != State::kIncomplete) return state_;
+  buffer_.append(data);
+  return state_ = TryParse();
+}
+
+HttpRequestParser::State HttpRequestParser::TryParse() {
+  if (!headers_done_) {
+    size_t end = buffer_.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return Fail(431, "header section exceeds limit");
+      }
+      return State::kIncomplete;
+    }
+    if (end + 4 > limits_.max_header_bytes) {
+      return Fail(431, "header section exceeds limit");
+    }
+    header_end_ = end + 4;
+
+    std::string_view head(buffer_.data(), end);
+    size_t line_end = head.find("\r\n");
+    std::string_view request_line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+    size_t sp1 = request_line.find(' ');
+    size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        sp2 == sp1 + 1 || sp2 + 1 >= request_line.size()) {
+      return Fail(400, "malformed request line");
+    }
+    request_.method = std::string(request_line.substr(0, sp1));
+    request_.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+    request_.version = std::string(request_line.substr(sp2 + 1));
+    if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+      return Fail(400, "unsupported HTTP version");
+    }
+    std::string_view field_block =
+        line_end == std::string_view::npos ? std::string_view()
+                                           : head.substr(line_end + 2);
+    if (!ParseHeaderFields(field_block, &request_.headers)) {
+      return Fail(400, "malformed header field");
+    }
+    if (!request_.header("Transfer-Encoding").empty()) {
+      return Fail(400, "chunked request bodies are not supported");
+    }
+    std::string_view length = request_.header("Content-Length");
+    if (!length.empty()) {
+      char* parse_end = nullptr;
+      std::string length_str(length);
+      unsigned long long parsed =
+          std::strtoull(length_str.c_str(), &parse_end, 10);
+      if (parse_end != length_str.c_str() + length_str.size()) {
+        return Fail(400, "malformed Content-Length");
+      }
+      if (parsed > limits_.max_body_bytes) {
+        return Fail(413, "request body exceeds limit");
+      }
+      body_length_ = static_cast<size_t>(parsed);
+    }
+    headers_done_ = true;
+  }
+  if (buffer_.size() < header_end_ + body_length_) return State::kIncomplete;
+  request_.body = buffer_.substr(header_end_, body_length_);
+  return State::kComplete;
+}
+
+// ---------------------------------------------------------------------------
+// Response parsing
+// ---------------------------------------------------------------------------
+
+HttpResponseParser::State HttpResponseParser::Fail(std::string detail) {
+  state_ = State::kError;
+  error_detail_ = std::move(detail);
+  return state_;
+}
+
+void HttpResponseParser::Reset() {
+  buffer_.clear();
+  header_end_ = 0;
+  headers_done_ = false;
+  body_mode_ = BodyMode::kUnknown;
+  body_length_ = 0;
+  state_ = State::kIncomplete;
+  close_after_ = false;
+  response_ = HttpResponse{};
+  error_detail_.clear();
+}
+
+HttpResponseParser::State HttpResponseParser::Feed(std::string_view data) {
+  if (state_ != State::kIncomplete) return state_;
+  buffer_.append(data);
+  return state_ = TryParse();
+}
+
+HttpResponseParser::State HttpResponseParser::FinishEof() {
+  if (state_ != State::kIncomplete) return state_;
+  if (headers_done_ && body_mode_ == BodyMode::kUntilClose) {
+    response_.body = buffer_.substr(header_end_);
+    close_after_ = true;
+    return state_ = State::kComplete;
+  }
+  return Fail("connection closed mid-response");
+}
+
+HttpResponseParser::State HttpResponseParser::TryParse() {
+  if (!headers_done_) {
+    size_t end = buffer_.find("\r\n\r\n");
+    if (end == std::string::npos) return State::kIncomplete;
+    header_end_ = end + 4;
+
+    std::string_view head(buffer_.data(), end);
+    size_t line_end = head.find("\r\n");
+    std::string_view status_line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+    if (status_line.substr(0, 5) != "HTTP/") {
+      return Fail("malformed status line");
+    }
+    size_t sp1 = status_line.find(' ');
+    if (sp1 == std::string_view::npos || sp1 + 4 > status_line.size()) {
+      return Fail("malformed status line");
+    }
+    response_.status =
+        std::atoi(std::string(status_line.substr(sp1 + 1, 3)).c_str());
+    if (response_.status < 100 || response_.status > 599) {
+      return Fail("bad status code");
+    }
+
+    std::map<std::string, std::string, AsciiCaseLess> fields;
+    std::string_view field_block =
+        line_end == std::string_view::npos ? std::string_view()
+                                           : head.substr(line_end + 2);
+    if (!ParseHeaderFields(field_block, &fields)) {
+      return Fail("malformed header field");
+    }
+    for (auto& [name, value] : fields) {
+      response_.headers.emplace_back(name, value);
+    }
+
+    close_after_ = AsciiIEquals(response_.header("Connection"), "close");
+    std::string_view transfer = response_.header("Transfer-Encoding");
+    std::string_view length = response_.header("Content-Length");
+    if (AsciiIEquals(transfer, "chunked")) {
+      body_mode_ = BodyMode::kChunked;
+    } else if (!length.empty()) {
+      body_mode_ = BodyMode::kLength;
+      body_length_ =
+          static_cast<size_t>(std::strtoull(std::string(length).c_str(),
+                                            nullptr, 10));
+    } else {
+      body_mode_ = BodyMode::kUntilClose;
+    }
+    headers_done_ = true;
+  }
+
+  switch (body_mode_) {
+    case BodyMode::kLength:
+      if (buffer_.size() < header_end_ + body_length_) {
+        return State::kIncomplete;
+      }
+      response_.body = buffer_.substr(header_end_, body_length_);
+      return State::kComplete;
+    case BodyMode::kChunked:
+      return DecodeChunks();
+    case BodyMode::kUntilClose:
+      return State::kIncomplete;  // completed by FinishEof
+    case BodyMode::kUnknown:
+      break;
+  }
+  return Fail("unreachable body mode");
+}
+
+// Re-decodes the chunk stream from the start of the body on every feed.
+// Quadratic in the number of feeds in the worst case, which is fine for
+// the small streamed payloads this client reads (tests, load harness,
+// smoke probes).
+HttpResponseParser::State HttpResponseParser::DecodeChunks() {
+  std::string body;
+  size_t pos = header_end_;
+  for (;;) {
+    size_t line_end = buffer_.find("\r\n", pos);
+    if (line_end == std::string::npos) return State::kIncomplete;
+    std::string size_line = buffer_.substr(pos, line_end - pos);
+    // Ignore chunk extensions (";..." suffix) per RFC 9112.
+    size_t semi = size_line.find(';');
+    if (semi != std::string::npos) size_line.resize(semi);
+    char* parse_end = nullptr;
+    unsigned long long chunk_size =
+        std::strtoull(size_line.c_str(), &parse_end, 16);
+    if (parse_end == size_line.c_str()) return Fail("malformed chunk size");
+    pos = line_end + 2;
+    if (chunk_size == 0) {
+      // Trailer section: skip until the terminating blank line.
+      size_t trailer_end = buffer_.find("\r\n", pos);
+      if (trailer_end == std::string::npos) return State::kIncomplete;
+      response_.body = std::move(body);
+      return State::kComplete;
+    }
+    if (buffer_.size() < pos + chunk_size + 2) return State::kIncomplete;
+    body.append(buffer_, pos, chunk_size);
+    pos += chunk_size + 2;  // payload + CRLF
+  }
+}
+
+}  // namespace soda

@@ -1,0 +1,182 @@
+// HTTP/1.1 message plumbing shared by the server (net/http_server.h),
+// the client (net/http_client.h), the tests and the load harness: typed
+// request/response records, incremental parsers that consume bytes as
+// they arrive off a socket, and serialization with Content-Length or
+// chunked framing.
+//
+// Scope is deliberately the serving subset: request-line + headers +
+// Content-Length bodies on the server side (no request trailers, no
+// multipart, no continuation lines), chunked decoding on the client side
+// (the streaming /search endpoint responds chunked). Everything is
+// transport-agnostic — the parsers eat byte buffers, the socket loops
+// live with their owners.
+
+#ifndef SODA_NET_HTTP_H_
+#define SODA_NET_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace soda {
+
+/// Case-insensitive ordering for header names (field names are
+/// case-insensitive per RFC 9110; values are left untouched).
+struct AsciiCaseLess {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const;
+};
+
+struct HttpRequest {
+  std::string method;   // as sent ("GET", "POST", ...)
+  std::string target;   // origin-form target, e.g. "/search?stream=1"
+  std::string version;  // "HTTP/1.1"
+  std::map<std::string, std::string, AsciiCaseLess> headers;
+  std::string body;
+
+  /// Target split helpers: path() is the target up to '?', query() the
+  /// rest (without the '?', "" when absent).
+  std::string_view path() const;
+  std::string_view query() const;
+
+  /// True when the (case-insensitively compared) `key=value` pair
+  /// appears in the query string.
+  bool HasQueryParam(std::string_view key, std::string_view value) const;
+
+  /// Header lookup; "" when absent.
+  std::string_view header(std::string_view name) const;
+
+  /// Connection semantics: HTTP/1.1 defaults to keep-alive unless
+  /// "Connection: close"; HTTP/1.0 defaults to close.
+  bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  void SetHeader(std::string name, std::string value);
+  std::string_view header(std::string_view name) const;
+};
+
+/// Canonical reason phrase for the status codes the server emits;
+/// "Unknown" otherwise.
+std::string_view ReasonPhrase(int status);
+
+/// Serializes a full response with Content-Length framing.
+/// `keep_alive` controls the Connection header. Content-Length and
+/// Connection are always (re)computed here; response.headers carries
+/// everything else (Content-Type etc.).
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// Serializes the status line + headers of a chunked response (the
+/// streaming endpoint): Transfer-Encoding: chunked, no Content-Length.
+std::string SerializeChunkedHead(const HttpResponse& head, bool keep_alive);
+
+/// One chunk of a chunked body. Empty payloads are skipped by callers
+/// (an empty chunk terminates the stream — use SerializeLastChunk).
+std::string SerializeChunk(std::string_view payload);
+std::string SerializeLastChunk();
+
+/// Incremental request parser: feed it bytes as they arrive; it signals
+/// completion or a client-error status code. One parser instance parses
+/// one request; Reset() recycles it for the next request on a
+/// keep-alive connection.
+class HttpRequestParser {
+ public:
+  enum class State {
+    kIncomplete,  // need more bytes
+    kComplete,    // request() is valid; surplus bytes stay buffered
+    kError,       // error_status() holds 400/413/431
+  };
+
+  struct Limits {
+    size_t max_header_bytes = 8 * 1024;
+    size_t max_body_bytes = 1 << 20;
+  };
+
+  explicit HttpRequestParser(Limits limits) : limits_(limits) {}
+
+  /// Consumes `data`, returns the new state. Bytes beyond the current
+  /// request are buffered and survive Reset() (HTTP pipelining /
+  /// keep-alive back-to-back requests).
+  State Feed(std::string_view data);
+
+  State state() const { return state_; }
+  const HttpRequest& request() const { return request_; }
+
+  /// 400 (malformed), 413 (body over limit) or 431 (headers over limit).
+  int error_status() const { return error_status_; }
+  const std::string& error_detail() const { return error_detail_; }
+
+  /// True when at least one byte of the current request has arrived —
+  /// distinguishes "idle keep-alive connection" from "mid-request" for
+  /// deadline accounting.
+  bool started() const { return !buffer_.empty() || state_ != State::kIncomplete; }
+
+  /// Recycles the parser for the next request on the connection,
+  /// keeping any already-buffered bytes of it.
+  void Reset();
+
+ private:
+  State Fail(int status, std::string detail);
+  State TryParse();
+
+  Limits limits_;
+  std::string buffer_;
+  size_t header_end_ = 0;    // offset one past the blank line, when found
+  size_t body_length_ = 0;   // parsed Content-Length
+  bool headers_done_ = false;
+  State state_ = State::kIncomplete;
+  HttpRequest request_;
+  int error_status_ = 0;
+  std::string error_detail_;
+};
+
+/// Incremental response parser (client side): status line + headers,
+/// then Content-Length, chunked, or read-until-close bodies.
+class HttpResponseParser {
+ public:
+  enum class State { kIncomplete, kComplete, kError };
+
+  State Feed(std::string_view data);
+
+  /// For read-until-close framing: the peer closed the connection; the
+  /// buffered bytes are the body.
+  State FinishEof();
+
+  State state() const { return state_; }
+  const HttpResponse& response() const { return response_; }
+  const std::string& error_detail() const { return error_detail_; }
+
+  /// True when the response carried "Connection: close" (or was framed
+  /// by EOF) — the caller must not reuse the connection.
+  bool close_after() const { return close_after_; }
+
+  void Reset();
+
+ private:
+  enum class BodyMode { kUnknown, kLength, kChunked, kUntilClose };
+
+  State Fail(std::string detail);
+  State TryParse();
+  State DecodeChunks();
+
+  std::string buffer_;
+  size_t header_end_ = 0;
+  bool headers_done_ = false;
+  BodyMode body_mode_ = BodyMode::kUnknown;
+  size_t body_length_ = 0;
+  State state_ = State::kIncomplete;
+  bool close_after_ = false;
+  HttpResponse response_;
+  std::string error_detail_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_NET_HTTP_H_

@@ -1,0 +1,179 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/deadline.h"
+
+namespace soda {
+
+HttpClient::HttpClient(std::string host, uint16_t port, double timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      timeout_ms_(other.timeout_ms_),
+      fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    Disconnect();
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    timeout_ms_ = other.timeout_ms_;
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status HttpClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Disconnect();
+    return Status::InvalidArgument("bad host address: " + host_);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int connect_errno = errno;
+    Disconnect();
+    return Status::Internal(std::string("connect(): ") +
+                            std::strerror(connect_errno));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Status HttpClient::SendRaw(std::string_view data) {
+  SODA_RETURN_NOT_OK(EnsureConnected());
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int send_errno = errno;
+      Disconnect();
+      return Status::Internal(std::string("send(): ") +
+                              std::strerror(send_errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpResponse> HttpClient::ReadResponse() {
+  if (fd_ < 0) return Status::Internal("not connected");
+  HttpResponseParser parser;
+  Deadline deadline = Deadline::AfterMs(timeout_ms_);
+  char buf[8192];
+  while (parser.state() == HttpResponseParser::State::kIncomplete) {
+    if (deadline.expired()) {
+      Disconnect();
+      return Status::Internal("response timed out");
+    }
+    pollfd conn{fd_, POLLIN, 0};
+    int ready = ::poll(
+        &conn, 1,
+        static_cast<int>(std::min(100.0, deadline.remaining_ms())) + 1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      int poll_errno = errno;
+      Disconnect();
+      return Status::Internal(std::string("poll(): ") +
+                              std::strerror(poll_errno));
+    }
+    if (ready == 0) continue;
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      // Peer closed: either read-until-close framing completed, or the
+      // response was cut short (parse error either way below).
+      parser.FinishEof();
+      Disconnect();
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      int recv_errno = errno;
+      Disconnect();
+      return Status::Internal(std::string("recv(): ") +
+                              std::strerror(recv_errno));
+    }
+    parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+  if (parser.state() != HttpResponseParser::State::kComplete) {
+    Disconnect();
+    return Status::ParseError("bad response: " + parser.error_detail());
+  }
+  if (parser.close_after()) Disconnect();
+  return parser.response();
+}
+
+Result<HttpResponse> HttpClient::RoundTrip(std::string request_bytes) {
+  // One transparent retry on a stale keep-alive connection: the server
+  // may have closed it (max_keepalive_requests, drain) between our
+  // requests — legal per RFC 9112, invisible to callers.
+  bool was_connected = fd_ >= 0;
+  SODA_RETURN_NOT_OK(SendRaw(request_bytes));
+  Result<HttpResponse> response = ReadResponse();
+  if (!response.ok() && was_connected) {
+    SODA_RETURN_NOT_OK(SendRaw(request_bytes));
+    return ReadResponse();
+  }
+  return response;
+}
+
+Result<HttpResponse> HttpClient::Get(std::string_view target) {
+  std::string request = "GET ";
+  request.append(target);
+  request.append(" HTTP/1.1\r\nHost: ");
+  request.append(host_);
+  request.append("\r\n\r\n");
+  return RoundTrip(std::move(request));
+}
+
+Result<HttpResponse> HttpClient::Post(std::string_view target,
+                                      std::string_view body,
+                                      std::string_view content_type) {
+  std::string request = "POST ";
+  request.append(target);
+  request.append(" HTTP/1.1\r\nHost: ");
+  request.append(host_);
+  request.append("\r\nContent-Type: ");
+  request.append(content_type);
+  request.append("\r\nContent-Length: ");
+  request.append(std::to_string(body.size()));
+  request.append("\r\n\r\n");
+  request.append(body);
+  return RoundTrip(std::move(request));
+}
+
+}  // namespace soda

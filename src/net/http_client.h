@@ -1,0 +1,68 @@
+// Minimal blocking HTTP/1.1 client for loopback use: the server tests,
+// the closed-loop load harness (bench/http_load.cc) and the CI smoke
+// probe all talk to SodaHttpServer through it, so none of them need
+// curl. Keep-alive by default (one TCP connection per HttpClient,
+// reconnected transparently when the server closes it), chunked and
+// Content-Length framing via HttpResponseParser, and raw byte-level
+// access (SendRaw/ReadResponse) so tests can speak deliberately broken
+// HTTP at the server — half a request, garbage request lines, oversized
+// bodies — and observe the 400/408/413 answers.
+//
+// Not a general client: IPv4 dotted-quad hosts only, no TLS, no
+// redirects, no proxies.
+
+#ifndef SODA_NET_HTTP_CLIENT_H_
+#define SODA_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/http.h"
+
+namespace soda {
+
+class HttpClient {
+ public:
+  /// `host` is an IPv4 literal ("127.0.0.1"). Connection happens lazily
+  /// on the first request.
+  HttpClient(std::string host, uint16_t port, double timeout_ms = 10000.0);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+
+  /// Full request/response round trips. The timeout covers the whole
+  /// round trip (connect + send + receive).
+  Result<HttpResponse> Get(std::string_view target);
+  Result<HttpResponse> Post(std::string_view target, std::string_view body,
+                            std::string_view content_type =
+                                "application/json");
+
+  /// Byte-level access for tests that need malformed or partial HTTP.
+  /// SendRaw connects if needed and writes exactly `data`; ReadResponse
+  /// then parses whatever the server answers.
+  Status SendRaw(std::string_view data);
+  Result<HttpResponse> ReadResponse();
+
+  /// Closes the connection (the next request reconnects).
+  void Disconnect();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Status EnsureConnected();
+  Result<HttpResponse> RoundTrip(std::string request_bytes);
+
+  std::string host_;
+  uint16_t port_;
+  double timeout_ms_;
+  int fd_ = -1;
+};
+
+}  // namespace soda
+
+#endif  // SODA_NET_HTTP_CLIENT_H_

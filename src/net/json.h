@@ -1,0 +1,80 @@
+// Minimal JSON support for the HTTP front end: a strict recursive-descent
+// parser for request bodies and deterministic append-style writers for
+// response bodies.
+//
+// Deliberately not a general serialization framework — the server needs
+// exactly (a) "parse a small client-supplied document, reject garbage
+// loudly" and (b) "render bytes that are identical for identical inputs"
+// (the /search body contract is byte-identity against the in-process
+// SearchAll output, see net/search_json.h). No external dependency: the
+// container images build with the stock toolchain only.
+
+#ifndef SODA_NET_JSON_H_
+#define SODA_NET_JSON_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace soda {
+
+/// One parsed JSON value. Numbers are held as double (the server only
+/// reads small integers out of requests); object keys are ordered for
+/// deterministic iteration.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : data_(nullptr) {}
+  explicit JsonValue(bool b) : data_(b) {}
+  explicit JsonValue(double d) : data_(d) {}
+  explicit JsonValue(std::string s) : data_(std::move(s)) {}
+  explicit JsonValue(Array a) : data_(std::move(a)) {}
+  explicit JsonValue(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  double as_number() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+
+  /// Object member lookup; nullptr when this is not an object or the key
+  /// is absent.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parses one JSON document. Strict: the whole input must be consumed
+/// (trailing whitespace allowed), nesting depth is bounded, and any
+/// syntax error returns ParseError with an offset-bearing message.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Appends `s` as a quoted JSON string with the mandatory escapes
+/// (quote, backslash, control characters as \uXXXX; UTF-8 passes
+/// through byte-for-byte — deterministic, no normalization).
+void AppendJsonQuoted(std::string* out, std::string_view s);
+
+/// Appends a JSON number. Doubles render via "%.17g" (shortest exact
+/// round-trip is not needed — identical doubles render identically,
+/// which is the determinism contract); integral values that fit int64
+/// render without exponent or trailing ".0".
+void AppendJsonNumber(std::string* out, double value);
+
+}  // namespace soda
+
+#endif  // SODA_NET_JSON_H_

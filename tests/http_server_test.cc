@@ -1,0 +1,541 @@
+// Tests for the HTTP front end (net/http_server.h):
+//
+//   - wire-level byte-identity: the POST /search body equals
+//     RenderSearchResponseJson over a direct SearchAll of the same
+//     queries, at 1 and 4 shards — and the two HTTP bodies are identical
+//     to each other (the determinism contract survives the network);
+//   - concurrent clients all read identical bytes;
+//   - admission control: with the watermark filled by a blocked
+//     in-flight search, the next request observes 503 + Retry-After and
+//     the server's shed book, and is admitted after the window clears;
+//   - graceful drain: Stop() lets an in-flight (slow) request complete
+//     and deliver its full response;
+//   - robustness: malformed request lines (400), bad JSON (400),
+//     oversized bodies (413), oversized headers (431), wrong method
+//     (405), unknown path (404), and stalled half-requests (408) — all
+//     answered, none crash the server;
+//   - chunked streaming: /search?stream=1 opens with the byte-identical
+//     translation payload and closes with the done event;
+//   - /healthz and /metrics (every server_* series present).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/sharded_engine.h"
+#include "datasets/minibank.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/search_json.h"
+#include "pattern/library.h"
+
+namespace soda {
+namespace {
+
+std::vector<std::string> MiniBankQueries() {
+  return {
+      "customers Zürich financial instruments",
+      "addresses Sara Guttinger",
+      "sum(investments) group by (currency)",
+      "private customers family name",
+  };
+}
+
+std::string BatchBody(const std::vector<std::string>& queries) {
+  std::string body = "{\"queries\":[";
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (i > 0) body += ",";
+    body += "\"" + queries[i] + "\"";
+  }
+  body += "]}";
+  return body;
+}
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto built = BuildMiniBank();
+    ASSERT_TRUE(built.ok()) << built.status();
+    bank_ = built.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bank_;
+    bank_ = nullptr;
+  }
+
+  static std::unique_ptr<ShardedSodaEngine> MakeEngine(size_t shards) {
+    SodaConfig config;
+    config.num_shards = shards;
+    config.num_threads = 2;
+    config.cache_capacity = 32;
+    auto engine = ShardedSodaEngine::Create(
+        &bank_->db, &bank_->graph, CreditSuissePatternLibrary(), config);
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    return std::move(engine).value();
+  }
+
+  static std::unique_ptr<SodaHttpServer> StartServer(
+      SodaService* service, HttpServerOptions options = {}) {
+    auto server = std::make_unique<SodaHttpServer>(service, options);
+    Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started;
+    return server;
+  }
+
+  static HttpClient Connect(const SodaHttpServer& server) {
+    return HttpClient("127.0.0.1", server.port());
+  }
+
+  static MiniBank* bank_;
+};
+
+MiniBank* HttpServerTest::bank_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Decorators for deterministic shed / drain scenarios. Everything above
+// the engines programs against SodaService, so a test can interpose on
+// the serving path the same way the router does.
+// ---------------------------------------------------------------------------
+
+class ForwardingService : public SodaService {
+ public:
+  explicit ForwardingService(SodaService* wrapped) : wrapped_(wrapped) {}
+
+  using SodaService::Search;
+  using SodaService::SearchAll;
+
+  Result<SearchOutput> Search(
+      const std::string& query,
+      const SessionConstraints& constraints) const override {
+    return wrapped_->Search(query, constraints);
+  }
+  std::vector<Result<SearchOutput>> SearchAll(
+      std::span<const std::string> queries) const override {
+    return wrapped_->SearchAll(queries);
+  }
+  Result<SearchOutput> SearchAsync(const std::string& query,
+                                   SnippetCallback on_snippet,
+                                   SnippetBarrier* barrier) const override {
+    return wrapped_->SearchAsync(query, std::move(on_snippet), barrier);
+  }
+  std::vector<Result<SearchOutput>> SearchAllAsync(
+      std::span<const std::string> queries, SnippetCallback on_snippet,
+      SnippetBarrier* barrier) const override {
+    return wrapped_->SearchAllAsync(queries, std::move(on_snippet), barrier);
+  }
+  Result<SearchOutput> SearchSession(
+      const std::string& query, const SessionConstraints& constraints,
+      std::shared_ptr<TranslationPlan>* plan) const override {
+    return wrapped_->SearchSession(query, constraints, plan);
+  }
+  CacheStats cache_stats() const override { return wrapped_->cache_stats(); }
+  void ClearCache() const override { wrapped_->ClearCache(); }
+  size_t InvalidateWhere(
+      const std::function<bool(const std::string&)>& pred) const override {
+    return wrapped_->InvalidateWhere(pred);
+  }
+  size_t ApplyBaseDataDelta(const ChangeEvent& event) override {
+    return wrapped_->ApplyBaseDataDelta(event);
+  }
+  void set_freshness(FreshnessManager* freshness) override {
+    wrapped_->set_freshness(freshness);
+  }
+  void set_metrics_sink(std::shared_ptr<MetricsSink> sink) override {
+    wrapped_->set_metrics_sink(std::move(sink));
+  }
+  MetricsSnapshot metrics_snapshot() const override {
+    return wrapped_->metrics_snapshot();
+  }
+  size_t num_threads() const override { return wrapped_->num_threads(); }
+  size_t queue_depth() const override { return wrapped_->queue_depth(); }
+
+ protected:
+  SodaService* wrapped_;
+};
+
+/// Blocks every SearchAll until Release() — fills the admission window
+/// deterministically.
+class BlockingService : public ForwardingService {
+ public:
+  using ForwardingService::ForwardingService;
+  using ForwardingService::SearchAll;
+
+  std::vector<Result<SearchOutput>> SearchAll(
+      std::span<const std::string> queries) const override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++entered_;
+      entered_cv_.notify_all();
+      released_cv_.wait(lock, [this] { return released_; });
+    }
+    return wrapped_->SearchAll(queries);
+  }
+
+  void WaitUntilEntered(size_t n) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [&] { return entered_ >= n; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    released_cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable entered_cv_;
+  mutable std::condition_variable released_cv_;
+  mutable size_t entered_ = 0;
+  bool released_ = false;
+};
+
+/// Delays every SearchAll — an in-flight request that outlives Stop().
+class DelayService : public ForwardingService {
+ public:
+  DelayService(SodaService* wrapped, int delay_ms)
+      : ForwardingService(wrapped), delay_ms_(delay_ms) {}
+  using ForwardingService::SearchAll;
+
+  std::vector<Result<SearchOutput>> SearchAll(
+      std::span<const std::string> queries) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    return wrapped_->SearchAll(queries);
+  }
+
+ private:
+  int delay_ms_;
+};
+
+// ---------------------------------------------------------------------------
+// Byte-identity over the wire
+// ---------------------------------------------------------------------------
+
+TEST_F(HttpServerTest, SearchBodyIsByteIdenticalToDirectSearchAllAcrossShards) {
+  const std::vector<std::string> queries = MiniBankQueries();
+  std::vector<std::string> http_bodies;
+
+  for (size_t shards : {size_t{1}, size_t{4}}) {
+    auto engine = MakeEngine(shards);
+    // The reference bytes: a direct in-process SearchAll rendered with
+    // the shared renderer. Computed on a second engine so the HTTP
+    // request's cache is cold (from_cache must not leak into the body).
+    auto reference_engine = MakeEngine(shards);
+    auto outputs = reference_engine->SearchAll(queries);
+    std::string expected = RenderSearchResponseJson(queries, outputs);
+
+    auto server = StartServer(engine.get());
+    HttpClient client = Connect(*server);
+    auto response = client.Post("/search", BatchBody(queries));
+    ASSERT_TRUE(response.ok()) << response.status() << " shards=" << shards;
+    ASSERT_EQ(response->status, 200) << "shards=" << shards;
+    EXPECT_EQ(response->body, expected) << "shards=" << shards;
+    EXPECT_EQ(response->header("Content-Type"), "application/json");
+    // Observability rides in headers, never the body.
+    EXPECT_FALSE(response->header("X-Soda-Wall-Ms").empty());
+    EXPECT_EQ(response->header("X-Soda-Queries"),
+              std::to_string(queries.size()));
+    http_bodies.push_back(response->body);
+
+    // A repeat of the same request — now cache-warm — must not change a
+    // byte.
+    auto warm = client.Post("/search", BatchBody(queries));
+    ASSERT_TRUE(warm.ok()) << warm.status();
+    EXPECT_EQ(warm->body, expected) << "cache state leaked into the body";
+  }
+  // 1-shard and 4-shard serving produce identical wire bytes.
+  ASSERT_EQ(http_bodies.size(), 2u);
+  EXPECT_EQ(http_bodies[0], http_bodies[1]);
+}
+
+TEST_F(HttpServerTest, ConcurrentClientsReadIdenticalBytes) {
+  auto engine = MakeEngine(2);
+  auto server = StartServer(engine.get());
+  const std::vector<std::string> queries = MiniBankQueries();
+  const std::string body = BatchBody(queries);
+
+  constexpr size_t kClients = 6;
+  constexpr size_t kRounds = 5;
+  std::vector<std::string> bodies(kClients);
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      HttpClient client = Connect(*server);
+      for (size_t round = 0; round < kRounds; ++round) {
+        auto response = client.Post("/search", body);
+        if (!response.ok() || response->status != 200) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (round == 0) {
+          bodies[c] = response->body;
+        } else if (bodies[c] != response->body) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  ASSERT_EQ(failures.load(), 0u);
+  for (size_t c = 1; c < kClients; ++c) {
+    EXPECT_EQ(bodies[c], bodies[0]) << "client " << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST_F(HttpServerTest, OverWatermarkRequestsAreShedWithRetryAfter) {
+  auto engine = MakeEngine(1);
+  BlockingService blocking(engine.get());
+  HttpServerOptions options;
+  options.shed_watermark = 1;  // one admitted search fills the window
+  auto server = StartServer(&blocking, options);
+
+  // Client A occupies the window (blocked inside SearchAll).
+  std::thread occupier([&] {
+    HttpClient client = Connect(*server);
+    auto response = client.Post("/search", "{\"query\":\"addresses\"}");
+    EXPECT_TRUE(response.ok()) << response.status();
+    if (response.ok()) EXPECT_EQ(response->status, 200);
+  });
+  blocking.WaitUntilEntered(1);
+
+  // Client B arrives over the watermark: 503, Retry-After, booked shed.
+  HttpClient client = Connect(*server);
+  auto shed = client.Post("/search", "{\"query\":\"addresses\"}");
+  ASSERT_TRUE(shed.ok()) << shed.status();
+  EXPECT_EQ(shed->status, 503);
+  EXPECT_EQ(shed->header("Retry-After"), "1");
+  MetricsSnapshot books = server->server_metrics();
+  EXPECT_GE(books.counter("server.shed"), 1u);
+
+  // Window clears; the same client is admitted.
+  blocking.Release();
+  occupier.join();
+  auto admitted = client.Post("/search", "{\"query\":\"addresses\"}");
+  ASSERT_TRUE(admitted.ok()) << admitted.status();
+  EXPECT_EQ(admitted->status, 200);
+}
+
+TEST_F(HttpServerTest, HealthzAndMetricsAreNeverShed) {
+  auto engine = MakeEngine(1);
+  HttpServerOptions options;
+  options.shed_watermark = 0;  // shed every search
+  auto server = StartServer(engine.get(), options);
+  HttpClient client = Connect(*server);
+
+  auto search = client.Post("/search", "{\"query\":\"addresses\"}");
+  ASSERT_TRUE(search.ok()) << search.status();
+  EXPECT_EQ(search->status, 503);
+
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body, "ok\n");
+
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics->status, 200);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+// ---------------------------------------------------------------------------
+
+TEST_F(HttpServerTest, StopCompletesInflightRequests) {
+  auto engine = MakeEngine(1);
+  DelayService slow(engine.get(), /*delay_ms=*/300);
+  auto server = StartServer(&slow);
+
+  const std::vector<std::string> queries = {"addresses Sara Guttinger"};
+  auto outputs = engine->SearchAll(queries);
+  std::string expected = RenderSearchResponseJson(queries, outputs);
+
+  std::atomic<bool> got_response{false};
+  std::thread inflight([&] {
+    HttpClient client = Connect(*server);
+    auto response =
+        client.Post("/search", "{\"query\":\"addresses Sara Guttinger\"}");
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->body, expected);
+    got_response.store(true);
+  });
+
+  // Wait until the request is admitted, then drain. Stop() must block
+  // until the slow search delivers its full response.
+  while (server->search_inflight() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server->Stop();
+  EXPECT_EQ(server->search_inflight(), 0u);
+  inflight.join();
+  EXPECT_TRUE(got_response.load());
+
+  // The listener is gone: new connections fail.
+  HttpClient late("127.0.0.1", server->port(), /*timeout_ms=*/1000.0);
+  auto refused = late.Get("/healthz");
+  EXPECT_FALSE(refused.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: malformed, oversized, stalled
+// ---------------------------------------------------------------------------
+
+TEST_F(HttpServerTest, MalformedRequestLineGets400) {
+  auto engine = MakeEngine(1);
+  auto server = StartServer(engine.get());
+  HttpClient client = Connect(*server);
+  ASSERT_TRUE(client.SendRaw("THIS IS NOT HTTP\r\n\r\n").ok());
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 400);
+}
+
+TEST_F(HttpServerTest, BadJsonBodyGets400) {
+  auto engine = MakeEngine(1);
+  auto server = StartServer(engine.get());
+  HttpClient client = Connect(*server);
+  auto response = client.Post("/search", "{not json");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 400);
+
+  auto missing = client.Post("/search", "{\"other\":1}");
+  ASSERT_TRUE(missing.ok()) << missing.status();
+  EXPECT_EQ(missing->status, 400);
+
+  // The connection survives client errors on well-framed requests.
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_EQ(health->status, 200);
+}
+
+TEST_F(HttpServerTest, OversizedBodyGets413) {
+  auto engine = MakeEngine(1);
+  HttpServerOptions options;
+  options.max_body_bytes = 512;
+  auto server = StartServer(engine.get(), options);
+  HttpClient client = Connect(*server);
+  std::string big = "{\"query\":\"" + std::string(1024, 'x') + "\"}";
+  auto response = client.Post("/search", big);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 413);
+}
+
+TEST_F(HttpServerTest, OversizedHeadersGet431) {
+  auto engine = MakeEngine(1);
+  HttpServerOptions options;
+  options.max_header_bytes = 256;
+  auto server = StartServer(engine.get(), options);
+  HttpClient client = Connect(*server);
+  std::string request = "GET /healthz HTTP/1.1\r\nX-Big: " +
+                        std::string(512, 'y') + "\r\n\r\n";
+  ASSERT_TRUE(client.SendRaw(request).ok());
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 431);
+}
+
+TEST_F(HttpServerTest, WrongMethodGets405UnknownPathGets404) {
+  auto engine = MakeEngine(1);
+  auto server = StartServer(engine.get());
+  HttpClient client = Connect(*server);
+
+  auto wrong_method = client.Get("/search");
+  ASSERT_TRUE(wrong_method.ok()) << wrong_method.status();
+  EXPECT_EQ(wrong_method->status, 405);
+  EXPECT_EQ(wrong_method->header("Allow"), "POST");
+
+  auto unknown = client.Get("/nope");
+  ASSERT_TRUE(unknown.ok()) << unknown.status();
+  EXPECT_EQ(unknown->status, 404);
+}
+
+TEST_F(HttpServerTest, StalledHalfRequestGets408) {
+  auto engine = MakeEngine(1);
+  HttpServerOptions options;
+  options.request_deadline_ms = 200.0;
+  auto server = StartServer(engine.get(), options);
+  HttpClient client = Connect(*server);
+  // Half a request, then silence: the read deadline must answer 408
+  // rather than hold the connection open forever.
+  ASSERT_TRUE(client.SendRaw("POST /search HTTP/1.1\r\nContent-").ok());
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 408);
+  MetricsSnapshot books = server->server_metrics();
+  EXPECT_GE(books.counter("server.timeouts"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming
+// ---------------------------------------------------------------------------
+
+TEST_F(HttpServerTest, StreamingSearchDeliversTranslationsThenDone) {
+  auto engine = MakeEngine(2);
+  auto server = StartServer(engine.get());
+  const std::vector<std::string> queries = MiniBankQueries();
+
+  // The stream's opening payload renders the async translations —
+  // snippets are not executed yet (they arrive as events), so the
+  // reference comes from the same entry point the server uses.
+  auto reference_engine = MakeEngine(2);
+  SnippetBarrier reference_barrier;
+  auto outputs = reference_engine->SearchAllAsync(
+      queries, [](size_t, size_t, const SodaResult&) {}, &reference_barrier);
+  reference_barrier.Wait();
+  std::string expected_head = RenderSearchResponseJson(queries, outputs);
+
+  HttpClient client = Connect(*server);
+  auto response = client.Post("/search?stream=1", BatchBody(queries));
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->status, 200);
+  EXPECT_EQ(response->header("Content-Type"), "application/x-ndjson");
+
+  // The stream opens with the byte-identical translation payload...
+  ASSERT_GE(response->body.size(), expected_head.size());
+  EXPECT_EQ(response->body.substr(0, expected_head.size()), expected_head);
+  // ...and closes with the done event after every snippet event.
+  size_t last_line_start = response->body.rfind('\n', response->body.size() - 2);
+  std::string last_line = response->body.substr(last_line_start + 1);
+  EXPECT_NE(last_line.find("\"event\":\"done\""), std::string::npos)
+      << last_line;
+}
+
+// ---------------------------------------------------------------------------
+// Health and metrics
+// ---------------------------------------------------------------------------
+
+TEST_F(HttpServerTest, MetricsExposesEveryServerSeries) {
+  auto engine = MakeEngine(1);
+  auto server = StartServer(engine.get());
+  HttpClient client = Connect(*server);
+  // One search so engine-side series exist alongside the pre-registered
+  // server ones.
+  auto search = client.Post("/search", "{\"query\":\"addresses\"}");
+  ASSERT_TRUE(search.ok()) << search.status();
+
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  ASSERT_EQ(metrics->status, 200);
+  for (const char* series :
+       {"soda_server_requests_total", "soda_server_accepted_total",
+        "soda_server_shed_total", "soda_server_timeouts_total",
+        "soda_server_inflight"}) {
+    EXPECT_NE(metrics->body.find(series), std::string::npos)
+        << "missing " << series;
+  }
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,196 @@
+// Contract tests for the HTTP front end's JSON codec (net/json.h): the
+// strict parser rejects garbage loudly with offset-bearing errors, and
+// the append-style writers render identical bytes for identical inputs
+// — the determinism the /search body contract leans on.
+
+#include "net/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace soda {
+namespace {
+
+Result<JsonValue> Parse(std::string_view text) { return ParseJson(text); }
+
+TEST(NetJsonParse, Scalars) {
+  auto v = Parse("null");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+
+  v = Parse("true");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_bool());
+  EXPECT_TRUE(v->as_bool());
+
+  v = Parse("false");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_bool());
+  EXPECT_FALSE(v->as_bool());
+
+  v = Parse("  42  ");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_number());
+  EXPECT_EQ(v->as_number(), 42.0);
+
+  v = Parse("-17.5e1");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_number(), -175.0);
+
+  v = Parse("\"hello\"");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_string());
+  EXPECT_EQ(v->as_string(), "hello");
+}
+
+TEST(NetJsonParse, NestedDocument) {
+  auto v = Parse(
+      "{\"query\": \"addresses Sara\",\n"
+      " \"options\": {\"limit\": 3, \"stream\": false},\n"
+      " \"queries\": [\"a\", \"b\", []]}");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* query = v->Find("query");
+  ASSERT_NE(query, nullptr);
+  EXPECT_EQ(query->as_string(), "addresses Sara");
+  const JsonValue* options = v->Find("options");
+  ASSERT_NE(options, nullptr);
+  ASSERT_TRUE(options->is_object());
+  ASSERT_NE(options->Find("limit"), nullptr);
+  EXPECT_EQ(options->Find("limit")->as_number(), 3.0);
+  const JsonValue* queries = v->Find("queries");
+  ASSERT_NE(queries, nullptr);
+  ASSERT_TRUE(queries->is_array());
+  ASSERT_EQ(queries->as_array().size(), 3u);
+  EXPECT_EQ(queries->as_array()[1].as_string(), "b");
+  EXPECT_TRUE(queries->as_array()[2].is_array());
+  // Find on a non-object / absent key answers nullptr, not a throw.
+  EXPECT_EQ(queries->Find("x"), nullptr);
+  EXPECT_EQ(v->Find("absent"), nullptr);
+}
+
+TEST(NetJsonParse, StringEscapes) {
+  auto v = Parse("\"a\\\"b\\\\c\\/d\\b\\f\\n\\r\\te\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "a\"b\\c/d\b\f\n\r\te");
+
+  // \u escapes: ASCII, 2-byte and 3-byte UTF-8 ranges, both hex cases.
+  v = Parse("\"\\u0041\\u00fc\\u20AC\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "A\xC3\xBC\xE2\x82\xAC");
+
+  // Raw UTF-8 passes through byte-for-byte.
+  v = Parse("\"Z\xC3\xBCrich\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "Z\xC3\xBCrich");
+}
+
+TEST(NetJsonParse, RejectsGarbageWithOffsets) {
+  const char* bad[] = {
+      "",                      // empty
+      "   ",                   // whitespace only
+      "{",                     // unterminated object
+      "{\"a\":1",              // missing '}'
+      "{\"a\" 1}",             // missing ':'
+      "{a: 1}",                // unquoted key
+      "{\"a\":1,}",            // trailing comma → expected key
+      "[1, 2",                 // unterminated array
+      "[1 2]",                 // missing ','
+      "\"abc",                 // unterminated string
+      "\"a\\q\"",              // bad escape
+      "\"a\\u12\"",            // truncated \u
+      "\"a\\u12zz\"",          // non-hex \u
+      "\"a\nb\"",              // unescaped control char
+      "tru",                   // bad literal
+      "fals",                  // bad literal
+      "nul",                   // bad literal
+      "1.2.3",                 // bad number
+      "--1",                   // bad number
+      "1e999",                 // overflows to inf
+      "[] []",                 // trailing bytes
+      "42 junk",               // trailing bytes
+  };
+  for (const char* text : bad) {
+    auto v = Parse(text);
+    EXPECT_FALSE(v.ok()) << "accepted: " << text;
+    EXPECT_NE(v.status().ToString().find("offset"), std::string::npos)
+        << "no offset in error for: " << text;
+  }
+}
+
+TEST(NetJsonParse, BoundsNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep.push_back('[');
+  for (int i = 0; i < 64; ++i) deep.push_back(']');
+  auto v = Parse(deep);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().ToString().find("nesting too deep"), std::string::npos);
+
+  // Just-inside-the-bound documents parse fine.
+  std::string shallow;
+  for (int i = 0; i < 16; ++i) shallow.push_back('[');
+  for (int i = 0; i < 16; ++i) shallow.push_back(']');
+  EXPECT_TRUE(Parse(shallow).ok());
+}
+
+TEST(NetJsonWrite, QuotedStrings) {
+  std::string out;
+  AppendJsonQuoted(&out, "plain");
+  EXPECT_EQ(out, "\"plain\"");
+
+  out.clear();
+  AppendJsonQuoted(&out, "a\"b\\c\b\f\n\r\t\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\b\\f\\n\\r\\t\\u0001\"");
+
+  // UTF-8 passes through untouched — no normalization, no escaping.
+  out.clear();
+  AppendJsonQuoted(&out, "Z\xC3\xBCrich");
+  EXPECT_EQ(out, "\"Z\xC3\xBCrich\"");
+}
+
+TEST(NetJsonWrite, Numbers) {
+  std::string out;
+  AppendJsonNumber(&out, 0.0);
+  EXPECT_EQ(out, "0");
+
+  out.clear();
+  AppendJsonNumber(&out, -3.0);
+  EXPECT_EQ(out, "-3");
+
+  out.clear();
+  AppendJsonNumber(&out, 1.5);
+  EXPECT_EQ(out, "1.5");
+
+  // Integral doubles render without exponent or trailing ".0".
+  out.clear();
+  AppendJsonNumber(&out, 1e15);
+  EXPECT_EQ(out, "1000000000000000");
+
+  // Non-finite values degrade to null (never emitted in practice).
+  out.clear();
+  AppendJsonNumber(&out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "null");
+
+  // Determinism: same double, same bytes.
+  std::string a, b;
+  AppendJsonNumber(&a, 0.1);
+  AppendJsonNumber(&b, 0.1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(NetJsonRoundTrip, WriterOutputReparses) {
+  std::string doc = "{\"q\":";
+  AppendJsonQuoted(&doc, "tab\there \"quoted\" Z\xC3\xBCrich");
+  doc += ",\"n\":";
+  AppendJsonNumber(&doc, 12.25);
+  doc += "}";
+  auto v = Parse(doc);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("q")->as_string(), "tab\there \"quoted\" Z\xC3\xBCrich");
+  EXPECT_EQ(v->Find("n")->as_number(), 12.25);
+}
+
+}  // namespace
+}  // namespace soda
