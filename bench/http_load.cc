@@ -72,6 +72,7 @@ struct Options {
   double open_rate = 0.0;      // requests/sec; 0 = closed loop
   double hit_fraction = 0.7;
   size_t mutate_every = 50;    // 0 = no mutation traffic
+  size_t retry_shed = 0;       // client 503 retries (closed loop); 0 = off
   std::string out = "BENCH_http_load.json";
   std::string host = "127.0.0.1";
   uint16_t port = 0;           // 0 = spawn the in-process server
@@ -90,6 +91,8 @@ void Usage(const char* argv0) {
       "  --hit-fraction F    fraction of cache-hit traffic (0.7)\n"
       "  --mutate-every N    one base-data append per N requests; 0=off (50)\n"
       "  --open-rate R       open-loop arrivals/sec; 0 = closed loop\n"
+      "  --retry-shed N      client retries per shed 503, honoring\n"
+      "                      Retry-After (closed loop only; 0 = off)\n"
       "  --out PATH          JSON report path (BENCH_http_load.json)\n"
       "  --host H --port P   target an external server instead\n"
       "  --probe             one-shot smoke probe (needs --port)\n",
@@ -132,6 +135,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->mutate_every = std::strtoul(value, nullptr, 10);
     } else if (flag == "--open-rate" && (value = next(&i))) {
       options->open_rate = std::strtod(value, nullptr);
+    } else if (flag == "--retry-shed" && (value = next(&i))) {
+      options->retry_shed = std::strtoul(value, nullptr, 10);
     } else if (flag == "--out" && (value = next(&i))) {
       options->out = value;
     } else if (flag == "--host" && (value = next(&i))) {
@@ -289,6 +294,13 @@ LevelStats RunLevel(const Options& options, size_t concurrency, uint16_t port,
   for (size_t w = 0; w < concurrency; ++w) {
     workers.emplace_back([&, w] {
       soda::HttpClient client(options.host, port, /*timeout_ms=*/60000.0);
+      if (options.retry_shed > 0 && interval_ms == 0.0) {
+        // Closed loop only: an open loop must not stall its arrival
+        // schedule sleeping out Retry-After.
+        soda::HttpRetryPolicy policy;
+        policy.max_retries = options.retry_shed;
+        client.set_retry_policy(policy);
+      }
       for (;;) {
         size_t k = next.fetch_add(1);
         if (k >= options.requests) break;
@@ -329,6 +341,10 @@ LevelStats RunLevel(const Options& options, size_t concurrency, uint16_t port,
           dropped.fetch_add(1);
         }
       }
+      // 503s the client absorbed by retrying are still sheds the server
+      // booked — add them back so the shed-accounting invariant (client
+      // shed == server.shed) survives client-side retries.
+      shed.fetch_add(client.sheds_absorbed());
     });
   }
   for (std::thread& worker : workers) worker.join();
@@ -382,7 +398,11 @@ int RunProbe(const Options& options) {
   soda::HttpClient client(options.host, options.port, 15000.0);
 
   auto health = client.Get("/healthz");
-  if (!health.ok() || health->status != 200 || health->body != "ok\n") {
+  // First-line check: /healthz leads with the verdict and may append
+  // per-shard breaker detail lines below it.
+  bool healthy = health.ok() && health->status == 200 &&
+                 health->body.compare(0, 3, "ok\n") == 0;
+  if (!healthy) {
     std::fprintf(stderr, "PROBE_FAIL healthz: %s\n",
                  health.ok() ? std::to_string(health->status).c_str()
                              : health.status().ToString().c_str());

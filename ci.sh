@@ -11,6 +11,13 @@
 #   FORMAT=1              lint leg: clang-format --dry-run --Werror over
 #       every tracked C++ file in src/ tests/ bench/ examples/ (the
 #       committed .clang-format is the single source of truth). No build.
+#   FAULTS=1              fault leg: runs the failpoint sweep
+#       (fault_injection_test — armed throw/error/stall failpoints,
+#       shard quarantine + re-routing, degraded-mode serving) under BOTH
+#       TSan and ASan by re-entering this script once per sanitizer with
+#       the ctest filter narrowed to the fault suite. The full sanitizer
+#       legs also pick the suite up via their own filters; this leg is
+#       the cheap, targeted re-run CI gates on.
 #   COVERAGE=1            coverage leg: Debug build instrumented with
 #       --coverage, full ctest run, then line coverage of src/core/ and
 #       src/net/ is computed (gcovr when available, plain gcov
@@ -42,8 +49,10 @@ cd "$(dirname "$0")"
 BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}"
 SANITIZE="${SANITIZE:-}"
 FORMAT="${FORMAT:-}"
+FAULTS="${FAULTS:-}"
 COVERAGE="${COVERAGE:-}"
 SERVER_SMOKE="${SERVER_SMOKE:-}"
+CTEST_FILTER="${CTEST_FILTER:-}"
 JOBS="${JOBS:-$(nproc)}"
 
 # Recorded floors for aggregate line coverage (percent). Never lower one
@@ -98,6 +107,20 @@ if [[ -n "${FORMAT}" ]]; then
   exit 0
 fi
 
+# --------------------------------------------------------------------------
+# Fault leg: the failpoint sweep must be clean under both sanitizers —
+# TSan for the quarantine/re-route/abandon concurrency, ASan+LSan for
+# leaks on the abandoned-attempt and contained-exception paths. Reuses
+# the standard sanitizer build dirs so a box that already ran those legs
+# only pays the (filtered) test time.
+# --------------------------------------------------------------------------
+if [[ -n "${FAULTS}" ]]; then
+  FAULTS= SANITIZE=tsan CTEST_FILTER=fault "$0"
+  FAULTS= SANITIZE=asan CTEST_FILTER=fault "$0"
+  echo "fault leg OK: fault_injection_test clean under TSan and ASan"
+  exit 0
+fi
+
 CMAKE_ARGS=()
 CTEST_ARGS=()
 
@@ -124,14 +147,15 @@ case "${SANITIZE}" in
     CMAKE_ARGS+=(-DSODA_SANITIZE=thread)
     # The concurrency surface is what TSan is here for; the serial suites
     # (and the slow property-based sweep) run in the plain legs.
-    CTEST_ARGS+=(-R 'concurrency|engine|batch_async|metrics|pipeline|freshness|session|http|server|net')
+    # CTEST_FILTER narrows further (the FAULTS leg passes 'fault').
+    CTEST_ARGS+=(-R "${CTEST_FILTER:-concurrency|engine|batch_async|metrics|pipeline|freshness|session|http|server|net|fault}")
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
     ;;
   asan)
     BUILD_TYPE=Debug
     BUILD_DIR="${BUILD_DIR:-build-asan}"
     CMAKE_ARGS+=(-DSODA_SANITIZE=address,undefined)
-    CTEST_ARGS+=(-R 'concurrency|engine|batch_async|metrics|pipeline|freshness|session|http|server|net')
+    CTEST_ARGS+=(-R "${CTEST_FILTER:-concurrency|engine|batch_async|metrics|pipeline|freshness|session|http|server|net|fault}")
     export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
     export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}"
     ;;
@@ -344,6 +368,7 @@ if [[ "${BUILD_TYPE}" == "Release" &&
   for counter in threads interpretations hit_rate batch_queries \
                  dedup_hits snippets_streamed cache_hits stage_samples \
                  shards router_shard_queries router_shard_batches \
+                 router_shard_failures router_rerouted_queries \
                  closure_traverse_hits closure_path_lookups \
                  freshness_events freshness_keys_invalidated \
                  probe_memo_hits session_refines session_stages_skipped; do

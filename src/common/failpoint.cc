@@ -1,0 +1,107 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace soda {
+
+namespace failpoint_internal {
+std::atomic<int> armed_count{0};
+}  // namespace failpoint_internal
+
+Failpoints& Failpoints::Instance() {
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+void Failpoints::Arm(std::string_view name, FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Armed armed;
+  armed.rng.seed(spec.seed);
+  armed.spec = std::move(spec);
+  auto [it, inserted] = points_.insert_or_assign(std::string(name),
+                                                 std::move(armed));
+  (void)it;
+  if (inserted) {
+    failpoint_internal::armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return;
+  points_.erase(it);
+  failpoint_internal::armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Failpoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  failpoint_internal::armed_count.fetch_sub(static_cast<int>(points_.size()),
+                                            std::memory_order_relaxed);
+  points_.clear();
+}
+
+uint64_t Failpoints::evaluations(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = total_evaluations_.find(name);
+  return it == total_evaluations_.end() ? 0 : it->second;
+}
+
+uint64_t Failpoints::fires(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = total_fires_.find(name);
+  return it == total_fires_.end() ? 0 : it->second;
+}
+
+Status Failpoints::Evaluate(std::string_view name, std::string_view detail,
+                            bool status_seam) {
+  // Decide under the lock, act (sleep/throw) after releasing it — a
+  // stalling failpoint must not stall every other seam's evaluation.
+  FailpointSpec::Action action;
+  double sleep_ms = 0.0;
+  std::string label;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end()) return Status::OK();
+    Armed& armed = it->second;
+    ++armed.evaluations;
+    ++total_evaluations_[std::string(name)];
+    if (!armed.spec.match.empty() && detail != armed.spec.match) {
+      return Status::OK();
+    }
+    if (armed.spec.probability < 1.0) {
+      double draw = std::uniform_real_distribution<double>(0.0, 1.0)(
+          armed.rng);
+      if (draw >= armed.spec.probability) return Status::OK();
+    }
+    ++armed.fires;
+    ++total_fires_[std::string(name)];
+    action = armed.spec.action;
+    sleep_ms = armed.spec.sleep_ms;
+    label = std::string(name);
+    if (!detail.empty()) label += "@" + std::string(detail);
+    if (armed.spec.max_fires != 0 && armed.fires >= armed.spec.max_fires) {
+      points_.erase(it);
+      failpoint_internal::armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  switch (action) {
+    case FailpointSpec::Action::kSleep:
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          sleep_ms));
+      return Status::OK();
+    case FailpointSpec::Action::kError:
+      if (status_seam) {
+        return Status::Unavailable("failpoint " + label + " fired");
+      }
+      [[fallthrough]];
+    case FailpointSpec::Action::kThrow:
+      break;
+  }
+  throw FailpointError("failpoint " + label + " fired");
+}
+
+}  // namespace soda

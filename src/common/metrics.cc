@@ -149,6 +149,14 @@ void InMemoryMetricsSink::Observe(std::string_view name, double value) {
   ++h.buckets[BucketIndex(value)];
 }
 
+void InMemoryMetricsSink::RegisterHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    histograms_.emplace(std::string(name), HistogramSnapshot{});
+  }
+}
+
 MetricsSnapshot InMemoryMetricsSink::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;

@@ -123,6 +123,12 @@ class InMemoryMetricsSink : public MetricsSink {
   void IncrementCounter(std::string_view name, uint64_t delta) override;
   void Observe(std::string_view name, double value) override;
 
+  /// Creates the named distribution with zero samples when absent (no-op
+  /// otherwise): pre-registration for exporters, so every series shows
+  /// up on the first /metrics scrape without a phantom sample skewing
+  /// count/min/sum. Counters pre-register via IncrementCounter(name, 0).
+  void RegisterHistogram(std::string_view name);
+
   MetricsSnapshot Snapshot() const;
   void Reset();
 

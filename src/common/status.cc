@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "unsupported";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

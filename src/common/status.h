@@ -29,6 +29,7 @@ enum class StatusCode {
   kTypeError,
   kUnsupported,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns the canonical lowercase name for a status code ("ok",
@@ -67,6 +68,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// A transiently failed dependency (quarantined shard replica, armed
+  /// failpoint): the request was valid, retrying later may succeed.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

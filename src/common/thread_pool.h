@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -76,6 +77,11 @@ class ThreadPool {
   /// the loop runs serially in index order on the calling thread. The
   /// calling thread always participates, so progress is guaranteed even
   /// when every worker is busy with unrelated tasks.
+  ///
+  /// Exceptions: a body that throws does not take a worker thread down
+  /// (no std::terminate). Every remaining claimed index still completes;
+  /// the first exception (by completion order) is rethrown on the calling
+  /// thread after the join, so callers see ParallelFor itself throw.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body) {
     if (n == 0) return;
     if (workers_.empty() || n == 1) {
@@ -89,6 +95,7 @@ class ThreadPool {
       size_t remaining;      // indexes not yet finished
       size_t total;
       const std::function<void(size_t)>* body;
+      std::exception_ptr first_exception;
     };
     auto state = std::make_shared<ForState>();
     state->remaining = n;
@@ -102,9 +109,17 @@ class ThreadPool {
           if (state->next >= state->total) return;
           index = state->next++;
         }
-        (*state->body)(index);
+        std::exception_ptr thrown;
+        try {
+          (*state->body)(index);
+        } catch (...) {
+          thrown = std::current_exception();
+        }
         {
           std::lock_guard<std::mutex> lock(state->mu);
+          if (thrown && !state->first_exception) {
+            state->first_exception = thrown;
+          }
           if (--state->remaining == 0) {
             state->done.notify_all();
             return;
@@ -121,6 +136,11 @@ class ThreadPool {
     drain();
     std::unique_lock<std::mutex> lock(state->mu);
     state->done.wait(lock, [&] { return state->remaining == 0; });
+    if (state->first_exception) {
+      std::exception_ptr rethrow = state->first_exception;
+      lock.unlock();
+      std::rethrow_exception(rethrow);
+    }
   }
 
  private:

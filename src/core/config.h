@@ -76,6 +76,40 @@ struct SodaConfig {
   /// normalized query string. 0 and 1 both mean a single shard. Plain
   /// SodaEngine ignores this knob.
   size_t num_shards = 1;
+
+  // -------------------------------------------------------------------
+  // Router failure isolation (ShardedSodaEngine only). Shards are
+  // shared-nothing full replicas, so a sub-batch that fails on its home
+  // shard can be re-dispatched to any healthy replica — a cache miss,
+  // never a wrong answer. These knobs tune the circuit breaker and the
+  // retry loop; fault_injection_test shrinks them for fast sweeps.
+  // -------------------------------------------------------------------
+
+  /// Consecutive sub-batch failures before a shard is quarantined
+  /// (closed -> quarantined in the per-shard circuit breaker).
+  size_t shard_failure_threshold = 3;
+
+  /// Quarantine backoff: first re-probe after this long, doubling per
+  /// failed probe up to the cap.
+  double shard_backoff_initial_ms = 100.0;
+  double shard_backoff_max_ms = 5000.0;
+
+  /// Dispatch attempts per sub-batch beyond the first (each retry
+  /// re-routes to the next healthy replica). 0 fails a sub-batch on its
+  /// first error.
+  size_t shard_retry_limit = 2;
+
+  /// Sleep between dispatch attempts (doubles per retry, capped at the
+  /// quarantine cap above). Keeps a flapping shard from being hammered.
+  double shard_retry_backoff_ms = 1.0;
+
+  /// Wall-clock budget for one synchronous sub-batch dispatch: an
+  /// attempt that has not completed within this deadline is abandoned
+  /// (its worker keeps running to completion, but the batch stops
+  /// waiting) and retried elsewhere. 0 disables stall detection. Only
+  /// the sync SearchAll path enforces it — an async sub-batch registers
+  /// streaming callbacks, which cannot be safely abandoned mid-flight.
+  double shard_dispatch_deadline_ms = 0.0;
 };
 
 }  // namespace soda

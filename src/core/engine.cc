@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "core/freshness.h"
 #include "storage/change_log.h"
@@ -18,6 +19,51 @@ size_t ResolveThreads(size_t configured) {
   if (configured != 0) return configured;
   size_t hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+// Runs a pool fan-out and converts any escaped exception — an armed
+// failpoint or a defective stage — into a Status, so one poisoned task
+// degrades to a per-query error instead of unwinding through the serving
+// layer (ThreadPool::ParallelFor rethrows the first task exception at
+// the submitting caller).
+template <typename Fn>
+Status RunContained(MetricsSink* sink, const char* what, Fn&& fn) {
+  try {
+    std::forward<Fn>(fn)();
+    return Status::OK();
+  } catch (const std::exception& e) {
+    sink->IncrementCounter("engine.task_exceptions", 1);
+    return Status::Unavailable(std::string(what) + " threw: " + e.what());
+  } catch (...) {
+    sink->IncrementCounter("engine.task_exceptions", 1);
+    return Status::Unavailable(std::string(what) +
+                               " threw a non-standard exception");
+  }
+}
+
+// Per-result snippet containment: a throwing ExecuteSnippet (or an armed
+// snippet.execute failpoint) marks that one result failed and the serve
+// continues — snippets are an enrichment, not the answer.
+void ExecuteSnippetContained(const Soda& soda, SodaResult* result,
+                             MetricsSink* sink) {
+  try {
+    SODA_FAILPOINT("snippet.execute");
+    soda.ExecuteSnippet(result, sink);
+  } catch (const std::exception& e) {
+    result->executed = false;
+    result->execution_status =
+        Status::Unavailable(std::string("snippet execution threw: ") +
+                            e.what());
+    sink->IncrementCounter("snippet.exception", 1);
+  } catch (...) {
+    result->executed = false;
+    result->execution_status =
+        Status::Unavailable("snippet execution threw a non-standard exception");
+    sink->IncrementCounter("snippet.exception", 1);
+  }
+  sink->IncrementCounter(result->executed ? "snippet.executed"
+                                          : "snippet.failed",
+                         1);
 }
 
 }  // namespace
@@ -59,6 +105,14 @@ SodaEngine::SodaEngine(std::unique_ptr<Soda> soda)
     if (!stage->per_interpretation()) continue;
     if (stage->name() == "sql") seen_sql = true;
     (seen_sql ? stages_sql_ : stages_pre_sql_).push_back(stage);
+  }
+  // Pre-register the session and fault-containment counters so exporters
+  // see every series from the first scrape, not only after the first
+  // refine or the first contained exception.
+  for (const char* name :
+       {"session.refines", "session.stages_skipped", "session.constraint_hits",
+        "engine.task_exceptions", "snippet.exception"}) {
+    default_sink_->IncrementCounter(name, 0);
   }
 }
 
@@ -250,23 +304,29 @@ Result<SearchOutput> SodaEngine::SearchInternal(
   sink_->Observe("pool.queue_depth",
                  static_cast<double>(pool_.queue_depth()));
   std::vector<InterpretationState> snapshot;
-  if (reuse_states) {
-    pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
-      RunInterpretationStages(stages_sql_, ctx, &ctx.states[i]);
-    });
-  } else if (capture) {
-    pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
-      RunInterpretationStages(stages_pre_sql_, ctx, &ctx.states[i]);
-    });
-    snapshot = ctx.states;  // post-Filters, pre-Sql
-    pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
-      RunInterpretationStages(stages_sql_, ctx, &ctx.states[i]);
-    });
-  } else {
-    pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
-      RunInterpretationStages(stages, ctx, &ctx.states[i]);
-    });
-  }
+  SODA_RETURN_NOT_OK(
+      RunContained(sink_.get(), "interpretation fan-out", [&] {
+        if (reuse_states) {
+          pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
+            SODA_FAILPOINT("engine.pool_task");
+            RunInterpretationStages(stages_sql_, ctx, &ctx.states[i]);
+          });
+        } else if (capture) {
+          pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
+            SODA_FAILPOINT("engine.pool_task");
+            RunInterpretationStages(stages_pre_sql_, ctx, &ctx.states[i]);
+          });
+          snapshot = ctx.states;  // post-Filters, pre-Sql
+          pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
+            RunInterpretationStages(stages_sql_, ctx, &ctx.states[i]);
+          });
+        } else {
+          pool_.ParallelFor(ctx.states.size(), [&](size_t i) {
+            SODA_FAILPOINT("engine.pool_task");
+            RunInterpretationStages(stages, ctx, &ctx.states[i]);
+          });
+        }
+      }));
   if (plan != nullptr && stages_skipped > 0) {
     sink_->IncrementCounter("session.stages_skipped", stages_skipped);
   }
@@ -299,10 +359,7 @@ Result<SearchOutput> SodaEngine::SearchInternal(
   if (config.execute_snippets && soda_->database() != nullptr) {
     auto t_exec = std::chrono::steady_clock::now();
     pool_.ParallelFor(output.results.size(), [&](size_t i) {
-      soda_->ExecuteSnippet(&output.results[i], sink_.get());
-      sink_->IncrementCounter(
-          output.results[i].executed ? "snippet.executed" : "snippet.failed",
-          1);
+      ExecuteSnippetContained(*soda_, &output.results[i], sink_.get());
     });
     output.timings.execute_ms = MsSince(t_exec);
     sink_->Observe("stage.execute.ms", output.timings.execute_ms);
@@ -389,7 +446,20 @@ std::vector<SodaEngine::BatchItem> SodaEngine::TranslateBatch(
   sink_->Observe("pool.queue_depth",
                  static_cast<double>(pool_.queue_depth()));
   pool_.ParallelFor(contexts.size(), [&](size_t i) {
-    prefix_status[i] = RunQueryStages(stages, contexts[i].get());
+    // Each task writes only its own slot, so an exception (or armed
+    // failpoint) poisons one query's prefix, never the batch.
+    try {
+      SODA_FAILPOINT("engine.pool_task");
+      prefix_status[i] = RunQueryStages(stages, contexts[i].get());
+    } catch (const std::exception& e) {
+      prefix_status[i] = Status::Unavailable(
+          std::string("pipeline prefix threw: ") + e.what());
+      sink_->IncrementCounter("engine.task_exceptions", 1);
+    } catch (...) {
+      prefix_status[i] =
+          Status::Unavailable("pipeline prefix threw a non-standard exception");
+      sink_->IncrementCounter("engine.task_exceptions", 1);
+    }
   });
 
   // Steps 3-5 over one flat (query, interpretation) task list: a batch
@@ -402,10 +472,30 @@ std::vector<SodaEngine::BatchItem> SodaEngine::TranslateBatch(
     }
   }
   sink_->IncrementCounter("batch.interpretations", units.size());
+  // One slot per unit (several units of one context run concurrently, so
+  // a shared per-context status would race); folded serially below.
+  std::vector<Status> unit_status(units.size(), Status::OK());
   pool_.ParallelFor(units.size(), [&](size_t u) {
     auto [c, s] = units[u];
-    RunInterpretationStages(stages, *contexts[c], &contexts[c]->states[s]);
+    try {
+      SODA_FAILPOINT("engine.pool_task");
+      RunInterpretationStages(stages, *contexts[c], &contexts[c]->states[s]);
+    } catch (const std::exception& e) {
+      unit_status[u] = Status::Unavailable(
+          std::string("interpretation task threw: ") + e.what());
+      sink_->IncrementCounter("engine.task_exceptions", 1);
+    } catch (...) {
+      unit_status[u] = Status::Unavailable(
+          "interpretation task threw a non-standard exception");
+      sink_->IncrementCounter("engine.task_exceptions", 1);
+    }
   });
+  for (size_t u = 0; u < units.size(); ++u) {
+    size_t c = units[u].first;
+    if (!unit_status[u].ok() && prefix_status[c].ok()) {
+      prefix_status[c] = unit_status[u];
+    }
+  }
 
   // Deterministic per-query merge, in miss order.
   for (size_t c = 0; c < contexts.size(); ++c) {
@@ -431,10 +521,8 @@ std::vector<SodaEngine::BatchItem> SodaEngine::TranslateBatch(
     }
     pool_.ParallelFor(snips.size(), [&](size_t i) {
       auto [it_idx, r] = snips[i];
-      SodaResult& result = items[it_idx].output->results[r];
-      soda_->ExecuteSnippet(&result, sink_.get());
-      sink_->IncrementCounter(
-          result.executed ? "snippet.executed" : "snippet.failed", 1);
+      ExecuteSnippetContained(*soda_, &items[it_idx].output->results[r],
+                              sink_.get());
     });
     double exec_ms = MsSince(t_exec);
     sink_->Observe("stage.execute.ms", exec_ms);
@@ -635,9 +723,10 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAllAsync(
         auto data_guard = ReadGuard();
         SodaResult& result = stream->output.results[r];
         if (stream->run_execution) {
-          soda_->ExecuteSnippet(&result, sink_.get());
-          sink_->IncrementCounter(
-              result.executed ? "snippet.executed" : "snippet.failed", 1);
+          // Contained: a throwing snippet (or armed failpoint) marks this
+          // one result failed; the callbacks below still fan out and the
+          // barrier Deliver still runs, so Wait() never hangs on a fault.
+          ExecuteSnippetContained(*soda_, &result, sink_.get());
         }
         std::vector<std::exception_ptr> exceptions;
         exceptions.reserve(stream->occurrences.size());

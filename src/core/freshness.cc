@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "core/service.h"
 #include "text/tokenizer.h"
@@ -17,6 +18,7 @@ FreshnessManager::FreshnessManager(ChangeLog* log,
     own_sink_ = std::make_shared<InMemoryMetricsSink>();
     sink_ = own_sink_;
   }
+  sink_->IncrementCounter("freshness.delta_failures", 0);
   log_->Subscribe(this);
 }
 
@@ -180,10 +182,23 @@ void FreshnessManager::OnChange(const ChangeEvent& event) {
 
   // 1. Bring every tracked engine's inverted index up to date first, so
   // a query re-admitted right after the invalidation below already sees
-  // the appended values.
+  // the appended values. A failed delta (exception or armed failpoint)
+  // must not leave that engine serving cached answers its index can no
+  // longer back: fall back to evicting its whole cache, so every later
+  // query re-translates against whatever the index does hold.
   size_t delta_postings = 0;
   for (const Target& target : targets) {
-    delta_postings += target.apply_delta(event);
+    bool applied = false;
+    try {
+      if (SODA_FAILPOINT_STATUS("freshness.apply_delta", "").ok()) {
+        delta_postings += target.apply_delta(event);
+        applied = true;
+      }
+    } catch (...) {
+    }
+    if (applied) continue;
+    sink_->IncrementCounter("freshness.delta_failures", 1);
+    target.invalidate([](const std::string&) { return true; });
   }
   sink_->IncrementCounter("freshness.delta_postings", delta_postings);
 

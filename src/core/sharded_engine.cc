@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <thread>
 #include <utility>
+
+#include "common/failpoint.h"
 
 namespace soda {
 
@@ -20,6 +24,57 @@ uint64_t Fnv1a64(const std::string& key) {
     hash *= 1099511628211ull;  // FNV prime
   }
   return hash;
+}
+
+// AcquireTarget's "every replica quarantined and none due" verdict.
+constexpr size_t kNoShard = static_cast<size_t>(-1);
+
+void SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+// One dispatch attempt of one sub-batch on one shard, shared between
+// the pool task that executes it and the batch thread that waits on it.
+// The batch thread may abandon a stalled attempt (the task keeps
+// running to completion against this struct, whose shared_ptr — and the
+// query vector's — outlive the batch), so `started`/`done`/`abandoned`
+// make the handoff explicit.
+struct SubBatchAttempt {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  bool done = false;
+  bool abandoned = false;
+  Status failure;  // non-OK: the whole attempt failed (throw/failpoint)
+  std::vector<Result<SearchOutput>> outputs;
+};
+
+enum class WaitOutcome {
+  kDone,          // attempt finished (failure says how)
+  kQueueTimeout,  // never started within the deadline: pool congestion
+  kStallTimeout,  // started but did not finish: the shard stalled
+};
+
+// Blocks until the attempt completes; with a positive deadline (sync
+// dispatch only) gives up after `deadline_ms`, marking the attempt
+// abandoned so a not-yet-started task skips execution entirely.
+WaitOutcome WaitForAttempt(SubBatchAttempt& attempt, double deadline_ms) {
+  std::unique_lock<std::mutex> lock(attempt.mu);
+  if (deadline_ms <= 0.0) {
+    attempt.cv.wait(lock, [&] { return attempt.done; });
+    return WaitOutcome::kDone;
+  }
+  auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(deadline_ms));
+  if (attempt.cv.wait_until(lock, deadline, [&] { return attempt.done; })) {
+    return WaitOutcome::kDone;
+  }
+  attempt.abandoned = true;
+  return attempt.started ? WaitOutcome::kStallTimeout
+                         : WaitOutcome::kQueueTimeout;
 }
 
 }  // namespace
@@ -78,6 +133,121 @@ ShardedSodaEngine::ShardedSodaEngine(
     assert(shard != nullptr && "null shard");
     (void)shard;
   }
+  const SodaConfig& config = shards_.front()->soda().config();
+  policy_.failure_threshold =
+      std::max<size_t>(1, config.shard_failure_threshold);
+  policy_.backoff_initial_ms = config.shard_backoff_initial_ms;
+  policy_.backoff_max_ms = config.shard_backoff_max_ms;
+  policy_.retry_limit = config.shard_retry_limit;
+  policy_.retry_backoff_ms = config.shard_retry_backoff_ms;
+  policy_.dispatch_deadline_ms = config.shard_dispatch_deadline_ms;
+  breakers_.resize(shards_.size());
+  // Pre-register every router series (PR 8 did the same for server.*):
+  // a first /metrics scrape exports the full failure-isolation surface
+  // even before any traffic — dashboards and alerts can be written
+  // against series that exist from boot.
+  for (const char* counter :
+       {"router.batches", "router.shard_queries", "router.session_queries",
+        "router.invalidations", "router.shard_failures", "router.retries",
+        "router.quarantines", "router.readmissions",
+        "router.rerouted_queries"}) {
+    router_sink_->IncrementCounter(counter, 0);
+  }
+  router_sink_->RegisterHistogram("router.shard_batch_size");
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+size_t ShardedSodaEngine::AcquireTarget(size_t start) const {
+  auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    size_t s = (start + k) % shards_.size();
+    ShardBreaker& b = breakers_[s];
+    switch (b.state) {
+      case BreakerState::kClosed:
+      case BreakerState::kProbing:
+        return s;
+      case BreakerState::kQuarantined:
+        if (now >= b.retry_at) {
+          // Backoff elapsed: this dispatch is the probe.
+          b.state = BreakerState::kProbing;
+          return s;
+        }
+        break;
+    }
+  }
+  return kNoShard;
+}
+
+void ShardedSodaEngine::ReportShardSuccess(size_t shard) const {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  ShardBreaker& b = breakers_[shard];
+  if (b.state == BreakerState::kProbing) {
+    router_sink_->IncrementCounter("router.readmissions", 1);
+  }
+  b.state = BreakerState::kClosed;
+  b.consecutive_failures = 0;
+  b.backoff_ms = 0.0;
+}
+
+void ShardedSodaEngine::ReportShardFailure(size_t shard) const {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  ShardBreaker& b = breakers_[shard];
+  ++b.consecutive_failures;
+  ++b.total_failures;
+  router_sink_->IncrementCounter("router.shard_failures", 1);
+  // A failed probe re-quarantines immediately (the shard just proved it
+  // is still sick); a closed shard crosses into quarantine at the
+  // threshold. Backoff doubles per quarantine up to the cap.
+  bool quarantine = b.state == BreakerState::kProbing ||
+                    b.consecutive_failures >= policy_.failure_threshold;
+  if (!quarantine) return;
+  b.backoff_ms = b.backoff_ms <= 0.0
+                     ? policy_.backoff_initial_ms
+                     : std::min(b.backoff_ms * 2.0, policy_.backoff_max_ms);
+  b.retry_at = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::milli>(b.backoff_ms));
+  if (b.state != BreakerState::kQuarantined) {
+    router_sink_->IncrementCounter("router.quarantines", 1);
+  }
+  b.state = BreakerState::kQuarantined;
+}
+
+ServiceHealth ShardedSodaEngine::health() const {
+  auto now = std::chrono::steady_clock::now();
+  ServiceHealth health;
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  health.shards.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const ShardBreaker& b = breakers_[s];
+    ShardHealthInfo info;
+    info.shard = s;
+    switch (b.state) {
+      case BreakerState::kClosed:
+        info.state = "closed";
+        break;
+      case BreakerState::kQuarantined:
+        info.state = "quarantined";
+        break;
+      case BreakerState::kProbing:
+        info.state = "probing";
+        break;
+    }
+    info.consecutive_failures = b.consecutive_failures;
+    info.total_failures = b.total_failures;
+    info.backoff_ms = b.backoff_ms;
+    if (b.state == BreakerState::kQuarantined && b.retry_at > now) {
+      info.retry_in_ms =
+          std::chrono::duration<double, std::milli>(b.retry_at - now).count();
+    }
+    health.degraded = health.degraded || b.state != BreakerState::kClosed;
+    health.shards.push_back(std::move(info));
+  }
+  return health;
 }
 
 // ---------------------------------------------------------------------------
@@ -88,18 +258,74 @@ Result<SearchOutput> ShardedSodaEngine::Search(
     const std::string& query, const SessionConstraints& constraints) const {
   // Route by the normalized query alone: constrained variants of one
   // question share its shard (and therefore its plans and cache locality).
-  size_t shard = ShardOfKey(NormalizedQueryKey(query), shards_.size());
   router_sink_->IncrementCounter("router.shard_queries", 1);
-  return shards_[shard]->Search(query, constraints);
+  size_t home = ShardOfKey(NormalizedQueryKey(query), shards_.size());
+  return RouteSingle(home, [&](const SodaEngine& engine) {
+    return engine.Search(query, constraints);
+  });
 }
 
 Result<SearchOutput> ShardedSodaEngine::SearchSession(
     const std::string& query, const SessionConstraints& constraints,
     std::shared_ptr<TranslationPlan>* plan) const {
-  size_t shard = ShardOfKey(NormalizedQueryKey(query), shards_.size());
   router_sink_->IncrementCounter("router.shard_queries", 1);
   router_sink_->IncrementCounter("router.session_queries", 1);
-  return shards_[shard]->SearchSession(query, constraints, plan);
+  size_t home = ShardOfKey(NormalizedQueryKey(query), shards_.size());
+  return RouteSingle(home, [&](const SodaEngine& engine) {
+    return engine.SearchSession(query, constraints, plan);
+  });
+}
+
+Result<SearchOutput> ShardedSodaEngine::SearchAsync(
+    const std::string& query, SnippetCallback on_snippet,
+    SnippetBarrier* barrier) const {
+  router_sink_->IncrementCounter("router.shard_queries", 1);
+  size_t home = ShardOfKey(NormalizedQueryKey(query), shards_.size());
+  return RouteSingle(home, [&](const SodaEngine& engine) {
+    return engine.SearchAsync(query, on_snippet, barrier);
+  });
+}
+
+Result<SearchOutput> ShardedSodaEngine::RouteSingle(
+    size_t home,
+    const std::function<Result<SearchOutput>(const SodaEngine&)>& call) const {
+  Status last = Status::Unavailable("no dispatch attempted");
+  size_t start = home;
+  for (size_t attempt = 0; attempt <= policy_.retry_limit; ++attempt) {
+    if (attempt > 0) {
+      router_sink_->IncrementCounter("router.retries", 1);
+      SleepMs(std::min(policy_.retry_backoff_ms *
+                           static_cast<double>(uint64_t{1} << (attempt - 1)),
+                       policy_.backoff_max_ms));
+    }
+    size_t target = AcquireTarget(start);
+    if (target == kNoShard) {
+      last = Status::Unavailable("every shard replica is quarantined");
+      continue;
+    }
+    if (target != home) {
+      router_sink_->IncrementCounter("router.rerouted_queries", 1);
+    }
+    try {
+      Status armed =
+          SODA_FAILPOINT_STATUS("shard.dispatch", std::to_string(target));
+      if (armed.ok()) {
+        Result<SearchOutput> output = call(*shards_[target]);
+        ReportShardSuccess(target);
+        return output;
+      }
+      last = std::move(armed);
+    } catch (const std::exception& e) {
+      last = Status::Unavailable(std::string("shard dispatch threw: ") +
+                                 e.what());
+    } catch (...) {
+      last = Status::Unavailable("shard dispatch threw");
+    }
+    ReportShardFailure(target);
+    start = target + 1;
+  }
+  return Status::Unavailable("query failed on every attempted replica: " +
+                             last.ToString());
 }
 
 std::vector<Result<SearchOutput>> ShardedSodaEngine::SearchAll(
@@ -114,6 +340,130 @@ std::vector<Result<SearchOutput>> ShardedSodaEngine::SearchAllAsync(
                        barrier);
 }
 
+std::shared_ptr<void> ShardedSodaEngine::LaunchAttempt(
+    size_t target, std::shared_ptr<const std::vector<std::string>> queries,
+    bool async, SnippetCallback on_snippet, SnippetBarrier* barrier) const {
+  auto attempt = std::make_shared<SubBatchAttempt>();
+  // Everything the task touches is captured by value / shared_ptr: if
+  // the batch abandons a stalled attempt and returns, the task still
+  // has live queries and a live attempt struct to finish against.
+  dispatch_pool_.Submit([this, attempt, queries, target, async,
+                         callback = std::move(on_snippet), barrier] {
+    {
+      std::lock_guard<std::mutex> lock(attempt->mu);
+      if (attempt->abandoned) {
+        // The batch gave up before we started: skip the work entirely.
+        attempt->done = true;
+        attempt->cv.notify_all();
+        return;
+      }
+      attempt->started = true;
+    }
+    Status failure;
+    std::vector<Result<SearchOutput>> outputs;
+    try {
+      Status armed =
+          SODA_FAILPOINT_STATUS("shard.dispatch", std::to_string(target));
+      if (!armed.ok()) {
+        failure = std::move(armed);
+      } else {
+        std::span<const std::string> sub(*queries);
+        outputs = async
+                      ? shards_[target]->SearchAllAsync(sub, callback, barrier)
+                      : shards_[target]->SearchAll(sub);
+      }
+    } catch (const std::exception& e) {
+      failure =
+          Status::Unavailable(std::string("shard dispatch threw: ") + e.what());
+    } catch (...) {
+      failure = Status::Unavailable("shard dispatch threw");
+    }
+    {
+      std::lock_guard<std::mutex> lock(attempt->mu);
+      attempt->failure = std::move(failure);
+      attempt->outputs = std::move(outputs);
+      attempt->done = true;
+    }
+    attempt->cv.notify_all();
+  });
+  return attempt;
+}
+
+std::vector<Result<SearchOutput>> ShardedSodaEngine::RunSubBatchWithFailover(
+    size_t home, std::shared_ptr<const std::vector<std::string>> queries,
+    bool async, SnippetCallback on_snippet, SnippetBarrier* barrier,
+    size_t first_target, std::shared_ptr<void> first_attempt) const {
+  // The stall deadline applies to sync dispatch only: an async sub-batch
+  // registers its snippet callbacks on the caller's barrier, and an
+  // abandoned half-registered attempt could deliver duplicates.
+  double deadline_ms = async ? 0.0 : policy_.dispatch_deadline_ms;
+  Status last = Status::Unavailable("no dispatch attempted");
+  size_t target = first_target;
+  auto attempt = std::static_pointer_cast<SubBatchAttempt>(first_attempt);
+  for (size_t attempts_used = 0;; ++attempts_used) {
+    if (attempt != nullptr) {
+      WaitOutcome outcome = WaitForAttempt(*attempt, deadline_ms);
+      switch (outcome) {
+        case WaitOutcome::kDone: {
+          Status failure;
+          std::vector<Result<SearchOutput>> outputs;
+          {
+            std::lock_guard<std::mutex> lock(attempt->mu);
+            failure = std::move(attempt->failure);
+            outputs = std::move(attempt->outputs);
+          }
+          if (failure.ok()) {
+            ReportShardSuccess(target);
+            return outputs;
+          }
+          last = std::move(failure);
+          ReportShardFailure(target);
+          target = target + 1;
+          break;
+        }
+        case WaitOutcome::kStallTimeout:
+          last = Status::Unavailable(
+              "shard " + std::to_string(target) +
+              " stalled past the sub-batch deadline; abandoned");
+          ReportShardFailure(target);
+          target = target + 1;
+          break;
+        case WaitOutcome::kQueueTimeout:
+          // The attempt never ran — the dispatch queue is congested.
+          // Not the shard's fault: retry without charging its breaker.
+          last = Status::Unavailable(
+              "sub-batch not scheduled within the dispatch deadline");
+          break;
+      }
+    } else {
+      last = Status::Unavailable("every shard replica is quarantined");
+    }
+    if (attempts_used >= policy_.retry_limit) break;
+    router_sink_->IncrementCounter("router.retries", 1);
+    SleepMs(std::min(policy_.retry_backoff_ms *
+                         static_cast<double>(uint64_t{1} << attempts_used),
+                     policy_.backoff_max_ms));
+    size_t next = AcquireTarget(target);
+    if (next == kNoShard) {
+      attempt = nullptr;
+      continue;
+    }
+    target = next;
+    if (target != home) {
+      router_sink_->IncrementCounter("router.rerouted_queries",
+                                     queries->size());
+    }
+    attempt = std::static_pointer_cast<SubBatchAttempt>(
+        LaunchAttempt(target, queries, async, on_snippet, barrier));
+  }
+  return std::vector<Result<SearchOutput>>(
+      queries->size(),
+      Result<SearchOutput>(Status::Unavailable(
+          "sub-batch for shard " + std::to_string(home) +
+          " failed after " + std::to_string(policy_.retry_limit + 1) +
+          " attempts: " + last.ToString())));
+}
+
 std::vector<Result<SearchOutput>> ShardedSodaEngine::DispatchBatch(
     std::span<const std::string> queries, bool async,
     SnippetCallback on_snippet, SnippetBarrier* barrier) const {
@@ -121,15 +471,50 @@ std::vector<Result<SearchOutput>> ShardedSodaEngine::DispatchBatch(
 
   // Single shard (the config default): no routing to do — delegate on
   // the caller's span and skip the copy/merge machinery. Callback
-  // indices are already global.
+  // indices are already global. Failure containment still applies: a
+  // throwing or failpoint-armed dispatch becomes per-query errors and
+  // charges the (only) shard's breaker, and a quarantined sole shard
+  // fails fast until its backoff elapses.
   if (shards_.size() == 1) {
     router_sink_->IncrementCounter("router.batches", 1);
     router_sink_->IncrementCounter("router.shard_queries", queries.size());
     router_sink_->Observe("router.shard_batch_size",
                           static_cast<double>(queries.size()));
-    return async ? shards_[0]->SearchAllAsync(queries, std::move(on_snippet),
-                                              barrier)
-                 : shards_[0]->SearchAll(queries);
+    Status last = Status::Unavailable("no dispatch attempted");
+    for (size_t attempt = 0; attempt <= policy_.retry_limit; ++attempt) {
+      if (attempt > 0) {
+        router_sink_->IncrementCounter("router.retries", 1);
+        SleepMs(std::min(policy_.retry_backoff_ms *
+                             static_cast<double>(uint64_t{1} << (attempt - 1)),
+                         policy_.backoff_max_ms));
+      }
+      if (AcquireTarget(0) == kNoShard) {
+        last = Status::Unavailable("the only shard replica is quarantined");
+        continue;
+      }
+      try {
+        Status armed = SODA_FAILPOINT_STATUS("shard.dispatch", "0");
+        if (armed.ok()) {
+          auto outputs = async ? shards_[0]->SearchAllAsync(
+                                     queries, std::move(on_snippet), barrier)
+                               : shards_[0]->SearchAll(queries);
+          ReportShardSuccess(0);
+          return outputs;
+        }
+        last = std::move(armed);
+      } catch (const std::exception& e) {
+        last = Status::Unavailable(std::string("shard dispatch threw: ") +
+                                   e.what());
+      } catch (...) {
+        last = Status::Unavailable("shard dispatch threw");
+      }
+      ReportShardFailure(0);
+    }
+    return std::vector<Result<SearchOutput>>(
+        queries.size(),
+        Result<SearchOutput>(Status::Unavailable(
+            "batch failed after " + std::to_string(policy_.retry_limit + 1) +
+            " attempts: " + last.ToString())));
   }
 
   // Split the batch by routing key. Sub-batches keep input order, so a
@@ -153,36 +538,58 @@ std::vector<Result<SearchOutput>> ShardedSodaEngine::DispatchBatch(
                           static_cast<double>(sub_queries[s].size()));
   }
 
-  // Run every occupied shard's sub-batch concurrently on the router's
-  // persistent dispatch pool (the caller thread participates, so
-  // progress is guaranteed even under concurrent batches). Shards are
-  // shared-nothing (own pool, own cache, own sink), so this is pure
-  // fan-out. For the async path this covers the translation phase only —
-  // each shard registers its callbacks on `barrier` before its SearchAll
-  // returns, so by the time we return the barrier's expectation is
-  // complete and snippets keep streaming from every shard's pool.
-  std::vector<std::vector<Result<SearchOutput>>> sub_outputs(shards_.size());
-  auto run_shard = [&](size_t s) {
-    std::span<const std::string> sub(sub_queries[s]);
-    if (async) {
-      SnippetCallback remapped;
-      if (on_snippet) {
-        // By value: the callback outlives this call — snippets stream
-        // from the shard's pool long after the sub-batch vectors die.
-        remapped = [to_global = sub_indices[s], callback = on_snippet](
-                       size_t query_index, size_t result_index,
-                       const SodaResult& result) {
-          callback(to_global[query_index], result_index, result);
-        };
-      }
-      sub_outputs[s] =
-          shards_[s]->SearchAllAsync(sub, std::move(remapped), barrier);
-    } else {
-      sub_outputs[s] = shards_[s]->SearchAll(sub);
-    }
+  // Launch every occupied home's first attempt before joining any of
+  // them, so healthy sub-batches run concurrently on the dispatch pool
+  // while a failing one walks its retry chain. Shards are shared-nothing
+  // (own pool, own cache, own sink), so this is pure fan-out. For the
+  // async path this covers the translation phase only — each shard
+  // registers its callbacks on `barrier` before its SearchAll returns,
+  // so by the time we return the barrier's expectation is complete and
+  // snippets keep streaming from every shard's pool.
+  struct Flight {
+    size_t home = 0;
+    size_t target = 0;
+    std::shared_ptr<const std::vector<std::string>> queries;
+    SnippetCallback callback;
+    std::shared_ptr<void> attempt;
   };
-  dispatch_pool_.ParallelFor(occupied.size(),
-                             [&](size_t k) { run_shard(occupied[k]); });
+  std::vector<Flight> flights;
+  flights.reserve(occupied.size());
+  for (size_t s : occupied) {
+    Flight flight;
+    flight.home = s;
+    flight.queries = std::make_shared<const std::vector<std::string>>(
+        std::move(sub_queries[s]));
+    if (async && on_snippet) {
+      // By value: the callback outlives this call — snippets stream
+      // from the shard's pool long after the sub-batch vectors die.
+      flight.callback = [to_global = sub_indices[s], callback = on_snippet](
+                            size_t query_index, size_t result_index,
+                            const SodaResult& result) {
+        callback(to_global[query_index], result_index, result);
+      };
+    }
+    size_t target = AcquireTarget(s);
+    if (target == kNoShard) {
+      flight.attempt = nullptr;
+    } else {
+      flight.target = target;
+      if (target != s) {
+        router_sink_->IncrementCounter("router.rerouted_queries",
+                                       flight.queries->size());
+      }
+      flight.attempt = LaunchAttempt(target, flight.queries, async,
+                                     flight.callback, barrier);
+    }
+    flights.push_back(std::move(flight));
+  }
+
+  std::vector<std::vector<Result<SearchOutput>>> sub_outputs(shards_.size());
+  for (Flight& flight : flights) {
+    sub_outputs[flight.home] = RunSubBatchWithFailover(
+        flight.home, flight.queries, async, flight.callback, barrier,
+        flight.target, std::move(flight.attempt));
+  }
 
   // Re-merge into input order.
   std::vector<Result<SearchOutput>> outputs(
@@ -193,14 +600,6 @@ std::vector<Result<SearchOutput>> ShardedSodaEngine::DispatchBatch(
     }
   }
   return outputs;
-}
-
-Result<SearchOutput> ShardedSodaEngine::SearchAsync(
-    const std::string& query, SnippetCallback on_snippet,
-    SnippetBarrier* barrier) const {
-  size_t shard = ShardOfKey(NormalizedQueryKey(query), shards_.size());
-  router_sink_->IncrementCounter("router.shard_queries", 1);
-  return shards_[shard]->SearchAsync(query, std::move(on_snippet), barrier);
 }
 
 // ---------------------------------------------------------------------------
@@ -261,6 +660,17 @@ size_t ShardedSodaEngine::queue_depth() const {
 
 MetricsSnapshot ShardedSodaEngine::metrics_snapshot() const {
   MetricsSnapshot merged = router_sink_->Snapshot();
+  {
+    // Point-in-time breaker state, so quarantines are visible on
+    // /metrics while they are happening (router.quarantines only counts
+    // transitions).
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    uint64_t open = 0;
+    for (const ShardBreaker& b : breakers_) {
+      if (b.state != BreakerState::kClosed) ++open;
+    }
+    merged.counters["router.shards_quarantined"] = open;
+  }
   for (const std::unique_ptr<SodaEngine>& shard : shards_) {
     merged.MergeFrom(shard->metrics_snapshot());
   }

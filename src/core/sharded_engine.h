@@ -23,11 +23,24 @@
 //      order. Each shard still applies its own in-batch dedup and cache,
 //      so the ranked output is byte-identical to a single engine at any
 //      shard count × thread count;
-//   3. aggregated observability — metrics_snapshot() merges every
+//   3. failure domains — every shard is wrapped in a small circuit
+//      breaker (closed → quarantined → probing). A sub-batch whose
+//      dispatch fails (throws, errors through the "shard.dispatch"
+//      failpoint, or outlives the per-sub-batch deadline) is retried
+//      with exponential backoff on the next healthy replica. Replicas
+//      are shared-nothing full copies of the same database, so the
+//      re-route is correct — a cache miss, never a wrong answer. A
+//      shard that fails shard_failure_threshold times in a row is
+//      quarantined: traffic avoids it until its backoff elapses, then
+//      one probe sub-batch decides between re-admission and a doubled
+//      backoff. health() reports the breaker per shard;
+//      router.{shard_failures,retries,quarantines,readmissions,
+//      rerouted_queries} count the machinery;
+//   4. aggregated observability — metrics_snapshot() merges every
 //      shard's sink plus the router's own samples
 //      (router.shard_batch_size, router.shard_queries, router.batches)
 //      into one fleet view; cache_stats() sums the per-shard books;
-//   4. invalidation fan-out — ClearCache() and InvalidateWhere(pred)
+//   5. invalidation fan-out — ClearCache() and InvalidateWhere(pred)
 //      forward to every shard, so base-data update notifications keep
 //      working when the cache is spread over N replicas.
 //
@@ -37,10 +50,13 @@
 #ifndef SODA_CORE_SHARDED_ENGINE_H_
 #define SODA_CORE_SHARDED_ENGINE_H_
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <initializer_list>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -74,7 +90,9 @@ class ShardedSodaEngine : public SodaService {
       SodaConfig config);
 
   /// Wraps already-constructed replicas. `shards` must be non-empty and
-  /// hold no nulls (asserted): every routing path indexes into it.
+  /// hold no nulls (asserted): every routing path indexes into it. The
+  /// failure-isolation policy (thresholds, backoffs, deadline) is read
+  /// from the first replica's config — all shards share one config.
   explicit ShardedSodaEngine(std::vector<std::unique_ptr<SodaEngine>> shards);
 
   using SodaService::Search;
@@ -83,7 +101,8 @@ class ShardedSodaEngine : public SodaService {
   /// Routes the query to its shard and delegates. Same contract as
   /// SodaEngine::Search; repeats of one query always land on the same
   /// shard (constraints excluded from the routing key), so its cache
-  /// behaves exactly like a single engine's.
+  /// behaves exactly like a single engine's. When the home shard is
+  /// quarantined the query fails over to a healthy replica.
   Result<SearchOutput> Search(
       const std::string& query,
       const SessionConstraints& constraints) const override;
@@ -99,7 +118,11 @@ class ShardedSodaEngine : public SodaService {
   /// occupied shards' SearchAll concurrently, and merges the per-query
   /// outputs back into input order. Byte-identical ranked results to a
   /// single engine; in-batch dedup still applies (identical normalized
-  /// queries route identically, so they meet in one sub-batch).
+  /// queries route identically, so they meet in one sub-batch). A
+  /// sub-batch whose shard fails or stalls past the configured deadline
+  /// is re-dispatched to a healthy replica; only when every attempt is
+  /// exhausted do its queries come back as per-query Unavailable errors
+  /// — the rest of the batch is unaffected.
   std::vector<Result<SearchOutput>> SearchAll(
       std::span<const std::string> queries) const override;
 
@@ -107,12 +130,15 @@ class ShardedSodaEngine : public SodaService {
   /// query_index remapped to the caller's batch position. All shards'
   /// translations complete before this returns (so `barrier` has its
   /// full expectation registered); snippets stream afterwards from every
-  /// shard's pool concurrently.
+  /// shard's pool concurrently. Failover applies to dispatch failures
+  /// that happen before a shard registered its snippet callbacks; the
+  /// stall deadline is sync-only (an async sub-batch cannot be abandoned
+  /// once its callbacks are expected on the barrier).
   std::vector<Result<SearchOutput>> SearchAllAsync(
       std::span<const std::string> queries, SnippetCallback on_snippet,
       SnippetBarrier* barrier) const override;
 
-  /// Single-query async, routed to its shard.
+  /// Single-query async, routed to its shard (with failover).
   Result<SearchOutput> SearchAsync(const std::string& query,
                                    SnippetCallback on_snippet,
                                    SnippetBarrier* barrier) const override;
@@ -154,11 +180,17 @@ class ShardedSodaEngine : public SodaService {
   void set_metrics_sink(std::shared_ptr<MetricsSink> sink) override;
 
   /// Fleet view: every shard's snapshot merged (counters add, histograms
-  /// merge on the shared bucket grid) plus the router's own
-  /// router.shard_batch_size / router.shard_queries / router.batches.
-  /// Shards whose built-in sink was replaced via set_metrics_sink stop
-  /// contributing new samples here — snapshot the custom sink instead.
+  /// merge on the shared bucket grid) plus the router's own router.*
+  /// series — including router.shards_quarantined, the point-in-time
+  /// count of shards currently outside the closed state (how quarantine
+  /// state reaches /metrics). Shards whose built-in sink was replaced
+  /// via set_metrics_sink stop contributing new samples here — snapshot
+  /// the custom sink instead.
   MetricsSnapshot metrics_snapshot() const override;
+
+  /// Per-shard circuit-breaker state; degraded when any shard is not
+  /// closed. The HTTP front end's /healthz renders this.
+  ServiceHealth health() const override;
 
   size_t num_shards() const { return shards_.size(); }
 
@@ -176,19 +208,82 @@ class ShardedSodaEngine : public SodaService {
   const SodaEngine& shard(size_t i) const { return *shards_[i]; }
 
  private:
+  enum class BreakerState { kClosed, kQuarantined, kProbing };
+
+  struct ShardBreaker {
+    BreakerState state = BreakerState::kClosed;
+    size_t consecutive_failures = 0;
+    uint64_t total_failures = 0;
+    double backoff_ms = 0.0;
+    std::chrono::steady_clock::time_point retry_at{};
+  };
+
+  /// Failure-isolation knobs, copied out of SodaConfig at construction.
+  struct FailoverPolicy {
+    size_t failure_threshold = 3;
+    double backoff_initial_ms = 100.0;
+    double backoff_max_ms = 5000.0;
+    size_t retry_limit = 2;
+    double retry_backoff_ms = 1.0;
+    double dispatch_deadline_ms = 0.0;
+  };
+
   /// Shared split/route/merge core of SearchAll and SearchAllAsync.
   std::vector<Result<SearchOutput>> DispatchBatch(
       std::span<const std::string> queries, bool async,
       SnippetCallback on_snippet, SnippetBarrier* barrier) const;
 
+  /// Single-query dispatch with failover, shared by Search /
+  /// SearchSession / SearchAsync. A per-query error Result from `call`
+  /// is a query outcome (breaker success); an exception or armed
+  /// failpoint is a shard failure that retries on the next replica.
+  Result<SearchOutput> RouteSingle(
+      size_t home,
+      const std::function<Result<SearchOutput>(const SodaEngine&)>& call)
+      const;
+
+  /// Submits one sub-batch dispatch attempt on `target` to the dispatch
+  /// pool and returns its (type-erased — the attempt struct is an
+  /// implementation detail of the .cc) completion handle.
+  std::shared_ptr<void> LaunchAttempt(
+      size_t target, std::shared_ptr<const std::vector<std::string>> queries,
+      bool async, SnippetCallback on_snippet, SnippetBarrier* barrier) const;
+
+  /// Joins one home shard's in-flight first attempt and walks the retry
+  /// chain on failure: re-dispatches with exponential backoff on the
+  /// next admitted replica, abandons (sync only) attempts that outlive
+  /// the dispatch deadline, and reports every outcome to the breaker.
+  /// `queries` is owned by shared_ptr so an abandoned stalled attempt
+  /// never reads a dead frame. Returns per-query outputs; after the
+  /// retry budget every query carries an Unavailable status.
+  std::vector<Result<SearchOutput>> RunSubBatchWithFailover(
+      size_t home, std::shared_ptr<const std::vector<std::string>> queries,
+      bool async, SnippetCallback on_snippet, SnippetBarrier* barrier,
+      size_t first_target, std::shared_ptr<void> first_attempt) const;
+
+  /// Breaker admission: first shard at or after `start` (mod N) the
+  /// breaker lets through (a quarantined shard whose backoff elapsed is
+  /// admitted as the probe). When every shard is quarantined and none
+  /// is due, returns the kNoShard sentinel — callers fail fast with
+  /// Unavailable rather than force traffic onto a known-bad replica.
+  size_t AcquireTarget(size_t start) const;
+
+  void ReportShardSuccess(size_t shard) const;
+  void ReportShardFailure(size_t shard) const;
+
   std::vector<std::unique_ptr<SodaEngine>> shards_;
   std::shared_ptr<InMemoryMetricsSink> router_sink_;
-  // Dispatches per-shard sub-batches (the caller thread participates in
-  // ParallelFor, so a single-shard router's pool stays inline and
-  // workerless). Persistent: no per-batch thread create/join on the
-  // serving hot path, and no std::terminate if thread creation fails
-  // mid-batch. Declared last so in-flight dispatches drain before the
-  // members they touch are destroyed.
+  FailoverPolicy policy_;
+
+  mutable std::mutex breaker_mu_;
+  mutable std::vector<ShardBreaker> breakers_;
+
+  // Runs per-shard sub-batch dispatches (Submit per attempt; the waiting
+  // batch thread can abandon a stalled attempt instead of blocking
+  // forever). Persistent: no per-batch thread create/join on the serving
+  // hot path, and no std::terminate if thread creation fails mid-batch.
+  // Declared last so in-flight dispatches drain before the members they
+  // touch are destroyed.
   mutable ThreadPool dispatch_pool_;
 };
 

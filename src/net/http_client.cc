@@ -9,7 +9,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/deadline.h"
@@ -25,6 +28,8 @@ HttpClient::HttpClient(HttpClient&& other) noexcept
     : host_(std::move(other.host_)),
       port_(other.port_),
       timeout_ms_(other.timeout_ms_),
+      retry_policy_(other.retry_policy_),
+      sheds_absorbed_(other.sheds_absorbed_),
       fd_(other.fd_) {
   other.fd_ = -1;
 }
@@ -35,6 +40,8 @@ HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
     host_ = std::move(other.host_);
     port_ = other.port_;
     timeout_ms_ = other.timeout_ms_;
+    retry_policy_ = other.retry_policy_;
+    sheds_absorbed_ = other.sheds_absorbed_;
     fd_ = other.fd_;
     other.fd_ = -1;
   }
@@ -137,7 +144,7 @@ Result<HttpResponse> HttpClient::ReadResponse() {
   return parser.response();
 }
 
-Result<HttpResponse> HttpClient::RoundTrip(std::string request_bytes) {
+Result<HttpResponse> HttpClient::RoundTrip(const std::string& request_bytes) {
   // One transparent retry on a stale keep-alive connection: the server
   // may have closed it (max_keepalive_requests, drain) between our
   // requests — legal per RFC 9112, invisible to callers.
@@ -151,13 +158,41 @@ Result<HttpResponse> HttpClient::RoundTrip(std::string request_bytes) {
   return response;
 }
 
+Result<HttpResponse> HttpClient::RoundTripWithRetry(
+    const std::string& request_bytes) {
+  Result<HttpResponse> response = RoundTrip(request_bytes);
+  for (size_t attempt = 0; attempt < retry_policy_.max_retries; ++attempt) {
+    if (!response.ok() || response->status != 503) return response;
+    // Honor the server's Retry-After (whole seconds) when present, capped
+    // so a pathological header cannot stall the client; otherwise back
+    // off exponentially from the policy's initial delay.
+    double backoff_ms = std::min(
+        retry_policy_.initial_backoff_ms * static_cast<double>(1u << attempt),
+        retry_policy_.max_backoff_ms);
+    std::string_view retry_after = response->header("Retry-After");
+    if (!retry_after.empty()) {
+      char* end = nullptr;
+      std::string value(retry_after);
+      double seconds = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() && seconds >= 0.0) {
+        backoff_ms = std::min(seconds * 1000.0, retry_policy_.max_backoff_ms);
+      }
+    }
+    ++sheds_absorbed_;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    response = RoundTrip(request_bytes);
+  }
+  return response;
+}
+
 Result<HttpResponse> HttpClient::Get(std::string_view target) {
   std::string request = "GET ";
   request.append(target);
   request.append(" HTTP/1.1\r\nHost: ");
   request.append(host_);
   request.append("\r\n\r\n");
-  return RoundTrip(std::move(request));
+  return RoundTripWithRetry(request);
 }
 
 Result<HttpResponse> HttpClient::Post(std::string_view target,
@@ -173,7 +208,7 @@ Result<HttpResponse> HttpClient::Post(std::string_view target,
   request.append(std::to_string(body.size()));
   request.append("\r\n\r\n");
   request.append(body);
-  return RoundTrip(std::move(request));
+  return RoundTripWithRetry(request);
 }
 
 }  // namespace soda

@@ -23,6 +23,19 @@
 
 namespace soda {
 
+/// Opt-in client-side handling of 503 shed responses. With max_retries
+/// > 0, Get/Post transparently re-issue a request the server answered
+/// 503, sleeping the server's Retry-After (seconds) when present —
+/// capped by max_backoff_ms — else an exponential backoff doubling from
+/// initial_backoff_ms. Anything other than a 503 (success, other errors,
+/// transport failures) returns immediately. Default-off: tests that
+/// assert shed behavior see every 503.
+struct HttpRetryPolicy {
+  size_t max_retries = 0;
+  double initial_backoff_ms = 50.0;
+  double max_backoff_ms = 2000.0;
+};
+
 class HttpClient {
  public:
   /// `host` is an IPv4 literal ("127.0.0.1"). Connection happens lazily
@@ -53,13 +66,26 @@ class HttpClient {
 
   bool connected() const { return fd_ >= 0; }
 
+  /// Installs (or clears, with a default-constructed policy) the 503
+  /// retry behavior for subsequent Get/Post calls.
+  void set_retry_policy(HttpRetryPolicy policy) { retry_policy_ = policy; }
+
+  /// 503 responses this client absorbed by retrying (the final answer
+  /// of an exhausted retry chain is returned, not absorbed). The load
+  /// harness adds these back into its shed accounting so client-side
+  /// retries never hide server-side sheds.
+  uint64_t sheds_absorbed() const { return sheds_absorbed_; }
+
  private:
   Status EnsureConnected();
-  Result<HttpResponse> RoundTrip(std::string request_bytes);
+  Result<HttpResponse> RoundTrip(const std::string& request_bytes);
+  Result<HttpResponse> RoundTripWithRetry(const std::string& request_bytes);
 
   std::string host_;
   uint16_t port_;
   double timeout_ms_;
+  HttpRetryPolicy retry_policy_;
+  uint64_t sheds_absorbed_ = 0;
   int fd_ = -1;
 };
 

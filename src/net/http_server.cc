@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/prometheus_sink.h"
 #include "net/json.h"
 #include "net/search_json.h"
@@ -292,6 +293,10 @@ void SodaHttpServer::ServeConnection(int fd) {
 bool SodaHttpServer::HandleRequest(const HttpRequest& request,
                                    const Deadline& deadline, int fd,
                                    bool keep_alive, HttpResponse* response) {
+  // Fault seam for the serving path: when armed it throws here, and the
+  // ServeConnection catch turns it into a booked 500 — proving a dying
+  // handler never wedges the connection loop or leaks the drain count.
+  SODA_FAILPOINT("http.handle");
   std::string_view path = request.path();
   if (path == "/healthz") {
     if (request.method != "GET" && request.method != "HEAD") {
@@ -299,9 +304,7 @@ bool SodaHttpServer::HandleRequest(const HttpRequest& request,
       response->SetHeader("Allow", "GET");
       return false;
     }
-    response->status = 200;
-    response->SetHeader("Content-Type", "text/plain; charset=utf-8");
-    response->body = "ok\n";
+    *response = HandleHealthz();
     return false;
   }
   if (path == "/metrics") {
@@ -453,6 +456,31 @@ bool SodaHttpServer::HandleStreamingSearch(const HttpRequest& request, int fd,
     if (!state->write_failed) SendAll(fd, SerializeLastChunk());
   }
   return true;
+}
+
+HttpResponse SodaHttpServer::HandleHealthz() const {
+  // First line is the verdict — "ok" or "degraded" — followed by one
+  // detail line per failure domain (empty for a single-engine service,
+  // so the classic bare "ok\n" body is preserved). Probes key on the
+  // first line only. Degraded still answers 200: the service is serving,
+  // just re-routing around quarantined shards.
+  ServiceHealth health = service_->health();
+  HttpResponse response;
+  response.status = 200;
+  response.SetHeader("Content-Type", "text/plain; charset=utf-8");
+  response.body = health.degraded ? "degraded\n" : "ok\n";
+  for (const ShardHealthInfo& shard : health.shards) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "shard %zu: %s failures=%zu total_failures=%llu "
+                  "backoff_ms=%.0f retry_in_ms=%.0f\n",
+                  shard.shard, shard.state.c_str(),
+                  shard.consecutive_failures,
+                  static_cast<unsigned long long>(shard.total_failures),
+                  shard.backoff_ms, shard.retry_in_ms);
+    response.body += line;
+  }
+  return response;
 }
 
 HttpResponse SodaHttpServer::HandleMetrics() const {

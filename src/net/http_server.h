@@ -23,7 +23,13 @@
 //                           own counters merged with the service fleet
 //                           snapshot (and an optional extra snapshot,
 //                           e.g. a FreshnessManager's).
-//   GET  /healthz           200 "ok\n" — never shed, usable as a
+//   GET  /healthz           200, first line "ok" (all failure domains
+//                           closed) or "degraded" (some shard replica
+//                           quarantined/probing — the service still
+//                           answers, re-routing around it), followed by
+//                           one detail line per shard breaker. A
+//                           single-engine service keeps the classic bare
+//                           "ok\n" body. Never shed, usable as a
 //                           liveness probe under overload.
 //
 // Robustness layer:
@@ -177,6 +183,7 @@ class SodaHttpServer {
                             const Deadline& deadline);
   bool HandleStreamingSearch(const HttpRequest& request, int fd,
                              bool keep_alive, HttpResponse* error_response);
+  HttpResponse HandleHealthz() const;
   HttpResponse HandleMetrics() const;
 
   /// Parses the /search body into a query list; non-OK → 400 detail.
