@@ -435,7 +435,40 @@ int RunProbe(const Options& options) {
       return 1;
     }
   }
-  std::printf("PROBE_OK healthz+search+metrics on %s:%u\n",
+  // The /debug introspection pair must answer valid JSON with their
+  // load-bearing top-level keys — an operator's first stop at a
+  // misbehaving box must never itself be broken.
+  auto vars = client.Get("/debug/vars");
+  if (!vars.ok() || vars->status != 200) {
+    std::fprintf(stderr, "PROBE_FAIL debug/vars: %s\n",
+                 vars.ok() ? std::to_string(vars->status).c_str()
+                           : vars.status().ToString().c_str());
+    return 1;
+  }
+  auto vars_doc = soda::ParseJson(vars->body);
+  if (!vars_doc.ok() || !vars_doc->is_object() ||
+      vars_doc->Find("server") == nullptr ||
+      vars_doc->Find("service") == nullptr ||
+      vars_doc->Find("trace") == nullptr) {
+    std::fprintf(stderr, "PROBE_FAIL debug/vars: not a valid vars object\n");
+    return 1;
+  }
+  auto traces = client.Get("/debug/traces?min_ms=0");
+  if (!traces.ok() || traces->status != 200) {
+    std::fprintf(stderr, "PROBE_FAIL debug/traces: %s\n",
+                 traces.ok() ? std::to_string(traces->status).c_str()
+                             : traces.status().ToString().c_str());
+    return 1;
+  }
+  auto traces_doc = soda::ParseJson(traces->body);
+  if (!traces_doc.ok() || !traces_doc->is_object() ||
+      traces_doc->Find("traces") == nullptr ||
+      !traces_doc->Find("traces")->is_array()) {
+    std::fprintf(stderr,
+                 "PROBE_FAIL debug/traces: not a valid trace listing\n");
+    return 1;
+  }
+  std::printf("PROBE_OK healthz+search+metrics+debug on %s:%u\n",
               options.host.c_str(), options.port);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/trace.h"
 #include "core/engine.h"
 #include "core/freshness.h"
 #include "core/session.h"
@@ -218,6 +219,60 @@ void BM_EngineBatchSearchAll(benchmark::State& state) {
                           static_cast<int64_t>(queries.size()));
 }
 BENCHMARK(BM_EngineBatchSearchAll)->Arg(1)->Arg(4);
+
+// Tracing overhead guard: the BM_EngineBatchSearchAll workload with the
+// trace layer at three sampling settings — Arg is sample_every. Arg(0)
+// (compiled in, sampled off: every span is one relaxed load + branch)
+// must stay within noise of the untraced baseline; Arg(1) keeps every
+// trace, Arg(2) alternates keep/drop so both tails of the head-sampling
+// decision are exercised. "trace_spans" / "trace_sampled" /
+// "trace_dropped" feed the CI counter guard for the trace surface.
+void BM_TraceOverhead(benchmark::State& state) {
+  size_t sample_every = static_cast<size_t>(state.range(0));
+  static std::map<size_t, std::unique_ptr<soda::SodaEngine>> engines;
+  auto it = engines.find(sample_every);
+  if (it == engines.end()) {
+    soda::SodaConfig config;
+    config.execute_snippets = false;
+    config.num_threads = 2;
+    config.cache_capacity = 0;  // cold: trace the full pipeline each op
+    auto created = soda::SodaEngine::Create(&env()->warehouse->db,
+                                            &env()->warehouse->graph,
+                                            soda::CreditSuissePatternLibrary(),
+                                            config);
+    if (!created.ok()) {
+      std::fprintf(stderr, "failed to build trace engine: %s\n",
+                   created.status().ToString().c_str());
+      std::exit(1);
+    }
+    it = engines.emplace(sample_every, std::move(created).value()).first;
+  }
+  soda::SodaEngine* engine = it->second.get();
+  soda::TraceRecorder& recorder = soda::TraceRecorder::Instance();
+  recorder.Clear();
+  recorder.Configure(sample_every, /*slow_threshold_ms=*/0.0);
+  std::vector<std::string> queries;
+  for (const soda::BenchmarkQuery& bench : soda::EnterpriseWorkload()) {
+    queries.push_back(bench.keywords);
+  }
+  for (auto _ : state) {
+    auto outputs = engine->SearchAll(queries);
+    benchmark::DoNotOptimize(outputs);
+  }
+  // Leave the process-wide recorder off for whatever bench runs next.
+  recorder.Configure(0, 0.0);
+  soda::MetricsSnapshot snapshot = engine->metrics_snapshot();
+  state.counters["sample_every"] = static_cast<double>(sample_every);
+  state.counters["trace_spans"] =
+      static_cast<double>(snapshot.counter("trace.spans"));
+  state.counters["trace_sampled"] =
+      static_cast<double>(snapshot.counter("trace.sampled"));
+  state.counters["trace_dropped"] =
+      static_cast<double>(snapshot.counter("trace.dropped"));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1)->Arg(2);
 
 // Dashboard-style batch with heavy repetition: every unique query appears
 // four times, so dedup should hand back 3/4 of the batch as in-batch

@@ -148,14 +148,14 @@ case "${SANITIZE}" in
     # The concurrency surface is what TSan is here for; the serial suites
     # (and the slow property-based sweep) run in the plain legs.
     # CTEST_FILTER narrows further (the FAULTS leg passes 'fault').
-    CTEST_ARGS+=(-R "${CTEST_FILTER:-concurrency|engine|batch_async|metrics|pipeline|freshness|session|http|server|net|fault}")
+    CTEST_ARGS+=(-R "${CTEST_FILTER:-concurrency|engine|batch_async|metrics|pipeline|freshness|session|http|server|net|fault|trace}")
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
     ;;
   asan)
     BUILD_TYPE=Debug
     BUILD_DIR="${BUILD_DIR:-build-asan}"
     CMAKE_ARGS+=(-DSODA_SANITIZE=address,undefined)
-    CTEST_ARGS+=(-R "${CTEST_FILTER:-concurrency|engine|batch_async|metrics|pipeline|freshness|session|http|server|net|fault}")
+    CTEST_ARGS+=(-R "${CTEST_FILTER:-concurrency|engine|batch_async|metrics|pipeline|freshness|session|http|server|net|fault|trace}")
     export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
     export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}"
     ;;
@@ -226,6 +226,12 @@ run_server_smoke() {
         status=1
       fi
     done
+    curl -fsS --max-time 10 "http://127.0.0.1:${port}/debug/vars" \
+        | grep -q '"trace"' \
+        || { echo "server smoke: /debug/vars check failed" >&2; status=1; }
+    curl -fsS --max-time 10 "http://127.0.0.1:${port}/debug/traces?min_ms=0" \
+        | grep -q '"traces"' \
+        || { echo "server smoke: /debug/traces check failed" >&2; status=1; }
   elif [[ ! -x "${BUILD_DIR}/bench_http_load" ]]; then
     echo "server smoke: neither curl nor bench_http_load available" >&2
     status=1
@@ -242,7 +248,7 @@ run_server_smoke() {
     return 1
   fi
   echo "server smoke OK: healthz + search round-trip" \
-       "+ metrics series + clean drain"
+       "+ metrics series + debug endpoints + clean drain"
 }
 
 # The CI job step re-enters ci.sh with SERVER_SMOKE=only after the
@@ -371,7 +377,8 @@ if [[ "${BUILD_TYPE}" == "Release" &&
                  router_shard_failures router_rerouted_queries \
                  closure_traverse_hits closure_path_lookups \
                  freshness_events freshness_keys_invalidated \
-                 probe_memo_hits session_refines session_stages_skipped; do
+                 probe_memo_hits session_refines session_stages_skipped \
+                 trace_spans trace_sampled trace_dropped; do
     if ! grep -q "${counter}" "${BENCH_OUT}"; then
       echo "bench smoke-run output is missing counter '${counter}'" >&2
       exit 1

@@ -62,6 +62,8 @@ void PrintUsage(const char* argv0) {
       "instruments\"]}' \\\n"
       "       'http://127.0.0.1:PORT/search?stream=1'   # chunked ndjson\n"
       "  curl http://127.0.0.1:PORT/metrics             # Prometheus text\n"
+      "  curl 'http://127.0.0.1:PORT/debug/traces?min_ms=0'  # span trees\n"
+      "  curl http://127.0.0.1:PORT/debug/vars          # config + state\n"
       "SIGINT/SIGTERM drain gracefully (in-flight requests complete).\n",
       argv0, argv0);
 }
@@ -79,6 +81,11 @@ int RunServe(uint16_t port, size_t shards, size_t threads) {
   config.num_shards = shards;
   config.num_threads = threads;
   config.cache_capacity = 64;
+  // Serve mode keeps every trace (sample 1-in-1) so the /debug/traces
+  // quickstart below shows span trees immediately; slow-query capture
+  // flags anything over 250ms in /debug/vars' slow_log.
+  config.trace_sample_n = 1;
+  config.slow_query_threshold_ms = 250.0;
   auto created = soda::ShardedSodaEngine::Create(
       &(*bank)->db, &(*bank)->graph, soda::CreditSuissePatternLibrary(),
       config);
@@ -113,6 +120,9 @@ int RunServe(uint16_t port, size_t shards, size_t threads) {
               "http://127.0.0.1:%u/search\n",
               server.port());
   std::printf("  curl http://127.0.0.1:%u/metrics\n", server.port());
+  std::printf("  curl 'http://127.0.0.1:%u/debug/traces?min_ms=0'\n",
+              server.port());
+  std::printf("  curl http://127.0.0.1:%u/debug/vars\n", server.port());
   std::fflush(stdout);
 
   while (g_stop_requested == 0) {

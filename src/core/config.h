@@ -110,6 +110,24 @@ struct SodaConfig {
   /// the sync SearchAll path enforces it — an async sub-batch registers
   /// streaming callbacks, which cannot be safely abandoned mid-flight.
   double shard_dispatch_deadline_ms = 0.0;
+
+  // -------------------------------------------------------------------
+  // Request tracing (common/trace.h). Both knobs apply to the
+  // process-global TraceRecorder at Create time when either is set;
+  // ranked output is byte-identical with tracing on or off.
+  // -------------------------------------------------------------------
+
+  /// Head sampling: every trace_sample_n-th request's span tree is kept
+  /// in the trace ring (1 keeps every request). 0 disables tracing
+  /// entirely — the ~free default (one branch + relaxed load per span
+  /// site). Slow and errored requests are kept regardless of the head
+  /// decision while tracing is enabled.
+  size_t trace_sample_n = 0;
+
+  /// Requests slower than this always keep their trace and append a
+  /// line to the slow-query log, whatever the sampling decision said.
+  /// 0 disables the slow-query rules.
+  double slow_query_threshold_ms = 0.0;
 };
 
 }  // namespace soda

@@ -8,12 +8,70 @@
 
 #include "common/failpoint.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "core/freshness.h"
 #include "storage/change_log.h"
 
 namespace soda {
 
 namespace {
+
+// Every counter series the engine (and the pipeline/snippet code running
+// under its sink) can ever emit. Pre-registered at zero on construction
+// and replayed into any later-installed sink, so exporters see the full
+// series set from the first scrape — not only after the first event of
+// each kind (prometheus_metrics_test pins the list).
+constexpr const char* kEngineCounterSeries[] = {
+    "engine.search", "engine.search_all", "engine.search_all_async",
+    "engine.task_exceptions",
+    "cache.hit", "cache.miss", "cache.invalidated",
+    "cache.stale_insert_skipped",
+    "batch.queries", "batch.unique", "batch.interpretations",
+    "batch.dedup_hits",
+    "session.refines", "session.stages_skipped", "session.constraint_hits",
+    "snippet.executed", "snippet.failed", "snippet.exception",
+    "snippet.streamed", "snippet.callback_exception",
+    "index.probe_memo_hits", "index.probe_memo_misses",
+    "closure.traverse_hits", "closure.traverse_misses",
+    "closure.path_lookups",
+    "trace.spans", "trace.sampled", "trace.dropped", "trace.slow_queries",
+};
+
+void PreRegisterEngineCounters(MetricsSink* sink) {
+  for (const char* name : kEngineCounterSeries) {
+    sink->IncrementCounter(name, 0);
+  }
+}
+
+// Finishes an engine-owned trace on every exit path — including error
+// returns, where the destructor falls back to the trace's own elapsed
+// clock — and books the trace.* counters into the engine's sink from
+// the recorder's verdict. Constructed with an inactive context when the
+// engine joined a caller's trace instead of opening its own.
+class OwnedTrace {
+ public:
+  OwnedTrace(TraceContext ctx, MetricsSink* sink)
+      : ctx_(std::move(ctx)), sink_(sink) {}
+  ~OwnedTrace() {
+    if (!ctx_.active()) return;
+    double wall = wall_ms_ >= 0.0 ? wall_ms_ : ctx_.data->ElapsedMs();
+    TraceVerdict verdict = TraceRecorder::Instance().FinishTrace(ctx_, wall);
+    sink_->IncrementCounter("trace.spans", verdict.spans);
+    sink_->IncrementCounter(verdict.kept ? "trace.sampled" : "trace.dropped",
+                            1);
+    if (verdict.slow) sink_->IncrementCounter("trace.slow_queries", 1);
+  }
+
+  OwnedTrace(const OwnedTrace&) = delete;
+  OwnedTrace& operator=(const OwnedTrace&) = delete;
+
+  void set_wall_ms(double ms) { wall_ms_ = ms; }
+
+ private:
+  TraceContext ctx_;
+  MetricsSink* sink_;
+  double wall_ms_ = -1.0;
+};
 
 size_t ResolveThreads(size_t configured) {
   if (configured != 0) return configured;
@@ -87,6 +145,14 @@ Result<std::unique_ptr<SodaEngine>> SodaEngine::Create(
       std::unique_ptr<Soda> soda,
       Soda::Create(db, graph, std::move(patterns), config,
                    std::move(shared_closure)));
+  // The recorder is process-global (traces cross engine/router/server
+  // layers); an engine only pushes its knobs there when they are set, so
+  // building an untraced engine never turns an already-configured
+  // recorder off.
+  if (config.trace_sample_n != 0 || config.slow_query_threshold_ms != 0.0) {
+    TraceRecorder::Instance().Configure(config.trace_sample_n,
+                                        config.slow_query_threshold_ms);
+  }
   return std::make_unique<SodaEngine>(std::move(soda));
 }
 
@@ -106,18 +172,28 @@ SodaEngine::SodaEngine(std::unique_ptr<Soda> soda)
     if (stage->name() == "sql") seen_sql = true;
     (seen_sql ? stages_sql_ : stages_pre_sql_).push_back(stage);
   }
-  // Pre-register the session and fault-containment counters so exporters
-  // see every series from the first scrape, not only after the first
-  // refine or the first contained exception.
+  // Pre-register every counter and histogram series so exporters see the
+  // full set from the first scrape, not only after the first event of
+  // each kind (histograms are an InMemoryMetricsSink feature; custom
+  // sinks get the counters replayed in set_metrics_sink).
+  PreRegisterEngineCounters(default_sink_.get());
   for (const char* name :
-       {"session.refines", "session.stages_skipped", "session.constraint_hits",
-        "engine.task_exceptions", "snippet.exception"}) {
-    default_sink_->IncrementCounter(name, 0);
+       {"search.wall.ms", "batch.wall.ms", "stage.execute.ms",
+        "pool.queue_depth", "executor.rows", "executor.tables"}) {
+    default_sink_->RegisterHistogram(name);
+  }
+  for (const PipelineStage* stage : soda_->stages()) {
+    default_sink_->RegisterHistogram(std::string("stage.") +
+                                     std::string(stage->name()) + ".ms");
   }
 }
 
 void SodaEngine::set_metrics_sink(std::shared_ptr<MetricsSink> sink) {
   sink_ = sink != nullptr ? std::move(sink) : default_sink_;
+  // A freshly installed exporter sink starts empty; replay the counter
+  // pre-registration so its first scrape is as complete as the built-in
+  // sink's.
+  if (sink_ != default_sink_) PreRegisterEngineCounters(sink_.get());
 }
 
 size_t SodaEngine::num_threads() const {
@@ -228,6 +304,20 @@ Result<SearchOutput> SodaEngine::SearchInternal(
   auto t_start = std::chrono::steady_clock::now();
   sink_->IncrementCounter("engine.search", 1);
 
+  // Join the caller's trace (HTTP request, router dispatch) when one is
+  // installed on this thread; otherwise open our own when the recorder
+  // is on. The untraced common case is one relaxed load and a branch.
+  TraceContext trace_parent = CurrentTraceContext();
+  const bool owns_trace =
+      !trace_parent.active() && TraceRecorder::Instance().enabled();
+  if (owns_trace) {
+    trace_parent = TraceRecorder::Instance().StartTrace("engine.search");
+  }
+  OwnedTrace owned_trace(owns_trace ? trace_parent : TraceContext{},
+                         sink_.get());
+  Span search_span(trace_parent, "engine.search");
+  if (search_span.active()) search_span.SetAttr("query", query);
+
   const bool constrained = !constraints.empty();
   const std::string normalized = NormalizedQueryKey(query);
   const std::string key = ConstrainedCacheKey(normalized, constraints);
@@ -251,14 +341,18 @@ Result<SearchOutput> SodaEngine::SearchInternal(
     output.timings = StepTimings{};  // this response did no pipeline work
     output.timings.wall_ms = MsSince(t_start);
     sink_->Observe("search.wall.ms", output.timings.wall_ms);
+    if (search_span.active()) search_span.SetAttr("cache", "hit");
+    owned_trace.set_wall_ms(output.timings.wall_ms);
     return output;
   }
   sink_->IncrementCounter("cache.miss", 1);
+  if (search_span.active()) search_span.SetAttr("cache", "miss");
 
   const SodaConfig& config = soda_->config();
   QueryContext ctx(query);
   ctx.config = &config;
   ctx.metrics = sink_.get();
+  ctx.trace = search_span.context();
   if (constrained) ctx.constraints = &constraints;
   ctx.collect_freshness_terms = freshness_ != nullptr;
   const std::vector<const PipelineStage*>& stages = soda_->stages();
@@ -358,15 +452,22 @@ Result<SearchOutput> SodaEngine::SearchInternal(
 
   if (config.execute_snippets && soda_->database() != nullptr) {
     auto t_exec = std::chrono::steady_clock::now();
+    Span exec_span(search_span.context(), "stage.execute");
     pool_.ParallelFor(output.results.size(), [&](size_t i) {
       ExecuteSnippetContained(*soda_, &output.results[i], sink_.get());
     });
+    if (exec_span.active()) {
+      exec_span.SetAttr("snippets",
+                        static_cast<int64_t>(output.results.size()));
+    }
+    exec_span.End();
     output.timings.execute_ms = MsSince(t_exec);
     sink_->Observe("stage.execute.ms", output.timings.execute_ms);
   }
   output.threads_used = num_threads();
   output.timings.wall_ms = MsSince(t_start);
   sink_->Observe("search.wall.ms", output.timings.wall_ms);
+  owned_trace.set_wall_ms(output.timings.wall_ms);
 
   // Cache the fully materialized answer (statements + snippets). The
   // stored copy keeps from_cache=false; hits patch their own counters.
@@ -393,7 +494,8 @@ struct SodaEngine::BatchItem {
 };
 
 std::vector<SodaEngine::BatchItem> SodaEngine::TranslateBatch(
-    std::span<const std::string> queries, bool execute) const {
+    std::span<const std::string> queries, bool execute,
+    const TraceContext& trace) const {
   auto t_start = std::chrono::steady_clock::now();
 
   // Dedup identical normalized queries *before* the cache is probed, so
@@ -435,12 +537,22 @@ std::vector<SodaEngine::BatchItem> SodaEngine::TranslateBatch(
   std::vector<std::unique_ptr<QueryContext>> contexts;
   std::vector<Status> prefix_status(misses.size(), Status::OK());
   contexts.reserve(misses.size());
+  // One span per unique miss, open across both fan-outs below so its
+  // duration covers that query's full pipeline; stage spans created by
+  // the drivers parent under it through ctx->trace. Inert (and unmoved
+  // past a reserve) when the batch is untraced.
+  std::vector<Span> query_spans;
+  query_spans.reserve(misses.size());
   for (size_t miss_idx : misses) {
     auto ctx =
         std::make_unique<QueryContext>(queries[items[miss_idx].occurrences[0]]);
     ctx->config = &config;
     ctx->metrics = sink_.get();
     ctx->collect_freshness_terms = freshness_ != nullptr;
+    Span query_span(trace, "batch.query");
+    if (query_span.active()) query_span.SetAttr("query", ctx->raw_query);
+    ctx->trace = query_span.context();
+    query_spans.push_back(std::move(query_span));
     contexts.push_back(std::move(ctx));
   }
   sink_->Observe("pool.queue_depth",
@@ -502,9 +614,12 @@ std::vector<SodaEngine::BatchItem> SodaEngine::TranslateBatch(
     BatchItem& item = items[misses[c]];
     if (!prefix_status[c].ok()) {
       item.output = prefix_status[c];
+      query_spans[c].SetStatus(prefix_status[c].message());
+      query_spans[c].End();
       continue;
     }
     item.output = FinalizeOutput(std::move(*contexts[c]));
+    query_spans[c].End();
   }
 
   // Snippet execution for the sync path: again one flat task list across
@@ -519,11 +634,16 @@ std::vector<SodaEngine::BatchItem> SodaEngine::TranslateBatch(
         snips.emplace_back(miss_idx, r);
       }
     }
+    Span exec_span(trace, "stage.execute");
+    if (exec_span.active()) {
+      exec_span.SetAttr("snippets", static_cast<int64_t>(snips.size()));
+    }
     pool_.ParallelFor(snips.size(), [&](size_t i) {
       auto [it_idx, r] = snips[i];
       ExecuteSnippetContained(*soda_, &items[it_idx].output->results[r],
                               sink_.get());
     });
+    exec_span.End();
     double exec_ms = MsSince(t_exec);
     sink_->Observe("stage.execute.ms", exec_ms);
     // Per-item attribution of a shared fan-out is ill-defined; every
@@ -609,7 +729,21 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAll(
   auto t_start = std::chrono::steady_clock::now();
   sink_->IncrementCounter("engine.search_all", 1);
 
-  std::vector<BatchItem> items = TranslateBatch(queries, /*execute=*/true);
+  TraceContext trace_parent = CurrentTraceContext();
+  const bool owns_trace =
+      !trace_parent.active() && TraceRecorder::Instance().enabled();
+  if (owns_trace) {
+    trace_parent = TraceRecorder::Instance().StartTrace("engine.search_all");
+  }
+  OwnedTrace owned_trace(owns_trace ? trace_parent : TraceContext{},
+                         sink_.get());
+  Span batch_span(trace_parent, "engine.search_all");
+  if (batch_span.active()) {
+    batch_span.SetAttr("queries", static_cast<int64_t>(queries.size()));
+  }
+
+  std::vector<BatchItem> items =
+      TranslateBatch(queries, /*execute=*/true, batch_span.context());
 
   // Insert the fully materialized computed entries, keyed on the
   // normalized query after dedup — one Put per unique miss. The stored
@@ -619,8 +753,12 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAll(
     if (item.from_cache || !item.output.ok()) continue;
     CacheInsert(item.key, *item.output);
   }
-  return ExpandBatch(std::move(items), queries.size(),
-                     /*mark_dedup_as_cached=*/true, t_start);
+  std::vector<Result<SearchOutput>> outputs =
+      ExpandBatch(std::move(items), queries.size(),
+                  /*mark_dedup_as_cached=*/true, t_start);
+  batch_span.End();
+  owned_trace.set_wall_ms(MsSince(t_start));
+  return outputs;
 }
 
 // ---------------------------------------------------------------------------
@@ -659,13 +797,32 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAllAsync(
   auto t_start = std::chrono::steady_clock::now();
   sink_->IncrementCounter("engine.search_all_async", 1);
 
+  // The async trace outlives this call: snippet tasks carry the batch
+  // span's context into the pool and append their spans after the trace
+  // was finished — TraceData is shared and append-safe, so stragglers
+  // still land in the archived record.
+  TraceContext trace_parent = CurrentTraceContext();
+  const bool owns_trace =
+      !trace_parent.active() && TraceRecorder::Instance().enabled();
+  if (owns_trace) {
+    trace_parent =
+        TraceRecorder::Instance().StartTrace("engine.search_all_async");
+  }
+  OwnedTrace owned_trace(owns_trace ? trace_parent : TraceContext{},
+                         sink_.get());
+  Span batch_span(trace_parent, "engine.search_all_async");
+  if (batch_span.active()) {
+    batch_span.SetAttr("queries", static_cast<int64_t>(queries.size()));
+  }
+
   const SodaConfig& config = soda_->config();
   const Database* db = soda_->database();
   const bool can_execute = config.execute_snippets && db != nullptr;
   const uint64_t translated_at_sequence =
       db != nullptr ? db->change_log().sequence() : 0;
 
-  std::vector<BatchItem> items = TranslateBatch(queries, /*execute=*/false);
+  std::vector<BatchItem> items =
+      TranslateBatch(queries, /*execute=*/false, batch_span.context());
 
   // Snapshot the per-unique stream states before the items are consumed
   // by ExpandBatch, and register every expected callback up front so the
@@ -714,13 +871,21 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAllAsync(
   // One task per (unique query, result): execute the snippet, then fan
   // the callback out to every occurrence of that query in the batch —
   // exactly one delivery per (query_index, result_index) pair.
+  const TraceContext stream_trace = batch_span.context();
   for (const std::shared_ptr<StreamState>& stream : streams) {
     for (size_t r = 0; r < stream->output.results.size(); ++r) {
-      pool_.Submit([this, stream, barrier, r] {
+      pool_.Submit([this, stream, barrier, r, stream_trace] {
         // Pool tasks run outside the submitting call's data guard, so
         // each takes its own shared lock around the snippet scan and the
         // (possible) cache insert.
         auto data_guard = ReadGuard();
+        // Explicit context capture is how the trace crosses the pool
+        // boundary: this span parents under the batch span even though
+        // it starts on a worker after SearchAllAsync returned.
+        Span snippet_span(stream_trace, "snippet.stream");
+        if (snippet_span.active()) {
+          snippet_span.SetAttr("result", static_cast<int64_t>(r));
+        }
         SodaResult& result = stream->output.results[r];
         if (stream->run_execution) {
           // Contained: a throwing snippet (or armed failpoint) marks this
@@ -756,6 +921,10 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAllAsync(
             sink_->IncrementCounter("cache.stale_insert_skipped", 1);
           }
         }
+        // End (and append) the span before delivering: a caller may
+        // finish the trace as soon as Wait() returns, and a span
+        // recorded after that would be dropped as an orphan.
+        snippet_span.End();
         // Deliver last: once the barrier reports drained, the cache
         // insertion (done by whichever task decremented to zero) has
         // already happened — Wait() is a true completion point.
@@ -769,6 +938,8 @@ std::vector<Result<SearchOutput>> SodaEngine::SearchAllAsync(
   }
   sink_->Observe("pool.queue_depth",
                  static_cast<double>(pool_.queue_depth()));
+  batch_span.End();
+  owned_trace.set_wall_ms(MsSince(t_start));
   return outputs;
 }
 

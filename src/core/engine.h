@@ -56,6 +56,7 @@
 #include "common/lru_cache.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/service.h"
 #include "core/soda.h"
 
@@ -233,8 +234,11 @@ class SodaEngine : public SodaService {
   /// Outputs are translated but not executed (`execute` extends the flat
   /// fan-out to snippet execution for the sync path); nothing is written
   /// to the cache — callers insert when their snippets are materialized.
+  /// `trace` (the caller's batch-root span context, possibly inactive)
+  /// parents one span per unique miss plus the execute fan-out span.
   std::vector<BatchItem> TranslateBatch(std::span<const std::string> queries,
-                                        bool execute) const;
+                                        bool execute,
+                                        const TraceContext& trace) const;
 
   /// Expands per-unique BatchItems into per-input-index outputs, booking
   /// dedup repeats as cache hits and stamping the lifetime counters.

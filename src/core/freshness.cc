@@ -4,6 +4,7 @@
 
 #include "common/failpoint.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "core/service.h"
 #include "text/tokenizer.h"
 
@@ -180,6 +181,21 @@ void FreshnessManager::OnChange(const ChangeEvent& event) {
   }
   sink_->IncrementCounter("freshness.events", 1);
 
+  // Invalidation bursts get their own trace (they run on the mutator's
+  // thread under the exclusive data lock, not inside any request): slow
+  // or delta-failing bursts surface in /debug/traces next to the
+  // requests they stalled.
+  TraceContext burst_trace =
+      TraceRecorder::Instance().enabled()
+          ? TraceRecorder::Instance().StartTrace("freshness.change")
+          : TraceContext{};
+  Span burst_span(burst_trace, "freshness.change");
+  if (burst_span.active()) {
+    burst_span.SetAttr("table", event.table);
+    burst_span.SetAttr("sequence", static_cast<int64_t>(event.sequence));
+    burst_span.SetAttr("engines", static_cast<int64_t>(targets.size()));
+  }
+
   // 1. Bring every tracked engine's inverted index up to date first, so
   // a query re-admitted right after the invalidation below already sees
   // the appended values. A failed delta (exception or armed failpoint)
@@ -198,9 +214,14 @@ void FreshnessManager::OnChange(const ChangeEvent& event) {
     }
     if (applied) continue;
     sink_->IncrementCounter("freshness.delta_failures", 1);
+    burst_span.AddEvent("delta_failure", "full cache eviction");
     target.invalidate([](const std::string&) { return true; });
   }
   sink_->IncrementCounter("freshness.delta_postings", delta_postings);
+  if (burst_span.active()) {
+    burst_span.SetAttr("delta_postings",
+                       static_cast<int64_t>(delta_postings));
+  }
 
   // 2. Keyed invalidation for exactly the dependent answers — and the
   // dependent session plans, which live in the same reverse maps but
@@ -230,11 +251,11 @@ void FreshnessManager::OnChange(const ChangeEvent& event) {
     for (const std::function<void()>& hook : plan_hooks) hook();
     sink_->IncrementCounter("freshness.plans_invalidated", plan_hooks.size());
   }
+  size_t invalidated = 0;
   if (!affected.empty()) {
     auto pred = [&affected](const std::string& key) {
       return affected.count(key) > 0;
     };
-    size_t invalidated = 0;
     for (const Target& target : targets) {
       invalidated += target.invalidate(pred);
     }
@@ -244,6 +265,16 @@ void FreshnessManager::OnChange(const ChangeEvent& event) {
     for (const std::string& key : affected) {
       ForgetLocked(key);
     }
+  }
+  if (burst_span.active()) {
+    burst_span.SetAttr("plans_invalidated",
+                       static_cast<int64_t>(plan_hooks.size()));
+    burst_span.SetAttr("keys_invalidated", static_cast<int64_t>(invalidated));
+  }
+  burst_span.End();
+  if (burst_trace.active()) {
+    TraceRecorder::Instance().FinishTrace(burst_trace,
+                                          burst_trace.data->ElapsedMs());
   }
 }
 

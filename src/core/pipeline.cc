@@ -448,7 +448,15 @@ void RunInterpretationStages(const std::vector<const PipelineStage*>& stages,
     if (!stage->per_interpretation()) continue;
     if (state->dropped) return;
     auto t0 = std::chrono::steady_clock::now();
+    // Stage spans record into the shared trace under its own lock; the
+    // context rode into this worker by value, which is the explicit
+    // cross-thread capture the trace layer is built around.
+    Span span(ctx.trace, std::string("stage.") + std::string(stage->name()));
     Status st = stage->RunOne(ctx, state);
+    // Span-local status only: a retired interpretation is a normal
+    // outcome, not a trace-level error.
+    if (!st.ok()) span.SetStatus(st.message());
+    span.End();
     double ms = MsSince(t0);
     ObserveStage(ctx.metrics, stage->name(), ms);
     if (stage->name() == "tables") {
@@ -472,7 +480,15 @@ Status RunQueryStages(const std::vector<const PipelineStage*>& stages,
   for (const PipelineStage* stage : stages) {
     if (stage->per_interpretation()) continue;
     auto t0 = std::chrono::steady_clock::now();
-    SODA_RETURN_NOT_OK(stage->Run(ctx));
+    Span span(ctx->trace, std::string("stage.") + std::string(stage->name()));
+    Status st = stage->Run(ctx);
+    if (!st.ok()) {
+      // A failed query-level stage fails the whole query — that is a
+      // trace-level error, so the trace survives sampling.
+      span.SetError(st.message());
+      return st;
+    }
+    span.End();
     double ms = MsSince(t0);
     ctx->timings.Add(stage->name(), ms);
     ObserveStage(ctx->metrics, stage->name(), ms);

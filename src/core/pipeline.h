@@ -30,6 +30,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/config.h"
 #include "core/filters_step.h"
 #include "core/input_query.h"
@@ -243,6 +244,14 @@ struct QueryContext {
   /// stages once, per-interpretation stages once per state). Must be
   /// thread-safe: the engine observes from worker threads.
   MetricsSink* metrics = nullptr;
+
+  /// Request-trace handle (inactive by default — every span site is then
+  /// one branch). The engine parents it under the caller's span when one
+  /// is current; the drivers open one span per stage execution from it.
+  /// Copied by value into pool closures, which is how the trace crosses
+  /// worker threads. Strictly observational: ranked output is
+  /// byte-identical with tracing on or off.
+  TraceContext trace;
 
   /// Optional session constraints (nullptr = unconstrained). Constraint
   /// plumbing per stage: LookupStage and FiltersStage are deliberately

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/trace.h"
 
 namespace soda {
 
@@ -193,7 +194,7 @@ void ShardedSodaEngine::ReportShardSuccess(size_t shard) const {
   b.backoff_ms = 0.0;
 }
 
-void ShardedSodaEngine::ReportShardFailure(size_t shard) const {
+bool ShardedSodaEngine::ReportShardFailure(size_t shard) const {
   std::lock_guard<std::mutex> lock(breaker_mu_);
   ShardBreaker& b = breakers_[shard];
   ++b.consecutive_failures;
@@ -204,7 +205,7 @@ void ShardedSodaEngine::ReportShardFailure(size_t shard) const {
   // threshold. Backoff doubles per quarantine up to the cap.
   bool quarantine = b.state == BreakerState::kProbing ||
                     b.consecutive_failures >= policy_.failure_threshold;
-  if (!quarantine) return;
+  if (!quarantine) return false;
   b.backoff_ms = b.backoff_ms <= 0.0
                      ? policy_.backoff_initial_ms
                      : std::min(b.backoff_ms * 2.0, policy_.backoff_max_ms);
@@ -215,6 +216,7 @@ void ShardedSodaEngine::ReportShardFailure(size_t shard) const {
     router_sink_->IncrementCounter("router.quarantines", 1);
   }
   b.state = BreakerState::kQuarantined;
+  return true;
 }
 
 ServiceHealth ShardedSodaEngine::health() const {
@@ -289,11 +291,17 @@ Result<SearchOutput> ShardedSodaEngine::SearchAsync(
 Result<SearchOutput> ShardedSodaEngine::RouteSingle(
     size_t home,
     const std::function<Result<SearchOutput>(const SodaEngine&)>& call) const {
+  // The routing span joins whatever trace the caller (usually the HTTP
+  // server) installed on this thread; the engine call below runs under
+  // it, so engine.search parents here and inherits the shard attr.
+  Span route_span(CurrentTraceContext(), "router.route");
+  if (route_span.active()) route_span.SetAttr("home", static_cast<int64_t>(home));
   Status last = Status::Unavailable("no dispatch attempted");
   size_t start = home;
   for (size_t attempt = 0; attempt <= policy_.retry_limit; ++attempt) {
     if (attempt > 0) {
       router_sink_->IncrementCounter("router.retries", 1);
+      route_span.AddEvent("retry", "attempt " + std::to_string(attempt));
       SleepMs(std::min(policy_.retry_backoff_ms *
                            static_cast<double>(uint64_t{1} << (attempt - 1)),
                        policy_.backoff_max_ms));
@@ -301,15 +309,21 @@ Result<SearchOutput> ShardedSodaEngine::RouteSingle(
     size_t target = AcquireTarget(start);
     if (target == kNoShard) {
       last = Status::Unavailable("every shard replica is quarantined");
+      route_span.AddEvent("no_replica", "every shard quarantined");
       continue;
     }
     if (target != home) {
       router_sink_->IncrementCounter("router.rerouted_queries", 1);
+      route_span.AddEvent("reroute", "shard " + std::to_string(target));
     }
     try {
       Status armed =
           SODA_FAILPOINT_STATUS("shard.dispatch", std::to_string(target));
       if (armed.ok()) {
+        if (route_span.active()) {
+          route_span.SetAttr("shard", static_cast<int64_t>(target));
+        }
+        ScopedTraceContext scoped(route_span.context());
         Result<SearchOutput> output = call(*shards_[target]);
         ReportShardSuccess(target);
         return output;
@@ -321,9 +335,15 @@ Result<SearchOutput> ShardedSodaEngine::RouteSingle(
     } catch (...) {
       last = Status::Unavailable("shard dispatch threw");
     }
-    ReportShardFailure(target);
+    route_span.AddEvent("shard_failure",
+                        "shard " + std::to_string(target) + ": " +
+                            std::string(last.message()));
+    if (ReportShardFailure(target)) {
+      route_span.AddEvent("quarantine", "shard " + std::to_string(target));
+    }
     start = target + 1;
   }
+  route_span.SetError("query failed on every attempted replica");
   return Status::Unavailable("query failed on every attempted replica: " +
                              last.ToString());
 }
@@ -347,7 +367,11 @@ std::shared_ptr<void> ShardedSodaEngine::LaunchAttempt(
   // Everything the task touches is captured by value / shared_ptr: if
   // the batch abandons a stalled attempt and returns, the task still
   // has live queries and a live attempt struct to finish against.
-  dispatch_pool_.Submit([this, attempt, queries, target, async,
+  // The trace context crosses onto the dispatch pool by value and is
+  // re-installed inside the task, so the shard engine's spans parent
+  // under the batch's trace even though they run on a pool thread.
+  TraceContext trace = CurrentTraceContext();
+  dispatch_pool_.Submit([this, attempt, queries, target, async, trace,
                          callback = std::move(on_snippet), barrier] {
     {
       std::lock_guard<std::mutex> lock(attempt->mu);
@@ -359,6 +383,12 @@ std::shared_ptr<void> ShardedSodaEngine::LaunchAttempt(
       }
       attempt->started = true;
     }
+    Span dispatch_span(trace, "router.dispatch");
+    if (dispatch_span.active()) {
+      dispatch_span.SetAttr("shard", static_cast<int64_t>(target));
+      dispatch_span.SetAttr("queries", static_cast<int64_t>(queries->size()));
+    }
+    ScopedTraceContext scoped(dispatch_span.context());
     Status failure;
     std::vector<Result<SearchOutput>> outputs;
     try {
@@ -378,6 +408,12 @@ std::shared_ptr<void> ShardedSodaEngine::LaunchAttempt(
     } catch (...) {
       failure = Status::Unavailable("shard dispatch threw");
     }
+    if (!failure.ok()) dispatch_span.SetStatus(failure.message());
+    // End (and append) the span before publishing completion: the
+    // waiting batch thread may finish the whole trace the moment done
+    // flips, and a span recorded after that is an orphan the render
+    // pass cannot attach.
+    dispatch_span.End();
     {
       std::lock_guard<std::mutex> lock(attempt->mu);
       attempt->failure = std::move(failure);
@@ -397,6 +433,13 @@ std::vector<Result<SearchOutput>> ShardedSodaEngine::RunSubBatchWithFailover(
   // registers its snippet callbacks on the caller's barrier, and an
   // abandoned half-registered attempt could deliver duplicates.
   double deadline_ms = async ? 0.0 : policy_.dispatch_deadline_ms;
+  // Joins the batch's trace on the caller thread; retry, re-route,
+  // stall-abandon and quarantine decisions land here as span events.
+  Span sub_span(CurrentTraceContext(), "router.subbatch");
+  if (sub_span.active()) {
+    sub_span.SetAttr("home", static_cast<int64_t>(home));
+    sub_span.SetAttr("queries", static_cast<int64_t>(queries->size()));
+  }
   Status last = Status::Unavailable("no dispatch attempted");
   size_t target = first_target;
   auto attempt = std::static_pointer_cast<SubBatchAttempt>(first_attempt);
@@ -417,7 +460,12 @@ std::vector<Result<SearchOutput>> ShardedSodaEngine::RunSubBatchWithFailover(
             return outputs;
           }
           last = std::move(failure);
-          ReportShardFailure(target);
+          sub_span.AddEvent("shard_failure",
+                            "shard " + std::to_string(target) + ": " +
+                                std::string(last.message()));
+          if (ReportShardFailure(target)) {
+            sub_span.AddEvent("quarantine", "shard " + std::to_string(target));
+          }
           target = target + 1;
           break;
         }
@@ -425,7 +473,11 @@ std::vector<Result<SearchOutput>> ShardedSodaEngine::RunSubBatchWithFailover(
           last = Status::Unavailable(
               "shard " + std::to_string(target) +
               " stalled past the sub-batch deadline; abandoned");
-          ReportShardFailure(target);
+          sub_span.AddEvent("stall_abandoned",
+                            "shard " + std::to_string(target));
+          if (ReportShardFailure(target)) {
+            sub_span.AddEvent("quarantine", "shard " + std::to_string(target));
+          }
           target = target + 1;
           break;
         case WaitOutcome::kQueueTimeout:
@@ -440,11 +492,13 @@ std::vector<Result<SearchOutput>> ShardedSodaEngine::RunSubBatchWithFailover(
     }
     if (attempts_used >= policy_.retry_limit) break;
     router_sink_->IncrementCounter("router.retries", 1);
+    sub_span.AddEvent("retry", "attempt " + std::to_string(attempts_used + 1));
     SleepMs(std::min(policy_.retry_backoff_ms *
                          static_cast<double>(uint64_t{1} << attempts_used),
                      policy_.backoff_max_ms));
     size_t next = AcquireTarget(target);
     if (next == kNoShard) {
+      sub_span.AddEvent("no_replica", "every shard quarantined");
       attempt = nullptr;
       continue;
     }
@@ -452,10 +506,15 @@ std::vector<Result<SearchOutput>> ShardedSodaEngine::RunSubBatchWithFailover(
     if (target != home) {
       router_sink_->IncrementCounter("router.rerouted_queries",
                                      queries->size());
+      sub_span.AddEvent("reroute", "shard " + std::to_string(target));
     }
+    // Re-install the sub-batch span as the pool task's parent: the
+    // retried dispatch span hangs off this span, not the batch root.
+    ScopedTraceContext scoped(sub_span.context());
     attempt = std::static_pointer_cast<SubBatchAttempt>(
         LaunchAttempt(target, queries, async, on_snippet, barrier));
   }
+  sub_span.SetError("sub-batch failed after every attempt");
   return std::vector<Result<SearchOutput>>(
       queries->size(),
       Result<SearchOutput>(Status::Unavailable(

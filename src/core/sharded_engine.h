@@ -269,7 +269,11 @@ class ShardedSodaEngine : public SodaService {
   size_t AcquireTarget(size_t start) const;
 
   void ReportShardSuccess(size_t shard) const;
-  void ReportShardFailure(size_t shard) const;
+
+  /// Charges one failure to the shard's breaker. Returns true when this
+  /// failure tripped (or, for a failed probe, re-tripped) quarantine —
+  /// callers record that decision as a trace span event.
+  bool ReportShardFailure(size_t shard) const;
 
   std::vector<std::unique_ptr<SodaEngine>> shards_;
   std::shared_ptr<InMemoryMetricsSink> router_sink_;

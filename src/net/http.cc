@@ -98,6 +98,20 @@ bool HttpRequest::HasQueryParam(std::string_view key,
   return false;
 }
 
+std::string_view HttpRequest::QueryParamValue(std::string_view key) const {
+  std::string_view q = query();
+  while (!q.empty()) {
+    size_t amp = q.find('&');
+    std::string_view pair =
+        amp == std::string_view::npos ? q : q.substr(0, amp);
+    q = amp == std::string_view::npos ? std::string_view() : q.substr(amp + 1);
+    size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    if (AsciiIEquals(pair.substr(0, eq), key)) return pair.substr(eq + 1);
+  }
+  return std::string_view();
+}
+
 std::string_view HttpRequest::header(std::string_view name) const {
   auto it = headers.find(name);
   return it == headers.end() ? std::string_view() : std::string_view(it->second);

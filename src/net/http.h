@@ -46,6 +46,11 @@ struct HttpRequest {
   /// appears in the query string.
   bool HasQueryParam(std::string_view key, std::string_view value) const;
 
+  /// Value of the first `key=...` pair in the query string (key compared
+  /// case-insensitively); "" when absent. No percent-decoding — the
+  /// debug endpoints take numeric and flag values only.
+  std::string_view QueryParamValue(std::string_view key) const;
+
   /// Header lookup; "" when absent.
   std::string_view header(std::string_view name) const;
 

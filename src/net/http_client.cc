@@ -29,6 +29,7 @@ HttpClient::HttpClient(HttpClient&& other) noexcept
       port_(other.port_),
       timeout_ms_(other.timeout_ms_),
       retry_policy_(other.retry_policy_),
+      trace_id_(std::move(other.trace_id_)),
       sheds_absorbed_(other.sheds_absorbed_),
       fd_(other.fd_) {
   other.fd_ = -1;
@@ -41,6 +42,7 @@ HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
     port_ = other.port_;
     timeout_ms_ = other.timeout_ms_;
     retry_policy_ = other.retry_policy_;
+    trace_id_ = std::move(other.trace_id_);
     sheds_absorbed_ = other.sheds_absorbed_;
     fd_ = other.fd_;
     other.fd_ = -1;
@@ -191,6 +193,10 @@ Result<HttpResponse> HttpClient::Get(std::string_view target) {
   request.append(target);
   request.append(" HTTP/1.1\r\nHost: ");
   request.append(host_);
+  if (!trace_id_.empty()) {
+    request.append("\r\nX-Soda-Trace-Id: ");
+    request.append(trace_id_);
+  }
   request.append("\r\n\r\n");
   return RoundTripWithRetry(request);
 }
@@ -204,6 +210,10 @@ Result<HttpResponse> HttpClient::Post(std::string_view target,
   request.append(host_);
   request.append("\r\nContent-Type: ");
   request.append(content_type);
+  if (!trace_id_.empty()) {
+    request.append("\r\nX-Soda-Trace-Id: ");
+    request.append(trace_id_);
+  }
   request.append("\r\nContent-Length: ");
   request.append(std::to_string(body.size()));
   request.append("\r\n\r\n");

@@ -70,6 +70,13 @@ class HttpClient {
   /// retry behavior for subsequent Get/Post calls.
   void set_retry_policy(HttpRetryPolicy policy) { retry_policy_ = policy; }
 
+  /// Installs an X-Soda-Trace-Id header sent with every subsequent
+  /// Get/Post ("" clears it). The server adopts the id for its
+  /// per-request trace and echoes it back, so a caller can pick the id
+  /// it will later look up in /debug/traces.
+  void set_trace_id(std::string trace_id) { trace_id_ = std::move(trace_id); }
+  const std::string& trace_id() const { return trace_id_; }
+
   /// 503 responses this client absorbed by retrying (the final answer
   /// of an exhausted retry chain is returned, not absorbed). The load
   /// harness adds these back into its shed accounting so client-side
@@ -85,6 +92,7 @@ class HttpClient {
   uint16_t port_;
   double timeout_ms_;
   HttpRetryPolicy retry_policy_;
+  std::string trace_id_;
   uint64_t sheds_absorbed_ = 0;
   int fd_ = -1;
 };

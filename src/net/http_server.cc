@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <span>
 #include <utility>
@@ -19,6 +20,7 @@
 
 #include "common/failpoint.h"
 #include "common/prometheus_sink.h"
+#include "common/trace.h"
 #include "net/json.h"
 #include "net/search_json.h"
 
@@ -125,6 +127,10 @@ Status SodaHttpServer::Start() {
   sink_->IncrementCounter("server.accepted", 0);
   sink_->IncrementCounter("server.shed", 0);
   sink_->IncrementCounter("server.timeouts", 0);
+  sink_->IncrementCounter("trace.spans", 0);
+  sink_->IncrementCounter("trace.sampled", 0);
+  sink_->IncrementCounter("trace.dropped", 0);
+  sink_->IncrementCounter("trace.slow_queries", 0);
   sink_->Observe("server.inflight", 0.0);
 
   started_ = true;
@@ -259,13 +265,63 @@ void SodaHttpServer::ServeConnection(int fd) {
                       served < options_.max_keepalive_requests;
     HttpResponse response;
     bool already_written = false;
-    try {
-      already_written =
-          HandleRequest(request, deadline, fd, keep_alive, &response);
-    } catch (const std::exception& e) {
-      response = ErrorResponse(500, e.what());
-    } catch (...) {
-      response = ErrorResponse(500, "unknown handler exception");
+
+    // Per-request trace. An inbound X-Soda-Trace-Id lets the client pick
+    // the id (so its own logs correlate with /debug/traces); a malformed
+    // one is rejected outright rather than silently re-keyed. The id —
+    // inbound or freshly minted — is echoed on every response the
+    // handler did not write itself, even when tracing is sampled off:
+    // correlation must not depend on sampling config.
+    uint64_t trace_id = 0;
+    std::string_view inbound_id = request.header("X-Soda-Trace-Id");
+    const bool malformed_trace_id =
+        !inbound_id.empty() && !ParseTraceId(inbound_id, &trace_id);
+    if (malformed_trace_id) trace_id = 0;
+    TraceRecorder& recorder = TraceRecorder::Instance();
+    TraceContext trace;
+    if (!malformed_trace_id && recorder.enabled()) {
+      trace = recorder.StartTrace("http.request", trace_id);
+      if (trace.active()) trace_id = trace.data->trace_id();
+    }
+    std::string trace_header = trace_id != 0 ? FormatTraceId(trace_id) : "";
+
+    if (malformed_trace_id) {
+      response = ErrorResponse(400, "malformed X-Soda-Trace-Id");
+    } else {
+      // Root span over the whole handler; ScopedTraceContext is what the
+      // engine/router layers join, so their spans parent under this one.
+      Span root_span(trace, "http.request");
+      if (root_span.active()) {
+        root_span.SetAttr("method", request.method);
+        root_span.SetAttr("path", request.path());
+      }
+      ScopedTraceContext scoped(root_span.context());
+      try {
+        already_written = HandleRequest(request, deadline, fd, keep_alive,
+                                        trace_header, &response);
+      } catch (const std::exception& e) {
+        response = ErrorResponse(500, e.what());
+      } catch (...) {
+        response = ErrorResponse(500, "unknown handler exception");
+      }
+      if (root_span.active() && !already_written) {
+        root_span.SetAttr("status", static_cast<int64_t>(response.status));
+        if (response.status >= 500) {
+          // 5xx marks the whole trace errored → always kept in the ring.
+          root_span.SetError(ReasonPhrase(response.status));
+        }
+      }
+    }
+    if (trace.active()) {
+      TraceVerdict verdict =
+          recorder.FinishTrace(trace, trace.data->ElapsedMs());
+      sink_->IncrementCounter("trace.spans", verdict.spans);
+      sink_->IncrementCounter(
+          verdict.kept ? "trace.sampled" : "trace.dropped", 1);
+      if (verdict.slow) sink_->IncrementCounter("trace.slow_queries", 1);
+    }
+    if (!already_written && !trace_header.empty()) {
+      response.SetHeader("X-Soda-Trace-Id", trace_header);
     }
     if (!already_written &&
         !SendAll(fd, SerializeResponse(response, keep_alive))) {
@@ -292,7 +348,9 @@ void SodaHttpServer::ServeConnection(int fd) {
 
 bool SodaHttpServer::HandleRequest(const HttpRequest& request,
                                    const Deadline& deadline, int fd,
-                                   bool keep_alive, HttpResponse* response) {
+                                   bool keep_alive,
+                                   const std::string& trace_header,
+                                   HttpResponse* response) {
   // Fault seam for the serving path: when armed it throws here, and the
   // ServeConnection catch turns it into a booked 500 — proving a dying
   // handler never wedges the connection loop or leaks the drain count.
@@ -316,6 +374,24 @@ bool SodaHttpServer::HandleRequest(const HttpRequest& request,
     *response = HandleMetrics();
     return false;
   }
+  if (path == "/debug/traces") {
+    if (request.method != "GET") {
+      *response = ErrorResponse(405, "debug/traces accepts GET only");
+      response->SetHeader("Allow", "GET");
+      return false;
+    }
+    *response = HandleDebugTraces(request);
+    return false;
+  }
+  if (path == "/debug/vars") {
+    if (request.method != "GET") {
+      *response = ErrorResponse(405, "debug/vars accepts GET only");
+      response->SetHeader("Allow", "GET");
+      return false;
+    }
+    *response = HandleDebugVars();
+    return false;
+  }
   if (path == "/search") {
     if (request.method != "POST") {
       *response = ErrorResponse(405, "search accepts POST only");
@@ -323,7 +399,8 @@ bool SodaHttpServer::HandleRequest(const HttpRequest& request,
       return false;
     }
     if (request.HasQueryParam("stream", "1")) {
-      if (HandleStreamingSearch(request, fd, keep_alive, response)) {
+      if (HandleStreamingSearch(request, fd, keep_alive, trace_header,
+                                response)) {
         return true;
       }
       return false;  // shed / parse failure before the head went out
@@ -384,6 +461,7 @@ HttpResponse SodaHttpServer::HandleSearch(const HttpRequest& request,
 
 bool SodaHttpServer::HandleStreamingSearch(const HttpRequest& request, int fd,
                                            bool keep_alive,
+                                           const std::string& trace_header,
                                            HttpResponse* error_response) {
   InflightGuard guard(&search_inflight_);
   sink_->Observe("server.inflight",
@@ -434,6 +512,9 @@ bool SodaHttpServer::HandleStreamingSearch(const HttpRequest& request, int fd,
   head.status = 200;
   head.SetHeader("Content-Type", "application/x-ndjson");
   head.SetHeader("X-Soda-Queries", std::to_string(queries->size()));
+  // The streaming handler writes its own head, so the trace-id echo that
+  // ServeConnection stamps on buffered responses rides here instead.
+  if (!trace_header.empty()) head.SetHeader("X-Soda-Trace-Id", trace_header);
   {
     std::lock_guard<std::mutex> lock(state->mu);
     if (!SendAll(fd, SerializeChunkedHead(head, keep_alive))) {
@@ -490,6 +571,110 @@ HttpResponse SodaHttpServer::HandleMetrics() const {
                      "text/plain; version=0.0.4; charset=utf-8");
   response.body =
       RenderPrometheusText(metrics_snapshot(), options_.metrics_prefix);
+  return response;
+}
+
+HttpResponse SodaHttpServer::HandleDebugTraces(
+    const HttpRequest& request) const {
+  double min_ms = 0.0;
+  std::string_view min_param = request.QueryParamValue("min_ms");
+  if (!min_param.empty()) {
+    std::string text(min_param);
+    char* end = nullptr;
+    min_ms = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || min_ms < 0.0) {
+      return ErrorResponse(400, "min_ms must be a non-negative number");
+    }
+  }
+  const bool errors_only = request.HasQueryParam("error", "1");
+  std::vector<std::shared_ptr<const TraceData>> traces =
+      TraceRecorder::Instance().Snapshot();
+  HttpResponse response;
+  response.status = 200;
+  response.SetHeader("Content-Type", "application/json");
+  response.body = request.HasQueryParam("chrome", "1")
+                      ? DumpChromeTrace(traces)
+                      : RenderTraceJson(traces, min_ms, errors_only);
+  return response;
+}
+
+HttpResponse SodaHttpServer::HandleDebugVars() const {
+  // One JSON object with everything an operator at a misbehaving box
+  // wants before reaching for a debugger: the knobs the server actually
+  // runs with, the live service/cache/shard state, the trace recorder's
+  // totals plus its slow-query log, and enough build info to tell which
+  // binary answered.
+  std::string body = "{\"server\":{\"bind_address\":";
+  AppendJsonQuoted(&body, options_.bind_address);
+  body += ",\"port\":" + std::to_string(port_);
+  body += ",\"num_threads\":" + std::to_string(options_.num_threads);
+  body += ",\"shed_watermark\":" + std::to_string(options_.shed_watermark);
+  body +=
+      ",\"accept_queue_limit\":" + std::to_string(options_.accept_queue_limit);
+  body += ",\"request_deadline_ms\":";
+  AppendJsonNumber(&body, options_.request_deadline_ms);
+  body += ",\"max_batch_queries\":" +
+          std::to_string(options_.max_batch_queries);
+  body += ",\"metrics_prefix\":";
+  AppendJsonQuoted(&body, options_.metrics_prefix);
+  body += ",\"search_inflight\":" + std::to_string(search_inflight_.load());
+
+  body += "},\"service\":{\"num_threads\":" +
+          std::to_string(service_->num_threads());
+  body += ",\"queue_depth\":" + std::to_string(service_->queue_depth());
+  CacheStats cache = service_->cache_stats();
+  body += ",\"cache\":{\"hits\":" + std::to_string(cache.hits) +
+          ",\"misses\":" + std::to_string(cache.misses) +
+          ",\"evictions\":" + std::to_string(cache.evictions) +
+          ",\"invalidations\":" + std::to_string(cache.invalidations) +
+          ",\"size\":" + std::to_string(cache.size) +
+          ",\"capacity\":" + std::to_string(cache.capacity) + "}";
+  ServiceHealth health = service_->health();
+  body += ",\"health\":{\"degraded\":";
+  body += health.degraded ? "true" : "false";
+  body += ",\"shards\":[";
+  for (size_t i = 0; i < health.shards.size(); ++i) {
+    const ShardHealthInfo& shard = health.shards[i];
+    if (i > 0) body += ",";
+    body += "{\"shard\":" + std::to_string(shard.shard) + ",\"state\":";
+    AppendJsonQuoted(&body, shard.state);
+    body += ",\"consecutive_failures\":" +
+            std::to_string(shard.consecutive_failures);
+    body += ",\"total_failures\":" + std::to_string(shard.total_failures);
+    body += ",\"backoff_ms\":";
+    AppendJsonNumber(&body, shard.backoff_ms);
+    body += ",\"retry_in_ms\":";
+    AppendJsonNumber(&body, shard.retry_in_ms);
+    body += "}";
+  }
+  body += "]}";
+
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  body += "},\"trace\":{\"enabled\":";
+  body += recorder.enabled() ? "true" : "false";
+  body += ",\"sample_every\":" + std::to_string(recorder.sample_every());
+  body += ",\"slow_threshold_ms\":";
+  AppendJsonNumber(&body, recorder.slow_threshold_ms());
+  body += ",\"capacity\":" + std::to_string(recorder.capacity());
+  body += ",\"started\":" + std::to_string(recorder.traces_started());
+  body += ",\"kept\":" + std::to_string(recorder.traces_kept());
+  body += ",\"dropped\":" + std::to_string(recorder.traces_dropped());
+  body += ",\"slow_log\":[";
+  std::vector<std::string> slow = recorder.SlowLog();
+  for (size_t i = 0; i < slow.size(); ++i) {
+    if (i > 0) body += ",";
+    AppendJsonQuoted(&body, slow[i]);
+  }
+  body += "]},\"build\":{\"compiler\":";
+  AppendJsonQuoted(&body, __VERSION__);
+  body += ",\"failpoints\":";
+  body += Failpoints::compiled_in() ? "true" : "false";
+  body += "}}\n";
+
+  HttpResponse response;
+  response.status = 200;
+  response.SetHeader("Content-Type", "application/json");
+  response.body = std::move(body);
   return response;
 }
 

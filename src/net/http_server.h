@@ -171,8 +171,12 @@ class SodaHttpServer {
 
   /// Routes one parsed request. Returns true when the response was
   /// already written (streaming); otherwise fills *response.
+  /// `trace_header` is the request's X-Soda-Trace-Id echo value ("" when
+  /// the request has no id and tracing is off) — handlers that write the
+  /// response themselves (streaming) must stamp it on their own head.
   bool HandleRequest(const HttpRequest& request, const Deadline& deadline,
-                     int fd, bool keep_alive, HttpResponse* response);
+                     int fd, bool keep_alive, const std::string& trace_header,
+                     HttpResponse* response);
 
   /// The admission decision shared by both /search flavors: true when
   /// the request must be shed (fills *response with 503 + Retry-After).
@@ -182,9 +186,19 @@ class SodaHttpServer {
   HttpResponse HandleSearch(const HttpRequest& request,
                             const Deadline& deadline);
   bool HandleStreamingSearch(const HttpRequest& request, int fd,
-                             bool keep_alive, HttpResponse* error_response);
+                             bool keep_alive, const std::string& trace_header,
+                             HttpResponse* error_response);
   HttpResponse HandleHealthz() const;
   HttpResponse HandleMetrics() const;
+
+  /// GET /debug/traces — the TraceRecorder ring as deterministic JSON
+  /// span trees (?min_ms=N filters fast traces, ?error=1 keeps errored
+  /// ones only, ?chrome=1 emits Chrome trace_event format instead).
+  HttpResponse HandleDebugTraces(const HttpRequest& request) const;
+
+  /// GET /debug/vars — config knobs, service/cache/shard state, trace
+  /// recorder totals and the slow-query log as one JSON object.
+  HttpResponse HandleDebugVars() const;
 
   /// Parses the /search body into a query list; non-OK → 400 detail.
   Result<std::vector<std::string>> ParseSearchBody(

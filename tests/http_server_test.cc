@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -28,11 +29,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/engine.h"
 #include "core/sharded_engine.h"
 #include "datasets/minibank.h"
 #include "net/http_client.h"
 #include "net/http_server.h"
+#include "net/json.h"
 #include "net/search_json.h"
 #include "pattern/library.h"
 
@@ -319,10 +322,20 @@ TEST_F(HttpServerTest, OverWatermarkRequestsAreShedWithRetryAfter) {
   MetricsSnapshot books = server->server_metrics();
   EXPECT_GE(books.counter("server.shed"), 1u);
 
-  // Window clears; the same client is admitted.
+  // Window clears; the same client is admitted. queue_depth() is a
+  // sticky load signal, not an exact token bucket: ParallelFor helper
+  // tasks that lost the index race to the calling thread linger in the
+  // pool queue as no-ops until a worker claims them, so on a loaded box
+  // the watermark can briefly still read the drained search. Retry for
+  // a bounded moment rather than assert the first post-drain sample.
   blocking.Release();
   occupier.join();
   auto admitted = client.Post("/search", "{\"query\":\"addresses\"}");
+  for (int attempt = 0;
+       attempt < 100 && admitted.ok() && admitted->status == 503; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    admitted = client.Post("/search", "{\"query\":\"addresses\"}");
+  }
   ASSERT_TRUE(admitted.ok()) << admitted.status();
   EXPECT_EQ(admitted->status, 200);
 }
@@ -539,6 +552,153 @@ TEST_F(HttpServerTest, MetricsExposesEveryServerSeries) {
     EXPECT_NE(metrics->body.find(series), std::string::npos)
         << "missing " << series;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Tracing: X-Soda-Trace-Id echo + rejection, /debug introspection
+// ---------------------------------------------------------------------------
+
+/// Configures the process-wide TraceRecorder for one test and restores
+/// the sampled-off default on exit — the recorder is a singleton, so a
+/// leaked config would bleed into unrelated tests.
+class ScopedRecorder {
+ public:
+  ScopedRecorder(size_t sample_every, double slow_threshold_ms) {
+    TraceRecorder::Instance().Clear();
+    TraceRecorder::Instance().Configure(sample_every, slow_threshold_ms);
+  }
+  ~ScopedRecorder() {
+    TraceRecorder::Instance().Configure(0, 0.0);
+    TraceRecorder::Instance().Clear();
+  }
+};
+
+TEST_F(HttpServerTest, TraceIdEchoDoesNotDependOnSampling) {
+  // Recorder stays at the sampled-off default: the echo is a correlation
+  // contract, not a sampling side effect.
+  auto engine = MakeEngine(1);
+  auto server = StartServer(engine.get());
+  HttpClient client = Connect(*server);
+  client.set_trace_id("00000000deadbeef");
+  auto response = client.Post("/search", "{\"query\":\"addresses\"}");
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->status, 200);
+  EXPECT_EQ(response->header("X-Soda-Trace-Id"), "00000000deadbeef");
+
+  // Short ids are legal (1-16 hex digits) and echo zero-padded — the
+  // canonical form is what /debug/traces prints.
+  client.set_trace_id("ab");
+  auto padded = client.Post("/search", "{\"query\":\"addresses\"}");
+  ASSERT_TRUE(padded.ok()) << padded.status();
+  EXPECT_EQ(padded->header("X-Soda-Trace-Id"), "00000000000000ab");
+
+  // The streaming handler writes its own head; the echo must ride it.
+  client.set_trace_id("00000000deadbeef");
+  auto streamed = client.Post("/search?stream=1", "{\"query\":\"addresses\"}");
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+  ASSERT_EQ(streamed->status, 200);
+  EXPECT_EQ(streamed->header("X-Soda-Trace-Id"), "00000000deadbeef");
+
+  // Without an inbound id and with tracing off there is nothing to echo.
+  client.set_trace_id("");
+  auto plain = client.Post("/search", "{\"query\":\"addresses\"}");
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_EQ(plain->header("X-Soda-Trace-Id"), "");
+}
+
+TEST_F(HttpServerTest, MalformedTraceIdGets400) {
+  auto engine = MakeEngine(1);
+  auto server = StartServer(engine.get());
+  HttpClient client = Connect(*server);
+  // Non-hex, zero, and over-long ids are all rejected before routing —
+  // silently re-keying a client's correlation id would be worse than
+  // failing loudly.
+  for (const char* bad : {"xyz", "0", "12345678901234567", "dead beef"}) {
+    client.set_trace_id(bad);
+    auto response = client.Post("/search", "{\"query\":\"addresses\"}");
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->status, 400) << "id '" << bad << "'";
+    EXPECT_NE(response->body.find("malformed X-Soda-Trace-Id"),
+              std::string::npos)
+        << response->body;
+    EXPECT_EQ(response->header("X-Soda-Trace-Id"), "");
+  }
+}
+
+TEST_F(HttpServerTest, DebugTracesShowsRequestSpanTree) {
+  ScopedRecorder recorder(/*sample_every=*/1, /*slow_threshold_ms=*/0.0);
+  auto engine = MakeEngine(2);
+  auto server = StartServer(engine.get());
+  HttpClient client = Connect(*server);
+  client.set_trace_id("00000000000000ab");
+  auto search = client.Post("/search", "{\"query\":\"addresses\"}");
+  ASSERT_TRUE(search.ok()) << search.status();
+  ASSERT_EQ(search->status, 200);
+
+  auto traces = client.Get("/debug/traces?min_ms=0");
+  ASSERT_TRUE(traces.ok()) << traces.status();
+  ASSERT_EQ(traces->status, 200);
+  EXPECT_EQ(traces->header("Content-Type"), "application/json");
+  auto doc = ParseJson(traces->body);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* listing = doc->Find("traces");
+  ASSERT_NE(listing, nullptr);
+  ASSERT_TRUE(listing->is_array());
+  // The search request was adopted under the client's id, rooted at the
+  // server's span with the engine's work parented beneath it.
+  EXPECT_NE(traces->body.find("\"00000000000000ab\""), std::string::npos)
+      << traces->body;
+  EXPECT_NE(traces->body.find("\"http.request\""), std::string::npos)
+      << traces->body;
+  EXPECT_NE(traces->body.find("\"batch.query\""), std::string::npos)
+      << traces->body;
+
+  // Filters: nothing errored, and nothing took a million ms.
+  auto errored = client.Get("/debug/traces?error=1");
+  ASSERT_TRUE(errored.ok()) << errored.status();
+  EXPECT_EQ(errored->body.find("\"http.request\""), std::string::npos)
+      << errored->body;
+  auto slow = client.Get("/debug/traces?min_ms=1000000");
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  EXPECT_EQ(slow->body.find("\"http.request\""), std::string::npos);
+  // Bad filter values are rejected, not defaulted.
+  auto bad = client.Get("/debug/traces?min_ms=banana");
+  ASSERT_TRUE(bad.ok()) << bad.status();
+  EXPECT_EQ(bad->status, 400);
+
+  // Chrome export: same ring, trace_event framing.
+  auto chrome = client.Get("/debug/traces?chrome=1");
+  ASSERT_TRUE(chrome.ok()) << chrome.status();
+  ASSERT_EQ(chrome->status, 200);
+  EXPECT_NE(chrome->body.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(HttpServerTest, DebugVarsReportsConfigAndTraceState) {
+  ScopedRecorder recorder(/*sample_every=*/1, /*slow_threshold_ms=*/0.0);
+  auto engine = MakeEngine(2);
+  auto server = StartServer(engine.get());
+  HttpClient client = Connect(*server);
+
+  auto vars = client.Get("/debug/vars");
+  ASSERT_TRUE(vars.ok()) << vars.status();
+  ASSERT_EQ(vars->status, 200);
+  EXPECT_EQ(vars->header("Content-Type"), "application/json");
+  auto doc = ParseJson(vars->body);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_TRUE(doc->is_object());
+  for (const char* section : {"server", "service", "trace", "build"}) {
+    EXPECT_NE(doc->Find(section), nullptr) << "missing " << section;
+  }
+  // Spot-check live values against what the test actually configured.
+  EXPECT_NE(vars->body.find("\"port\":" + std::to_string(server->port())),
+            std::string::npos)
+      << vars->body;
+  EXPECT_NE(vars->body.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(vars->body.find("\"sample_every\":1"), std::string::npos);
+  // Two shard breakers, both closed.
+  EXPECT_NE(vars->body.find("\"shards\":[{"), std::string::npos);
+  EXPECT_NE(vars->body.find("\"state\":\"closed\""), std::string::npos);
 }
 
 }  // namespace

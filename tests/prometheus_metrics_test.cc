@@ -85,6 +85,59 @@ TEST(PrometheusRenderTest, WorksAsEngineSink) {
             std::string::npos);
 }
 
+// Every series the engine ever writes must already be present — at
+// zero — on a freshly built engine, so the very first /metrics scrape
+// exports the complete inventory (dashboards and alerts key on series
+// existence; a series that appears only under traffic reads as a broken
+// exporter during quiet hours).
+TEST(PrometheusRenderTest, EngineExportsEverySeriesBeforeAnyTraffic) {
+  auto bank = BuildMiniBank().value();
+  SodaConfig config;
+  config.num_threads = 1;
+  auto engine = SodaEngine::Create(&bank->db, &bank->graph,
+                                   CreditSuissePatternLibrary(), config)
+                    .value();
+  const char* expected_counters[] = {
+      "engine.search", "engine.search_all", "engine.search_all_async",
+      "engine.task_exceptions",
+      "cache.hit", "cache.miss", "cache.invalidated",
+      "cache.stale_insert_skipped",
+      "batch.queries", "batch.unique", "batch.interpretations",
+      "batch.dedup_hits",
+      "session.refines", "session.stages_skipped", "session.constraint_hits",
+      "snippet.executed", "snippet.failed", "snippet.exception",
+      "snippet.streamed", "snippet.callback_exception",
+      "index.probe_memo_hits", "index.probe_memo_misses",
+      "closure.traverse_hits", "closure.traverse_misses",
+      "closure.path_lookups",
+      "trace.spans", "trace.sampled", "trace.dropped", "trace.slow_queries",
+  };
+  const char* expected_histograms[] = {
+      "search.wall.ms", "batch.wall.ms", "stage.execute.ms",
+      "pool.queue_depth", "executor.rows", "executor.tables",
+      "stage.lookup.ms", "stage.rank.ms", "stage.tables.ms",
+      "stage.filters.ms", "stage.sql.ms",
+  };
+  MetricsSnapshot snapshot = engine->metrics_snapshot();
+  for (const char* name : expected_counters) {
+    EXPECT_EQ(snapshot.counters.count(name), 1u) << "missing " << name;
+    EXPECT_EQ(snapshot.counter(name), 0u) << name << " not zero";
+  }
+  for (const char* name : expected_histograms) {
+    EXPECT_NE(snapshot.histogram(name), nullptr) << "missing " << name;
+  }
+
+  // A replacement sink inherits the same zero-traffic counter inventory
+  // (histograms register through the concrete sink type only).
+  auto fresh = std::make_shared<InMemoryMetricsSink>();
+  engine->set_metrics_sink(fresh);
+  MetricsSnapshot replaced = fresh->Snapshot();
+  for (const char* name : expected_counters) {
+    EXPECT_EQ(replaced.counters.count(name), 1u)
+        << "missing " << name << " after set_metrics_sink";
+  }
+}
+
 TEST(MetricsDeltaTest, CountersSubtractAndDropWhenUnchanged) {
   InMemoryMetricsSink sink;
   sink.IncrementCounter("a", 10);
